@@ -1,0 +1,105 @@
+"""E11 — extension: drill-across over the two-cube collection.
+
+The Exploration module's premise is a *collection* of cubes in one
+endpoint (§III-B); QL's basis (Ciferri et al.'s Cube Algebra) includes
+DRILL-ACROSS.  This bench regenerates the acceptance-rate scenario:
+applications ⋈ decisions at continent × year.
+
+Shapes to reproduce:
+
+* the client-side join is negligible next to the two SPARQL
+  executions (it runs over ~12 aggregated cells, not 10⁴ observations);
+* the joined cube is exactly as wide as the two inputs combined and
+  no larger than the smaller input (inner join);
+* each input cube's measures survive the join unchanged.
+"""
+
+import time
+
+import pytest
+
+from repro.demo import (
+    APPLICATIONS_BY_CONTINENT_YEAR_QL,
+    DECISIONS_BY_CONTINENT_YEAR_QL,
+    prepare_two_cube_demo,
+)
+from repro.ql.drillacross import drill_across
+
+OBSERVATIONS = 6_000
+DECISION_OBSERVATIONS = 4_000
+
+
+@pytest.fixture(scope="module")
+def two_cubes():
+    return prepare_two_cube_demo(
+        observations=OBSERVATIONS,
+        decision_observations=DECISION_OBSERVATIONS, small=True)
+
+
+def test_e11_drill_across_cost_breakdown(two_cubes, benchmark, save_rows):
+    demo = two_cubes
+
+    def run():
+        started = time.perf_counter()
+        left = demo.applications.engine.execute(
+            APPLICATIONS_BY_CONTINENT_YEAR_QL)
+        left_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        right = demo.decisions.engine.execute(
+            DECISIONS_BY_CONTINENT_YEAR_QL)
+        right_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        joined = drill_across(left.cube, right.cube,
+                              suffixes=("_apps", "_dec"))
+        join_seconds = time.perf_counter() - started
+        return (left, right, joined,
+                left_seconds, right_seconds, join_seconds)
+
+    (left, right, joined, left_seconds, right_seconds,
+     join_seconds) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"left QL (applications):  {left.report.rows:4d} cells  "
+        f"{left_seconds:7.3f}s",
+        f"right QL (decisions):    {right.report.rows:4d} cells  "
+        f"{right_seconds:7.3f}s",
+        f"drill-across join:       {len(joined):4d} cells  "
+        f"{join_seconds:7.3f}s "
+        f"({join_seconds / (left_seconds + right_seconds):8.2%} of query "
+        "time)",
+    ]
+    save_rows("E11_drillacross",
+              f"applications({OBSERVATIONS}) ⋈ "
+              f"decisions({DECISION_OBSERVATIONS}) at continent×year", rows)
+
+    # shapes: join is cheap; inner-join size bounded by smaller input
+    assert join_seconds < (left_seconds + right_seconds) / 10
+    assert len(joined) <= min(len(left.cube), len(right.cube))
+    assert len(joined.measures) == 2
+
+
+def test_e11_join_preserves_measures(two_cubes, benchmark, save_rows):
+    demo = two_cubes
+    left = demo.applications.engine.execute(
+        APPLICATIONS_BY_CONTINENT_YEAR_QL)
+    right = demo.decisions.engine.execute(DECISIONS_BY_CONTINENT_YEAR_QL)
+    joined = benchmark.pedantic(
+        lambda: drill_across(left.cube, right.cube,
+                             suffixes=("_apps", "_dec")),
+        rounds=1, iterations=1)
+
+    apps_measure, dec_measure = list(joined.measures)
+    checked = 0
+    for coordinate in joined.coordinates():
+        left_value = left.cube.value(
+            next(iter(left.cube.measures)), *coordinate)
+        joined_value = joined.value(apps_measure, *coordinate)
+        assert joined_value == left_value
+        right_value = right.cube.value(
+            next(iter(right.cube.measures)), *coordinate)
+        assert joined.value(dec_measure, *coordinate) == right_value
+        checked += 1
+    save_rows("E11_correctness",
+              "joined cells verified against both input cubes",
+              [f"verified {checked} cells: all measures preserved"])
+    assert checked == len(joined)

@@ -1,0 +1,64 @@
+"""E1 — Fig. 1 (architecture): the full QB2OLAP pipeline, end to end.
+
+Regenerates the architecture walk: load QB data into the endpoint →
+Enrichment module (3 phases) → Exploration → Querying, reporting
+per-module wall time.  The paper's figure is qualitative; the shape to
+reproduce is *which stages dominate* (observation loading and query
+execution scale with the data; enrichment scales with members only).
+"""
+
+import time
+
+import pytest
+
+from repro.data import small_demo
+from repro.data.namespaces import SCHEMA
+from repro.demo import MARY_QL, enrich
+from repro.exploration import CubeExplorer, InstanceBrowser, list_cubes
+
+
+def run_pipeline(observations: int):
+    timings = {}
+    started = time.perf_counter()
+    data = small_demo(observations=observations)
+    timings["load QB data"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    enriched = enrich(data)
+    timings["enrichment (3 phases)"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cubes = list_cubes(enriched.endpoint)
+    explorer = CubeExplorer(enriched.endpoint, data.dataset)
+    browser = InstanceBrowser(enriched.endpoint, explorer.schema)
+    clusters = browser.cluster_by_level(SCHEMA.citizenshipDim,
+                                        SCHEMA.continent)
+    timings["exploration"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = enriched.engine.execute(MARY_QL)
+    timings["QL query (Mary)"] = time.perf_counter() - started
+
+    assert len(cubes) == 1
+    assert clusters
+    return timings, result
+
+
+def test_e1_full_pipeline(benchmark, save_rows):
+    observations = 5_000  # per-round pipeline rebuild must stay snappy
+
+    def pipeline():
+        return run_pipeline(observations)
+
+    timings, result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    total = sum(timings.values())
+    rows = [
+        f"{stage:24s} {seconds:8.3f}s  ({seconds / total:5.1%})"
+        for stage, seconds in timings.items()
+    ]
+    rows.append(f"{'TOTAL':24s} {total:8.3f}s")
+    rows.append(f"result rows: {result.report.rows}")
+    save_rows("E1_pipeline", f"stage (obs={observations})          "
+              "seconds   share", rows)
+    benchmark.extra_info.update(
+        {stage: round(seconds, 3) for stage, seconds in timings.items()})

@@ -1,0 +1,90 @@
+"""E3 — Fig. 3 (Querying workflow): per-phase costs of QL processing.
+
+Regenerates the workflow stages for Mary's query plus a set of
+predefined queries (the demo ships predefined queries the audience can
+modify).  Shape to reproduce: parsing/simplification/translation are
+sub-millisecond — *SPARQL execution dominates*, which is exactly why
+the module optimizes the generated query rather than its own pipeline.
+"""
+
+import pytest
+
+from repro.data.namespaces import SCHEMA
+from repro.demo import MARY_QL, POLITICAL_QL
+
+#: the predefined query library of the demo
+PREDEFINED = {
+    "mary": MARY_QL,
+    "political": POLITICAL_QL,
+    "continent_by_year": """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:destinationDim);
+$C5 := ROLLUP ($C4, schema:citizenshipDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:timeDim, schema:year);
+""",
+    "quarterly_by_sex": """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:citizenshipDim);
+$C4 := SLICE ($C3, schema:destinationDim);
+$C5 := ROLLUP ($C4, schema:timeDim, schema:quarter);
+""",
+    "busy_destinations": """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:citizenshipDim);
+$C5 := SLICE ($C4, schema:timeDim);
+$C6 := DICE ($C5, sdmx-measure:obsValue > 500);
+""",
+}
+
+
+def test_e3_phase_breakdown(demo, benchmark, save_rows):
+    def run():
+        return demo.engine.execute(MARY_QL, variant="direct")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = result.report
+    rows = [
+        f"{'parse QL':22s} {report.parse_seconds * 1000:9.2f} ms",
+        f"{'simplify':22s} {report.simplify_seconds * 1000:9.2f} ms",
+        f"{'translate to SPARQL':22s} "
+        f"{report.translate_seconds * 1000:9.2f} ms",
+        f"{'execute on endpoint':22s} "
+        f"{report.execute_seconds * 1000:9.2f} ms",
+        f"{'rows':22s} {report.rows:9d}",
+    ]
+    save_rows("E3_phase_breakdown", "Querying-module phase       time", rows)
+    # shape: execution dominates the pipeline
+    front = (report.parse_seconds + report.simplify_seconds
+             + report.translate_seconds)
+    assert report.execute_seconds > 10 * front
+
+
+@pytest.mark.parametrize("name", sorted(PREDEFINED))
+def test_e3_predefined_queries(demo, benchmark, name, save_rows):
+    text = PREDEFINED[name]
+
+    def run():
+        return demo.engine.execute(text, variant="optimized")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows(f"E3_query_{name}",
+              "query                 rows   sparql-lines   exec",
+              [f"{name:20s} {result.report.rows:6d} "
+               f"{result.report.sparql_lines:12d} "
+               f"{result.report.execute_seconds:8.3f}s"])
+    assert result.report.rows >= 0

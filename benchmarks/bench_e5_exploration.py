@@ -1,0 +1,72 @@
+"""E5 — Fig. 5 (Exploration example): instance browsing operations.
+
+Regenerates the exploration interactions: clustering dimension
+instances by level value (the figure's node/edge view), roll-up edge
+retrieval, member listing and cube statistics.  Shape to reproduce:
+all exploration operations touch *dimension* data only, so they stay
+interactive (≪ 1 s) regardless of the observation count — that is what
+makes the GUI viable on big cubes.
+"""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, SCHEMA
+from repro.demo import CONTINENT_LEVEL, YEAR_LEVEL
+from repro.exploration import CubeExplorer, CubeStatistics, InstanceBrowser
+
+
+@pytest.fixture(scope="module")
+def explorer(demo):
+    return CubeExplorer(demo.endpoint, demo.data.dataset)
+
+
+@pytest.fixture(scope="module")
+def browser(demo, explorer):
+    return InstanceBrowser(demo.endpoint, explorer.schema)
+
+
+def test_e5_cluster_by_continent(demo, browser, benchmark, save_rows):
+    clusters = benchmark(
+        browser.cluster_by_level, SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+    rows = [
+        f"{browser.member_label(ancestor):20s} {len(members):3d} countries"
+        for ancestor, members in sorted(
+            clusters.items(), key=lambda kv: -len(kv[1]))
+    ]
+    save_rows("E5_clusters", "citizenship clustered by continent", rows)
+    assert sum(len(m) for m in clusters.values()) == \
+        browser.member_count(PROPERTY.citizen)
+
+
+def test_e5_rollup_edges(browser, benchmark):
+    edges = benchmark(browser.rollup_edges, PROPERTY.citizen,
+                      CONTINENT_LEVEL)
+    assert len(edges) == browser.member_count(PROPERTY.citizen)
+
+
+def test_e5_member_listing(browser, benchmark):
+    members = benchmark(browser.members, PROPERTY.citizen)
+    assert len(members) > 10
+
+
+def test_e5_schema_navigation(demo, benchmark):
+    def navigate():
+        explorer = CubeExplorer(demo.endpoint, demo.data.dataset)
+        targets = explorer.rollup_targets(SCHEMA.timeDim)
+        return explorer, targets
+
+    explorer, targets = benchmark(navigate)
+    assert YEAR_LEVEL in targets
+
+
+def test_e5_statistics(demo, explorer, benchmark, save_rows):
+    stats = CubeStatistics(demo.endpoint, explorer.schema)
+
+    def summarize():
+        return stats.members_per_level()
+
+    counts = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    rows = [f"{level.local_name():16s} {count:6d} members"
+            for level, count in counts.items()]
+    save_rows("E5_members_per_level", "level            members", rows)
+    assert counts[YEAR_LEVEL] == 2

@@ -1,0 +1,101 @@
+"""E7 — §III-B ablation: the Query Simplification Phase.
+
+Programs padded with k redundant roll-up/drill-down zigzags must (a)
+canonicalize to the same small pipeline, and (b) avoid the cost a
+naive executor would pay.  The naive cost model mirrors what
+simplification prevents: materializing every intermediate cube with
+one SPARQL aggregation per operation, instead of one fused query.
+"""
+
+import time
+
+import pytest
+
+from repro.data.namespaces import SCHEMA
+from repro.demo import QUARTER_LEVEL, YEAR_LEVEL
+from repro.ql import QLBuilder, simplify_with_report
+
+PADDING = [0, 2, 4, 8]
+
+
+def padded_program(schema, zigzags: int):
+    builder = (QLBuilder(schema.dataset)
+               .slice(SCHEMA.asylappDim)
+               .slice(SCHEMA.sexDim)
+               .slice(SCHEMA.ageDim)
+               .slice(SCHEMA.destinationDim)
+               .slice(SCHEMA.citizenshipDim))
+    builder.rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+    for _ in range(zigzags // 2):
+        builder.rollup(SCHEMA.timeDim, YEAR_LEVEL)
+        builder.drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+    return builder.build()
+
+
+@pytest.mark.parametrize("zigzags", PADDING)
+def test_e7_op_reduction(demo, benchmark, zigzags, save_rows):
+    program = padded_program(demo.schema, zigzags)
+    simplified, report = benchmark(
+        simplify_with_report, program, demo.schema)
+    save_rows(f"E7_ops_k{zigzags}",
+              "operation-count reduction",
+              [f"k={zigzags}: {report.original_operations} ops -> "
+               f"{report.simplified_operations} ops "
+               f"(removed {report.removed})"])
+    assert report.simplified_operations == 6  # 5 slices + 1 rollup
+    assert simplified.rollups[SCHEMA.timeDim] == QUARTER_LEVEL
+
+
+def test_e7_results_invariant_under_padding(demo, benchmark):
+    def run():
+        baseline = demo.engine.execute(padded_program(demo.schema, 0))
+        padded = demo.engine.execute(padded_program(demo.schema, 8))
+        return baseline, padded
+
+    baseline, padded = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(map(str, baseline.table.rows)) == \
+        sorted(map(str, padded.table.rows))
+
+
+def test_e7_fused_vs_naive_execution(demo, benchmark, save_rows):
+    """Simplification executes ONE fused query; a naive evaluator runs
+    one aggregation per (non-dice) operation.  Measure both."""
+    zigzags = 4
+    program = padded_program(demo.schema, zigzags)
+    operations = program.operations()
+
+    def fused():
+        return demo.engine.execute(program, variant="direct")
+
+    result = benchmark.pedantic(fused, rounds=1, iterations=1)
+    fused_seconds = result.report.execute_seconds
+
+    # naive: one aggregation round-trip per pipeline prefix
+    started = time.perf_counter()
+    naive_queries = 0
+    for cut in range(1, len(operations) + 1):
+        builder = QLBuilder(demo.schema.dataset)
+        for operation in operations[:cut]:
+            from repro.ql import Dice, RollUp, Slice, DrillDown
+            if isinstance(operation, Slice):
+                builder.slice(operation.target)
+            elif isinstance(operation, RollUp):
+                builder.rollup(operation.dimension, operation.level)
+            elif isinstance(operation, DrillDown):
+                builder.drilldown(operation.dimension, operation.level)
+            elif isinstance(operation, Dice):
+                builder.dice(operation.condition)
+        demo.engine.execute(builder.build(), variant="direct")
+        naive_queries += 1
+    naive_seconds = time.perf_counter() - started
+
+    rows = [
+        f"fused (simplified)      1 query    {fused_seconds:7.2f}s",
+        f"naive (per-operation)  {naive_queries:2d} queries  "
+        f"{naive_seconds:7.2f}s",
+        f"speedup                           "
+        f"{naive_seconds / max(fused_seconds, 1e-9):6.1f}x",
+    ]
+    save_rows("E7_fused_vs_naive", f"execution with k={zigzags} redundant "
+              "operations", rows)
+    assert naive_seconds > fused_seconds

@@ -1,0 +1,107 @@
+"""Validating QB input the way the W3C spec defines it.
+
+QB2OLAP presumes a well-formed QB data set before enrichment starts.
+The Data Cube recommendation makes "well-formed" precise: normalize the
+graph (§10, two phases of SPARQL INSERTs), then run 21 integrity
+constraints, each a SPARQL ASK query (§11).  This example runs that
+pipeline on the synthetic Eurostat cube with the in-repo engine:
+
+1. normalize a copy of the QB graph and show what closure added;
+2. run the full IC suite — the raw cube violates IC-4 (dimensions
+   without ``rdfs:range``), faithfully reproducing the real
+   linked-statistics dump's metadata gap;
+3. repair the gap the way a publisher would (one INSERT per dimension)
+   and show the suite turn green;
+4. contrast the spec's quadratic IC-12 SPARQL with the native
+   hash-based duplicate check;
+5. snapshot the repaired endpoint to TriG.
+
+Run:  python examples/validation_workflow.py
+"""
+
+import time
+
+from repro.data import small_demo
+from repro.data.namespaces import QB_GRAPH
+from repro.qb.constraints import (
+    STATIC_CONSTRAINTS,
+    check_constraint,
+    check_graph,
+)
+from repro.qb.normalize import normalize_graph
+from repro.qb.validator import (
+    check_ic12_no_duplicate_observations,
+    validate_graph,
+)
+
+
+def main() -> None:
+    demo = small_demo(observations=400)
+    qb_graph = demo.endpoint.graph(QB_GRAPH)
+
+    print("=== 1. Normalization (spec §10) ===")
+    working = qb_graph.copy()
+    before = len(working)
+    added = normalize_graph(working)
+    print(f"  {before} triples, +{added} from type/property closure")
+    print(f"  idempotent: second run adds {normalize_graph(working)}")
+    print()
+
+    print("=== 2. The 21 integrity constraints as SPARQL ASK (spec §11) ===")
+    report = check_graph(working, include_expensive=True)
+    for line in str(report).splitlines():
+        print(f"  {line}")
+    print()
+    assert report.violations == ["IC-4"], report.violations
+    print("  -> IC-4 fires: like the real Eurostat dump, the dimension")
+    print("     properties declare no rdfs:range.")
+    print()
+
+    print("=== 3. Repair the metadata gap and re-validate ===")
+    from repro.rdf.graph import Dataset
+    from repro.sparql.endpoint import LocalEndpoint
+
+    scratch = Dataset()
+    scratch.default = working
+    publisher = LocalEndpoint(scratch, default_as_union=False)
+    repaired = publisher.update("""
+        PREFIX qb:   <http://purl.org/linked-data/cube#>
+        PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+        INSERT { ?dim rdfs:range rdfs:Resource . }
+        WHERE  {
+            ?dim a qb:DimensionProperty .
+            FILTER NOT EXISTS { ?dim rdfs:range ?any }
+        }
+    """)
+    print(f"  added {repaired} rdfs:range triples")
+    report = check_graph(working, include_expensive=True)
+    print(f"  well-formed now: {report.well_formed}")
+    print()
+
+    print("=== 4. IC-12 ablation: spec SPARQL vs native check ===")
+    ic12 = next(c for c in STATIC_CONSTRAINTS if c.ic == "IC-12")
+    started = time.perf_counter()
+    sparql_verdict = check_constraint(working, ic12)
+    sparql_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    native_violations = check_ic12_no_duplicate_observations(working)
+    native_seconds = time.perf_counter() - started
+    print(f"  spec SPARQL (pairwise):  {sparql_seconds:7.3f}s "
+          f"-> violated={sparql_verdict}")
+    print(f"  native (hash-based):     {native_seconds:7.4f}s "
+          f"-> violations={len(native_violations)}")
+    print("  (check_graph() skips the SPARQL form beyond "
+          "--expensive-limit triples for exactly this reason)")
+    print()
+
+    print("=== 5. Fast native validator + TriG snapshot ===")
+    native = validate_graph(qb_graph)
+    print(f"  native validator on the raw graph: {len(native)} violations")
+    snapshot = demo.endpoint.dump_trig()
+    print(f"  endpoint snapshot: {len(snapshot.splitlines())} TriG lines "
+          f"across {len(demo.endpoint.graph_sizes())} graphs")
+    print("  (restore with LocalEndpoint().load_trig(snapshot))")
+
+
+if __name__ == "__main__":
+    main()

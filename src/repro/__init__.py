@@ -1,0 +1,10 @@
+"""QB2OLAP reproduction: OLAP on statistical Linked Open Data.
+
+A from-scratch Python implementation of the QB2OLAP system (Varga et
+al., ICDE 2016): RDF + SPARQL substrate, the QB and QB4OLAP vocabulary
+layers, the three QB2OLAP modules (Enrichment, Exploration, Querying
+with the QL language), a native OLAP baseline engine, and a synthetic
+Eurostat-style data generator.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,40 @@
+"""Synthetic data generators: the Eurostat-style asylum cubes
+(applications + decisions) and the linked reference graph that stands
+in for external Linked Data sources.
+"""
+
+from repro.data.decisions import DecisionsConfig, build_decisions_graph
+from repro.data.eurostat import (
+    DATASET_IRI,
+    DIMENSION_PROPERTIES,
+    DSD_IRI,
+    GeneratorConfig,
+    MEASURE_PROPERTY,
+    build_qb_graph,
+)
+from repro.data.loader import (
+    DecisionsData,
+    DemoData,
+    add_decisions_cube,
+    build_demo_endpoint,
+    small_demo,
+)
+from repro.data.reference import ReferenceConfig, build_reference_graph
+
+__all__ = [
+    "DATASET_IRI",
+    "DIMENSION_PROPERTIES",
+    "DSD_IRI",
+    "DecisionsConfig",
+    "DecisionsData",
+    "DemoData",
+    "GeneratorConfig",
+    "MEASURE_PROPERTY",
+    "ReferenceConfig",
+    "add_decisions_cube",
+    "build_decisions_graph",
+    "build_demo_endpoint",
+    "build_qb_graph",
+    "build_reference_graph",
+    "small_demo",
+]

@@ -1,0 +1,56 @@
+"""IRIs and namespaces of the synthetic Eurostat data set.
+
+Mirrors the layout of ``http://eurostat.linked-statistics.org/`` that
+the paper's demo uses: a ``data`` namespace for data sets and
+observations, ``dsd`` for structure definitions, ``property`` for the
+component properties, and ``dic`` dictionaries for coded dimension
+members.  The ``schema`` namespace matches the paper's enriched-cube
+namespace, and ``ref`` plays the role of the external linked sources
+(DBpedia and friends).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import Namespace
+
+ESTAT = "http://eurostat.linked-statistics.org/"
+
+DATA = Namespace(ESTAT + "data/")
+DSD = Namespace(ESTAT + "dsd/")
+PROPERTY = Namespace(ESTAT + "property#")
+DIC_CITIZEN = Namespace(ESTAT + "dic/citizen#")
+DIC_GEO = Namespace(ESTAT + "dic/geo#")
+DIC_TIME = Namespace(ESTAT + "dic/time#")
+DIC_SEX = Namespace(ESTAT + "dic/sex#")
+DIC_AGE = Namespace(ESTAT + "dic/age#")
+DIC_ASYL = Namespace(ESTAT + "dic/asyl_app#")
+
+#: the paper's enrichment schema namespace
+SCHEMA = Namespace("http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#")
+
+#: simulated external linked data (DBpedia stand-in)
+REF = Namespace("http://reference.example.org/resource/")
+REF_PROP = Namespace("http://reference.example.org/property#")
+
+#: named graphs inside the local endpoint
+GRAPHS = Namespace("http://example.org/graphs/")
+QB_GRAPH = GRAPHS.qb
+REFERENCE_GRAPH = GRAPHS.reference
+SCHEMA_GRAPH = GRAPHS.schema
+INSTANCE_GRAPH = GRAPHS.instances
+
+#: well-known prefix bindings for endpoints holding the demo data
+DEMO_PREFIXES = {
+    "data": DATA,
+    "dsd": DSD,
+    "property": PROPERTY,
+    "dic-citizen": DIC_CITIZEN,
+    "dic-geo": DIC_GEO,
+    "dic-time": DIC_TIME,
+    "dic-sex": DIC_SEX,
+    "dic-age": DIC_AGE,
+    "dic-asyl": DIC_ASYL,
+    "schema": SCHEMA,
+    "ref": REF,
+    "ref-prop": REF_PROP,
+}

@@ -1,0 +1,221 @@
+"""The simulated linked reference graph (external-source stand-in).
+
+In the paper, candidate roll-up properties come from the Linked Data
+cloud: Eurostat dictionaries and external data sets such as DBpedia
+("our tool is able to extract dimensional information from other data
+sets").  Offline, this module synthesizes an equivalent graph:
+
+* citizenship members carry ``ref-prop:continent`` (functional, few
+  distinct values → a sound *level* candidate), ``ref-prop:countryName``
+  (one distinct value per member → an *attribute* candidate),
+  ``ref-prop:population`` (literal attribute) and
+  ``ref-prop:governmentKind`` (second level candidate);
+* destination members additionally carry ``ref-prop:euMembership`` and
+  ``ref-prop:politicalOrganization`` — the paper's "kind of political
+  organization of the host countries" scenario;
+* time members roll up month → quarter → year via ``ref-prop:quarter``
+  and ``ref-prop:year`` (exercises the *iterative* enrichment loop);
+* sex / age / application members have labels only (negative case: no
+  hierarchy should be discovered).
+
+A configurable noise rate degrades the functional links (dropping some,
+doubling others) to produce the *quasi-FD* situations the Enrichment
+module's error threshold is designed for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import IRI, Literal
+from repro.data import geography as geo
+from repro.data.namespaces import (
+    DEMO_PREFIXES,
+    DIC_AGE,
+    DIC_ASYL,
+    DIC_CITIZEN,
+    DIC_GEO,
+    DIC_SEX,
+    DIC_TIME,
+    REF,
+    REF_PROP,
+)
+
+
+@dataclass
+class ReferenceConfig:
+    """Noise knobs for quasi-FD experiments.
+
+    ``noise_rate`` is the fraction of citizenship countries whose
+    ``noisy_properties`` links get degraded; half of the affected
+    members lose the link entirely, the other half gain a second,
+    conflicting link.
+    """
+
+    seed: int = 7
+    noise_rate: float = 0.0
+    noisy_properties: Tuple[str, ...] = ("continent",)
+    citizenship: Sequence[geo.Country] = field(
+        default_factory=lambda: list(geo.CITIZENSHIP_COUNTRIES))
+    destinations: Sequence[geo.Country] = field(
+        default_factory=lambda: list(geo.DESTINATION_COUNTRIES))
+    months: Sequence[str] = field(default_factory=lambda: list(geo.MONTHS))
+
+
+def continent_iri(key: str) -> IRI:
+    """The reference-graph IRI of a continent by name."""
+    return REF[f"continent/{key}"]
+
+
+def government_iri(key: str) -> IRI:
+    """The reference-graph IRI of a government kind by name."""
+    return REF[f"government/{key}"]
+
+
+def group_iri(key: str) -> IRI:
+    """The reference-graph IRI of a country group by name."""
+    return REF[f"group/{key}"]
+
+
+def quarter_iri(code: str) -> IRI:
+    """The reference-graph IRI of a calendar quarter (e.g. 2013-Q1)."""
+    return REF[f"quarter/{code}"]
+
+
+def year_iri(code: str) -> IRI:
+    """The reference-graph IRI of a calendar year."""
+    return REF[f"year/{code}"]
+
+
+def build_reference_graph(config: Optional[ReferenceConfig] = None) -> Graph:
+    """Build the full reference graph."""
+    config = config or ReferenceConfig()
+    rng = random.Random(config.seed)
+    graph = Graph()
+    for prefix, namespace in DEMO_PREFIXES.items():
+        graph.bind(prefix, namespace)
+
+    _add_continents(graph)
+    _add_governments(graph)
+    _add_groups(graph)
+    _add_time(graph, config.months)
+
+    noisy: Dict[str, Set[str]] = {
+        prop: set() for prop in config.noisy_properties}
+    if config.noise_rate > 0:
+        for prop in config.noisy_properties:
+            count = int(round(config.noise_rate * len(config.citizenship)))
+            codes = [c.code for c in config.citizenship]
+            noisy[prop] = set(rng.sample(codes, min(count, len(codes))))
+
+    for country in config.citizenship:
+        member = DIC_CITIZEN[country.code]
+        _add_country(graph, member, country, rng, noisy)
+
+    for country in config.destinations:
+        member = DIC_GEO[country.code]
+        _add_country(graph, member, country, rng, noisy={})
+        graph.add(member, REF_PROP.euMembership,
+                  group_iri("EU" if country.eu_member else "EFTA"))
+        graph.add(member, REF_PROP.politicalOrganization,
+                  government_iri(country.government))
+
+    _add_coded_labels(graph, DIC_SEX, geo.SEX_CODES)
+    _add_coded_labels(graph, DIC_AGE, geo.AGE_CODES)
+    _add_coded_labels(graph, DIC_ASYL, geo.APPLICATION_CODES)
+    return graph
+
+
+def _add_country(graph: Graph, member: IRI, country: geo.Country,
+                 rng: random.Random, noisy: Dict[str, Set[str]]) -> None:
+    graph.add(member, RDFS.label, Literal(country.name, language="en"))
+    graph.add(member, REF_PROP.countryName, Literal(country.name))
+    graph.add(member, REF_PROP.population, Literal(country.population))
+
+    continent_noise = noisy.get("continent", set())
+    if country.code in continent_noise:
+        if rng.random() < 0.5:
+            pass  # drop the link entirely
+        else:
+            others = [key for key in geo.CONTINENTS if key != country.continent]
+            graph.add(member, REF_PROP.continent,
+                      continent_iri(country.continent))
+            graph.add(member, REF_PROP.continent,
+                      continent_iri(rng.choice(others)))
+    else:
+        graph.add(member, REF_PROP.continent, continent_iri(country.continent))
+
+    government_noise = noisy.get("governmentKind", set())
+    if country.code in government_noise:
+        if rng.random() < 0.5:
+            pass
+        else:
+            others = [key for key in geo.GOVERNMENT_KINDS
+                      if key != country.government]
+            graph.add(member, REF_PROP.governmentKind,
+                      government_iri(country.government))
+            graph.add(member, REF_PROP.governmentKind,
+                      government_iri(rng.choice(others)))
+    else:
+        graph.add(member, REF_PROP.governmentKind,
+                  government_iri(country.government))
+
+
+def _add_continents(graph: Graph) -> None:
+    for key, name in geo.CONTINENTS.items():
+        node = continent_iri(key)
+        graph.add(node, RDF.type, REF.Continent)
+        graph.add(node, RDFS.label, Literal(name, language="en"))
+        graph.add(node, REF_PROP.continentName, Literal(name))
+
+
+def _add_governments(graph: Graph) -> None:
+    for key, name in geo.GOVERNMENT_KINDS.items():
+        node = government_iri(key)
+        graph.add(node, RDF.type, REF.GovernmentKind)
+        graph.add(node, RDFS.label, Literal(name, language="en"))
+        graph.add(node, REF_PROP.governmentName, Literal(name))
+
+
+def _add_groups(graph: Graph) -> None:
+    for key, name in (("EU", "European Union"),
+                      ("EFTA", "European Free Trade Association")):
+        node = group_iri(key)
+        graph.add(node, RDF.type, REF.CountryGroup)
+        graph.add(node, RDFS.label, Literal(name, language="en"))
+        graph.add(node, REF_PROP.groupName, Literal(name))
+
+
+def _add_time(graph: Graph, months: Sequence[str]) -> None:
+    quarters: Set[str] = set()
+    for month_code in months:
+        member = DIC_TIME[month_code]
+        graph.add(member, RDFS.label, Literal(month_code))
+        quarter_code = geo.month_to_quarter(month_code)
+        graph.add(member, REF_PROP.quarter, quarter_iri(quarter_code))
+        quarters.add(quarter_code)
+    years: Set[str] = set()
+    for quarter_code in sorted(quarters):
+        node = quarter_iri(quarter_code)
+        graph.add(node, RDF.type, REF.Quarter)
+        graph.add(node, RDFS.label, Literal(quarter_code))
+        graph.add(node, REF_PROP.quarterName, Literal(quarter_code))
+        year_code = geo.quarter_to_year(quarter_code)
+        graph.add(node, REF_PROP.year, year_iri(year_code))
+        years.add(year_code)
+    for year_code in sorted(years):
+        node = year_iri(year_code)
+        graph.add(node, RDF.type, REF.Year)
+        graph.add(node, RDFS.label, Literal(year_code))
+        graph.add(node, REF_PROP.yearName, Literal(year_code))
+        graph.add(node, REF_PROP.yearNumber, Literal(int(year_code)))
+
+
+def _add_coded_labels(graph: Graph, namespace, codes) -> None:
+    for code, name in codes:
+        member = namespace[code]
+        graph.add(member, RDFS.label, Literal(name, language="en"))

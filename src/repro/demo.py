@@ -1,0 +1,243 @@
+"""The paper's demo scenario, packaged end to end.
+
+Everything §IV demonstrates, as one-call helpers: load the asylum cube,
+play Mary's enrichment choices (continent for citizenship, month →
+quarter → year for time, attributes everywhere), generate the QB4OLAP
+triples, and expose a ready :class:`~repro.ql.executor.QLEngine`.
+
+>>> from repro.demo import prepare_enriched_demo, MARY_QL
+>>> demo = prepare_enriched_demo(observations=2000)
+>>> result = demo.engine.execute(MARY_QL)
+>>> result.report.rows >= 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.rdf.namespace import SDMX_DIMENSION
+from repro.rdf.terms import IRI
+from repro.sparql.endpoint import LocalEndpoint
+from repro.qb4olap.model import CubeSchema
+from repro.data import build_demo_endpoint, small_demo
+from repro.data.loader import DemoData
+from repro.data.namespaces import PROPERTY, SCHEMA
+from repro.enrichment import EnrichmentConfig, EnrichmentSession
+from repro.enrichment.generation import GenerationReport
+from repro.ql import QLEngine
+
+#: The paper's names for the six dimensions (Fig. 4, §IV).
+PAPER_DIMENSION_NAMES: Dict[IRI, str] = {
+    PROPERTY.citizen: "citizenshipDim",
+    PROPERTY.geo: "destinationDim",
+    SDMX_DIMENSION.refPeriod: "timeDim",
+    PROPERTY.sex: "sexDim",
+    PROPERTY.age: "ageDim",
+    PROPERTY.asyl_app: "asylappDim",
+}
+
+#: Mary's preference when choosing among discovered candidates: the
+#: geographic chain for citizenship, the calendar chain for time.
+MARY_PREFERENCES: Sequence[str] = ("continent", "quarter", "year")
+
+#: Mary's demo query (§IV): applications per year by citizens of
+#: African countries whose destination is France.
+MARY_QL = """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+PREFIX property: <http://eurostat.linked-statistics.org/property#>;
+PREFIX ref-prop: <http://reference.example.org/property#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := ROLLUP ($C3, schema:citizenshipDim, schema:continent);
+$C5 := ROLLUP ($C4, schema:timeDim, schema:year);
+$C6 := DICE ($C5, (schema:citizenshipDim|schema:continent|ref-prop:continentName = "Africa"));
+$C7 := DICE ($C6, schema:destinationDim|property:geo|ref-prop:countryName = "France");
+"""
+
+#: The political-organization extension scenario from §I: analyze
+#: migration by the government kind of the *host* countries.
+POLITICAL_QL = """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:citizenshipDim);
+$C5 := ROLLUP ($C4, schema:destinationDim, schema:politicalOrganization);
+$C6 := ROLLUP ($C5, schema:timeDim, schema:year);
+"""
+
+
+@dataclass
+class EnrichedDemo:
+    """A fully enriched demo endpoint, ready for exploration/querying."""
+
+    data: DemoData
+    session: EnrichmentSession
+    schema: CubeSchema
+    generation: GenerationReport
+    engine: QLEngine
+
+    @property
+    def endpoint(self) -> LocalEndpoint:
+        return self.data.endpoint
+
+
+def enrich(demo: DemoData,
+           config: Optional[EnrichmentConfig] = None,
+           max_depth: int = 3,
+           political_extension: bool = True,
+           prefer: Optional[Sequence[str]] = None) -> EnrichedDemo:
+    """Run Mary's enrichment choices over a loaded demo endpoint.
+
+    ``political_extension`` additionally rolls the destination
+    dimension up to the government kind (the §I extension scenario).
+    """
+    session = EnrichmentSession(
+        demo.endpoint, demo.dataset, demo.dsd,
+        config=config, dimension_names=PAPER_DIMENSION_NAMES)
+    session.redefine()
+    preferences = list(prefer if prefer is not None else MARY_PREFERENCES)
+    if political_extension:
+        preferences.append("politicalOrganization")
+    schema = session.auto_enrich(max_depth=max_depth, add_attributes=True,
+                                 prefer=preferences)
+    generation = session.generate()
+    engine = QLEngine(demo.endpoint, schema)
+    return EnrichedDemo(data=demo, session=session, schema=schema,
+                        generation=generation, engine=engine)
+
+
+def prepare_enriched_demo(observations: int = 80_000, seed: int = 42,
+                          noise_rate: float = 0.0,
+                          small: bool = False,
+                          config: Optional[EnrichmentConfig] = None
+                          ) -> EnrichedDemo:
+    """Load + enrich in one call.
+
+    ``small=True`` loads the stratified test-sized subset instead of the
+    paper-sized cube.
+    """
+    if small:
+        demo = small_demo(observations=observations, noise_rate=noise_rate)
+    else:
+        demo = build_demo_endpoint(observations=observations, seed=seed,
+                                   noise_rate=noise_rate)
+    return enrich(demo, config=config)
+
+
+#: Levels minted by the demo enrichment (handy in tests/benches).
+CONTINENT_LEVEL = SCHEMA.continent
+QUARTER_LEVEL = SCHEMA.quarter
+YEAR_LEVEL = SCHEMA.year
+POLITICAL_LEVEL = SCHEMA.politicalOrganization
+CITIZENSHIP_DIM = SCHEMA.citizenshipDim
+DESTINATION_DIM = SCHEMA.destinationDim
+TIME_DIM = SCHEMA.timeDim
+SEX_DIM = SCHEMA.sexDim
+AGE_DIM = SCHEMA.ageDim
+ASYLAPP_DIM = SCHEMA.asylappDim
+DECISION_DIM = SCHEMA.decisionDim
+
+
+# ---------------------------------------------------------------------------
+# The two-cube (drill-across) scenario
+# ---------------------------------------------------------------------------
+
+#: Dimension names for the decisions cube: the five conformed
+#: dimensions keep the applications cube's names; the decision outcome
+#: dimension is new.
+DECISIONS_DIMENSION_NAMES: Dict[IRI, str] = {
+    PROPERTY.citizen: "citizenshipDim",
+    PROPERTY.geo: "destinationDim",
+    SDMX_DIMENSION.refPeriod: "timeDim",
+    PROPERTY.sex: "sexDim",
+    PROPERTY.age: "ageDim",
+    PROPERTY.decision: "decisionDim",
+}
+
+#: Applications per continent and year (drill-across left input).
+APPLICATIONS_BY_CONTINENT_YEAR_QL = """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:destinationDim);
+$C5 := ROLLUP ($C4, schema:citizenshipDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:timeDim, schema:year);
+"""
+
+#: Decisions per continent and year (drill-across right input).
+DECISIONS_BY_CONTINENT_YEAR_QL = """
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asydcfstq, schema:decisionDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:destinationDim);
+$C5 := ROLLUP ($C4, schema:citizenshipDim, schema:continent);
+$C6 := ROLLUP ($C5, schema:timeDim, schema:year);
+"""
+
+
+@dataclass
+class TwoCubeDemo:
+    """Both demo cubes enriched in one endpoint, ready to drill across."""
+
+    applications: EnrichedDemo
+    decisions: EnrichedDemo
+
+    @property
+    def endpoint(self) -> LocalEndpoint:
+        return self.applications.endpoint
+
+
+def prepare_two_cube_demo(observations: int = 10_000,
+                          decision_observations: int = 5_000,
+                          small: bool = True,
+                          config: Optional[EnrichmentConfig] = None
+                          ) -> TwoCubeDemo:
+    """Load + enrich applications *and* decisions in one endpoint.
+
+    Both enrichment sessions share the schema namespace and graphs, so
+    the two QB4OLAP cubes end up with *conformed* dimensions (identical
+    dimension/level IRIs) — the precondition for
+    :func:`repro.ql.drillacross.drill_across`.
+    """
+    from repro.data.loader import add_decisions_cube
+
+    if small:
+        data = small_demo(observations=observations)
+    else:
+        data = build_demo_endpoint(observations=observations)
+    applications = enrich(data, config=config)
+
+    decisions_data = add_decisions_cube(
+        data, observations=decision_observations, small=small)
+    decisions_session = EnrichmentSession(
+        data.endpoint, decisions_data.dataset, decisions_data.dsd,
+        config=config, dimension_names=DECISIONS_DIMENSION_NAMES)
+    decisions_session.redefine()
+    decisions_schema = decisions_session.auto_enrich(
+        max_depth=3, add_attributes=True, prefer=MARY_PREFERENCES)
+    decisions_generation = decisions_session.generate()
+    decisions_engine = QLEngine(data.endpoint, decisions_schema)
+    decisions = EnrichedDemo(
+        data=DemoData(endpoint=data.endpoint,
+                      dataset=decisions_data.dataset,
+                      dsd=decisions_data.dsd,
+                      observations=decisions_data.observations),
+        session=decisions_session,
+        schema=decisions_schema,
+        generation=decisions_generation,
+        engine=decisions_engine)
+    return TwoCubeDemo(applications=applications, decisions=decisions)

@@ -1,0 +1,63 @@
+"""The Enrichment module: semi-automatic QB → QB4OLAP transformation.
+
+Implements the three-phase workflow of the paper's Fig. 2 — the
+Redefinition Phase, the iterative Enrichment Phase driven by
+(quasi-)functional-dependency discovery over level instances, and the
+Triple Generation Phase — plus the fine-tuning configuration and the
+external linked-data import path.
+"""
+
+from repro.enrichment.config import DEFAULT_EXCLUDED_PROPERTIES, EnrichmentConfig
+from repro.enrichment.discovery import (
+    ATTRIBUTE,
+    Candidate,
+    LEVEL,
+    PropertyProfile,
+    REJECTED,
+    classify_profile,
+    discover_candidates,
+)
+from repro.enrichment.external import ExternalSource, import_member_triples
+from repro.enrichment.generation import GenerationReport
+from repro.enrichment.hierarchy import LevelState, StepState, infer_cardinality
+from repro.enrichment.instances import (
+    collect_bottom_members,
+    collect_member_property_table,
+    member_properties,
+)
+from repro.enrichment.redefinition import read_qb_components, redefine
+from repro.enrichment.script import EnrichmentScript, ReplayError, ScriptStep
+from repro.enrichment.session import (
+    EnrichmentError,
+    EnrichmentLogEntry,
+    EnrichmentSession,
+)
+
+__all__ = [
+    "ATTRIBUTE",
+    "Candidate",
+    "DEFAULT_EXCLUDED_PROPERTIES",
+    "EnrichmentConfig",
+    "EnrichmentError",
+    "EnrichmentLogEntry",
+    "EnrichmentScript",
+    "EnrichmentSession",
+    "ReplayError",
+    "ScriptStep",
+    "ExternalSource",
+    "GenerationReport",
+    "LEVEL",
+    "LevelState",
+    "PropertyProfile",
+    "REJECTED",
+    "StepState",
+    "classify_profile",
+    "collect_bottom_members",
+    "collect_member_property_table",
+    "discover_candidates",
+    "import_member_triples",
+    "infer_cardinality",
+    "member_properties",
+    "read_qb_components",
+    "redefine",
+]

@@ -1,0 +1,101 @@
+"""Fine-tuning parameters of the Enrichment module.
+
+The paper (§III-A) highlights that QB2OLAP exposes fine-tuning
+parameters "for the aggregate function, level detection, and triple
+generation", which are "essential to deal with data quality issues,
+e.g., by searching for quasi FDs (i.e., an FD with an allowed error
+threshold)".  This module is that configuration surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.rdf.namespace import Namespace, OWL, RDF, RDFS, SKOS
+from repro.rdf.terms import IRI
+from repro.qb4olap import vocabulary as qb4o
+from repro.data.namespaces import SCHEMA
+
+#: Properties never suggested as roll-up candidates: structural RDF(S)
+#: machinery rather than domain links.
+DEFAULT_EXCLUDED_PROPERTIES: FrozenSet[str] = frozenset({
+    RDF.type.value,
+    RDFS.label.value,
+    RDFS.comment.value,
+    RDFS.seeAlso.value,
+    OWL.sameAs.value,
+    SKOS.prefLabel.value,
+    SKOS.notation.value,
+    SKOS.broader.value,
+    SKOS.narrower.value,
+    SKOS.inScheme.value,
+})
+
+
+@dataclass
+class EnrichmentConfig:
+    """All knobs of the enrichment workflow.
+
+    Level detection
+        ``quasi_fd_threshold`` — max fraction of level members that may
+        violate functionality (0 or >1 values) for a property to remain
+        a candidate.  0.0 demands an exact FD.
+
+        ``min_support`` — min fraction of members that must have the
+        property at all.
+
+        ``max_level_distinct_ratio`` — a property whose distinct-value
+        count is close to the member count does not *group* anything;
+        above this ratio it is suggested as an attribute instead of a
+        level.
+
+        ``min_level_distinct`` — a grouping into fewer than this many
+        values is degenerate (everything maps to one bucket) unless it
+        is an intentional All level.
+
+    Aggregate functions
+        ``default_aggregate`` applies to every measure unless
+        ``measure_aggregates`` overrides it by measure IRI.
+
+    Triple generation
+        ``copy_attribute_triples`` — materialize attribute values into
+        the instance graph (self-contained output, as the tool loads
+        everything into its own endpoint).
+
+        ``multi_parent_policy`` — what to do when a quasi-FD member has
+        several parent values: keep only the ``"first"`` (deterministic,
+        keeps hierarchies strict) or ``"all"`` (faithful to the data,
+        produces non-strict hierarchies).
+    """
+
+    # level detection
+    quasi_fd_threshold: float = 0.0
+    min_support: float = 0.8
+    max_level_distinct_ratio: float = 0.5
+    min_level_distinct: int = 2
+    excluded_properties: FrozenSet[str] = DEFAULT_EXCLUDED_PROPERTIES
+
+    # aggregate functions
+    default_aggregate: IRI = qb4o.SUM
+    measure_aggregates: Dict[IRI, IRI] = field(default_factory=dict)
+
+    # triple generation
+    schema_namespace: Namespace = SCHEMA
+    copy_attribute_triples: bool = True
+    multi_parent_policy: str = "first"
+
+    def aggregate_for(self, measure: IRI) -> IRI:
+        return self.measure_aggregates.get(measure, self.default_aggregate)
+
+    def validate(self) -> None:
+        if not 0.0 <= self.quasi_fd_threshold <= 1.0:
+            raise ValueError("quasi_fd_threshold must be within [0, 1]")
+        if not 0.0 <= self.min_support <= 1.0:
+            raise ValueError("min_support must be within [0, 1]")
+        if not 0.0 < self.max_level_distinct_ratio <= 1.0:
+            raise ValueError("max_level_distinct_ratio must be in (0, 1]")
+        if self.min_level_distinct < 1:
+            raise ValueError("min_level_distinct must be >= 1")
+        if self.multi_parent_policy not in ("first", "all"):
+            raise ValueError("multi_parent_policy must be 'first' or 'all'")

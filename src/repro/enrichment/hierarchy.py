@@ -1,0 +1,124 @@
+"""Hierarchy construction and update during the Enrichment Phase.
+
+When the user accepts a candidate, a new (coarser) level is minted, the
+owning hierarchy gains the level and a hierarchy step, and the session
+records the member-level roll-up mapping that the Triple Generation
+Phase later materializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import IRI, Term
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import CubeSchema, Hierarchy, HierarchyStep
+from repro.enrichment.discovery import PropertyProfile
+
+
+@dataclass
+class LevelState:
+    """Working state of one level: its members and attribute values."""
+
+    iri: IRI
+    members: List[Term] = field(default_factory=list)
+    #: attribute property → member → values
+    attributes: Dict[IRI, Dict[Term, List[Term]]] = field(default_factory=dict)
+    #: the discovered property this level was minted from (None for
+    #: bottom levels and All levels); lets two dimensions share a
+    #: conformed level discovered through the same property.
+    source_property: Optional[IRI] = None
+
+
+@dataclass
+class StepState:
+    """Working state of one roll-up step: the member mapping."""
+
+    child: IRI
+    parent: IRI
+    #: child member → parent member(s) (normally a single one)
+    mapping: Dict[Term, List[Term]] = field(default_factory=dict)
+    cardinality: IRI = qb4o.MANY_TO_ONE
+
+
+def infer_cardinality(mapping: Dict[Term, List[Term]]) -> IRI:
+    """Data-driven cardinality of a child→parent mapping."""
+    if any(len(parents) > 1 for parents in mapping.values()):
+        return qb4o.MANY_TO_MANY
+    parent_counts: Dict[Term, int] = {}
+    for parents in mapping.values():
+        for parent in parents:
+            parent_counts[parent] = parent_counts.get(parent, 0) + 1
+    if parent_counts and all(count == 1 for count in parent_counts.values()):
+        return qb4o.ONE_TO_ONE
+    return qb4o.MANY_TO_ONE
+
+
+def mint_level_iri(schema_namespace, prop: IRI,
+                   existing: Optional[Dict[IRI, LevelState]] = None) -> IRI:
+    """Derive a level IRI from the discovered property's local name.
+
+    ``ref-prop:continent`` becomes ``schema:continent``, matching the
+    paper's ``schema:continent`` for ``property:citizen``'s parent.
+    When the name is taken by a level with *different* semantics the
+    caller passes ``existing`` and gets a suffixed IRI instead.
+    """
+    base = prop.local_name()
+    candidate = schema_namespace[base]
+    if existing is None or candidate not in existing:
+        return candidate
+    counter = 2
+    while schema_namespace[f"{base}{counter}"] in existing:
+        counter += 1
+    return schema_namespace[f"{base}{counter}"]
+
+
+def attach_level(schema: CubeSchema, child_level: IRI, new_level: IRI,
+                 cardinality: IRI) -> Hierarchy:
+    """Add ``new_level`` above ``child_level`` in its owning hierarchy.
+
+    Mirrors the paper's automatic hierarchy update: "When a new level
+    is added, the dimension hierarchies are automatically constructed
+    or updated".
+    """
+    dimension = schema.dimension_of_level(child_level)
+    if dimension is None:
+        raise ValueError(f"level {child_level} belongs to no dimension")
+    hierarchy = None
+    for candidate in dimension.hierarchies:
+        if child_level in candidate.levels:
+            hierarchy = candidate
+            break
+    if hierarchy is None:  # pragma: no cover - dimension always has one
+        raise ValueError(f"no hierarchy contains level {child_level}")
+    if new_level not in hierarchy.levels:
+        hierarchy.levels.append(new_level)
+    if hierarchy.step_between(child_level, new_level) is None:
+        hierarchy.steps.append(
+            HierarchyStep(child_level, new_level, cardinality))
+    return hierarchy
+
+
+def build_step_state(child_level: IRI, new_level: IRI,
+                     profile: PropertyProfile,
+                     multi_parent_policy: str) -> Tuple[StepState, LevelState]:
+    """Materialize the member mapping and the new level's member set."""
+    mapping = profile.functional_mapping(policy=multi_parent_policy)
+    step = StepState(
+        child=child_level,
+        parent=new_level,
+        mapping=mapping,
+        cardinality=infer_cardinality(mapping),
+    )
+    parents: List[Term] = []
+    seen = set()
+    for parent_values in mapping.values():
+        for parent in parent_values:
+            if parent not in seen:
+                seen.add(parent)
+                parents.append(parent)
+    parents.sort(key=lambda term: getattr(term, "value", str(term)))
+    level_state = LevelState(iri=new_level, members=parents,
+                             source_property=profile.prop)
+    return step, level_state

@@ -1,0 +1,162 @@
+"""Recorded enrichment sessions: export, serialize and replay.
+
+The paper's enrichment is *interactive* — the user picks roll-up
+candidates in a GUI — and its setting is the "Linked Data dynamic
+context involving external and non-controlled data sources" (§III-A).
+That combination makes reproducibility a real problem: the choices live
+in clicks.  This module captures a session's accepted suggestions as a
+:class:`EnrichmentScript` — a JSON-serializable list of steps — that
+can be replayed against a fresh endpoint: the same discovery queries
+run again, and the recorded choices are re-applied as long as the
+source data still supports them (a missing candidate raises
+:class:`ReplayError` instead of silently diverging).
+
+>>> script = EnrichmentScript.from_session(session)
+>>> text = script.to_json()                      # store next to the data
+>>> EnrichmentScript.from_json(text).replay(new_session)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rdf.terms import IRI
+
+ADD_LEVEL = "add_level"
+ADD_ATTRIBUTE = "add_attribute"
+ADD_ALL_LEVEL = "add_all_level"
+
+_ACTIONS = (ADD_LEVEL, ADD_ATTRIBUTE, ADD_ALL_LEVEL)
+
+
+class ReplayError(Exception):
+    """A recorded choice is no longer available in the source data."""
+
+
+@dataclass(frozen=True)
+class ScriptStep:
+    """One recorded user choice."""
+
+    action: str
+    #: the level the choice applied to (dimension IRI for all-levels)
+    target: str
+    #: the accepted discovered property (None for all-levels)
+    prop: Optional[str] = None
+    #: the level IRI the step minted, recorded for verification
+    minted: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown script action {self.action!r}")
+
+
+@dataclass
+class EnrichmentScript:
+    """A replayable record of one enrichment session's choices."""
+
+    dataset: str
+    dsd: str
+    steps: List[ScriptStep] = field(default_factory=list)
+    quasi_fd_threshold: float = 0.0
+
+    # -- capture -----------------------------------------------------------------
+
+    @classmethod
+    def from_session(cls, session) -> "EnrichmentScript":
+        """Capture the accepted choices of an
+        :class:`~repro.enrichment.session.EnrichmentSession`."""
+        script = cls(dataset=session.dataset.value,
+                     dsd=session.dsd.value,
+                     quasi_fd_threshold=session.config.quasi_fd_threshold)
+        script.steps = list(session.actions)
+        return script
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        document = {
+            "dataset": self.dataset,
+            "dsd": self.dsd,
+            "quasi_fd_threshold": self.quasi_fd_threshold,
+            "steps": [
+                {key: value
+                 for key, value in (("action", step.action),
+                                    ("target", step.target),
+                                    ("prop", step.prop),
+                                    ("minted", step.minted))
+                 if value is not None}
+                for step in self.steps
+            ],
+        }
+        return json.dumps(document, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EnrichmentScript":
+        try:
+            document = json.loads(text)
+            steps = [ScriptStep(action=entry["action"],
+                                target=entry["target"],
+                                prop=entry.get("prop"),
+                                minted=entry.get("minted"))
+                     for entry in document["steps"]]
+            return cls(dataset=document["dataset"],
+                       dsd=document["dsd"],
+                       steps=steps,
+                       quasi_fd_threshold=document.get(
+                           "quasi_fd_threshold", 0.0))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) \
+                as error:
+            raise ReplayError(f"malformed enrichment script: {error}")
+
+    # -- replay -----------------------------------------------------------------------
+
+    def replay(self, session, generate: bool = False):
+        """Re-apply the recorded choices on a fresh session.
+
+        The session must target the same data set and DSD.  Runs
+        :meth:`redefine` if the session has not yet; optionally runs
+        the Triple Generation Phase.  Returns the resulting schema.
+        """
+        if session.dataset.value != self.dataset:
+            raise ReplayError(
+                f"script was recorded for {self.dataset}, session targets "
+                f"{session.dataset.value}")
+        if session.dsd.value != self.dsd:
+            raise ReplayError(
+                f"script was recorded for DSD {self.dsd}, session targets "
+                f"{session.dsd.value}")
+        if session.schema is None:
+            session.redefine()
+        for step in self.steps:
+            target = IRI(step.target)
+            if step.action == ADD_ALL_LEVEL:
+                session.add_all_level(target)
+                continue
+            if step.action == ADD_LEVEL:
+                options = session.level_suggestions(target)
+            else:
+                options = session.attribute_suggestions(target)
+            chosen = next((candidate for candidate in options
+                           if candidate.prop.value == step.prop), None)
+            if chosen is None:
+                raise ReplayError(
+                    f"recorded candidate {step.prop} for "
+                    f"{target.local_name()} is no longer discovered "
+                    "(source data changed or threshold too strict)")
+            if step.action == ADD_LEVEL:
+                minted = session.add_level(target, chosen)
+                if step.minted is not None \
+                        and minted.value != step.minted:
+                    raise ReplayError(
+                        f"replay minted {minted.value}, the recording "
+                        f"minted {step.minted}")
+            else:
+                session.add_attribute(target, chosen)
+        if generate:
+            session.generate()
+        return session.schema
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,29 @@
+"""The Exploration module: navigate enriched cubes and their instances.
+
+Replaces the paper's D3.js front end with programmatic navigation and
+text renderings: the cube catalog, schema exploration (dimensions →
+hierarchies → levels → attributes), instance browsing with roll-up
+edges and Fig.-5-style clustering, and cube statistics.
+"""
+
+from repro.exploration.browser import InstanceBrowser
+from repro.exploration.catalog import CubeInfo, list_cubes
+from repro.exploration.explorer import CubeExplorer
+from repro.exploration.render import (
+    hierarchy_text,
+    instance_graph_dot,
+    schema_dot,
+)
+from repro.exploration.stats import CubeStatistics, MeasureSummary
+
+__all__ = [
+    "CubeExplorer",
+    "CubeInfo",
+    "CubeStatistics",
+    "InstanceBrowser",
+    "MeasureSummary",
+    "hierarchy_text",
+    "instance_graph_dot",
+    "list_cubes",
+    "schema_dot",
+]

@@ -1,0 +1,136 @@
+"""Instance browsing: level members, roll-up edges and clustering.
+
+Implements the Fig. 5 interactions: "Mary explores the dimensional cube
+data by clustering the instances according to their level value.  Nodes
+represent level members (e.g., Syria) and edges represent roll-up
+relationships."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.endpoint import LocalEndpoint
+from repro.qb4olap.model import CubeSchema
+
+
+class InstanceBrowser:
+    """Browse the members of an enriched cube."""
+
+    def __init__(self, endpoint: LocalEndpoint, schema: CubeSchema) -> None:
+        self.endpoint = endpoint
+        self.schema = schema
+
+    # -- members -------------------------------------------------------------------
+
+    def members(self, level: IRI, limit: Optional[int] = None) -> List[Term]:
+        query = f"""
+        PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+        SELECT DISTINCT ?m WHERE {{ ?m qb4o:memberOf <{level.value}> }}
+        ORDER BY ?m
+        """
+        if limit is not None:
+            query += f" LIMIT {limit}"
+        return [row["m"] for row in self.endpoint.select(query) if "m" in row]
+
+    def member_count(self, level: IRI) -> int:
+        rows = self.endpoint.select(f"""
+        PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+        SELECT (COUNT(DISTINCT ?m) AS ?n)
+        WHERE {{ ?m qb4o:memberOf <{level.value}> }}
+        """).to_python()
+        return int(rows[0]["n"]) if rows else 0
+
+    def member_label(self, member: Term) -> str:
+        """Best-effort display label for a member."""
+        if isinstance(member, IRI):
+            rows = self.endpoint.select(f"""
+            PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+            SELECT ?l WHERE {{ <{member.value}> rdfs:label ?l }} LIMIT 1
+            """).to_python()
+            if rows:
+                return str(rows[0]["l"])
+            return member.local_name()
+        return str(member)
+
+    def member_attributes(self, member: Term, level: IRI
+                          ) -> Dict[IRI, List[Term]]:
+        """Values of the level's declared attributes for one member."""
+        result: Dict[IRI, List[Term]] = {}
+        if not isinstance(member, IRI):
+            return result
+        for attribute in self.schema.attributes_of(level):
+            rows = self.endpoint.select(f"""
+            SELECT ?v WHERE {{ <{member.value}> <{attribute.value}> ?v }}
+            """)
+            values = [row["v"] for row in rows if "v" in row]
+            if values:
+                result[attribute] = values
+        return result
+
+    # -- roll-up edges ----------------------------------------------------------------
+
+    def rollup_edges(self, child_level: IRI, parent_level: IRI
+                     ) -> List[Tuple[Term, Term]]:
+        """(child member, parent member) pairs between adjacent levels."""
+        query = f"""
+        PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+        PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+        SELECT ?child ?parent WHERE {{
+            ?child qb4o:memberOf <{child_level.value}> .
+            ?child skos:broader ?parent .
+            ?parent qb4o:memberOf <{parent_level.value}> .
+        }}
+        ORDER BY ?child ?parent
+        """
+        return [(row["child"], row["parent"])
+                for row in self.endpoint.select(query)
+                if "child" in row and "parent" in row]
+
+    def cluster_by_level(self, dimension_iri: IRI, level: IRI
+                         ) -> Dict[Term, List[Term]]:
+        """Group the dimension's bottom members by ancestor at ``level``.
+
+        This is the Fig. 5 clustering view: e.g. citizenship countries
+        grouped under their continents.
+        """
+        bottom = self.schema.bottom_level(dimension_iri)
+        if bottom == level:
+            return {member: [member] for member in self.members(level)}
+        _, path = self.schema.rollup_path(dimension_iri, level)
+        # climb the member graph following the level path
+        chains = {member: member for member in self.members(bottom)}
+        current_level_members = chains
+        clusters: Dict[Term, List[Term]] = {}
+        for child_level, parent_level in zip(path, path[1:]):
+            edges = dict(self.rollup_edges(child_level, parent_level))
+            next_chains: Dict[Term, Term] = {}
+            for bottom_member, current in current_level_members.items():
+                parent = edges.get(current)
+                if parent is not None:
+                    next_chains[bottom_member] = parent
+            current_level_members = next_chains
+        for bottom_member, ancestor in current_level_members.items():
+            clusters.setdefault(ancestor, []).append(bottom_member)
+        for members in clusters.values():
+            members.sort(key=lambda t: getattr(t, "value", str(t)))
+        return clusters
+
+    def render_clusters(self, dimension_iri: IRI, level: IRI,
+                        max_members: int = 8) -> str:
+        """Text rendering of the cluster view."""
+        clusters = self.cluster_by_level(dimension_iri, level)
+        lines = [f"{dimension_iri.local_name()} clustered by "
+                 f"{level.local_name()}:"]
+        for ancestor in sorted(clusters,
+                               key=lambda t: getattr(t, "value", str(t))):
+            members = clusters[ancestor]
+            label = self.member_label(ancestor)
+            lines.append(f"  {label} ({len(members)} members)")
+            shown = members[:max_members]
+            for member in shown:
+                lines.append(f"    - {self.member_label(member)}")
+            if len(members) > len(shown):
+                lines.append(f"    … {len(members) - len(shown)} more")
+        return "\n".join(lines)

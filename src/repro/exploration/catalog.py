@@ -1,0 +1,84 @@
+"""Cube catalog: discover QB4OLAP cubes stored in an endpoint.
+
+The Exploration module "allows to choose a data cube (represented in
+QB4OLAP) among a collection of cubes stored in an endpoint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.rdf.terms import IRI
+from repro.sparql.endpoint import LocalEndpoint
+
+
+@dataclass
+class CubeInfo:
+    """Catalog entry for one cube."""
+
+    dataset: IRI
+    dsd: IRI
+    label: Optional[str]
+    observations: int
+    dimensions: int
+    measures: int
+
+    def __str__(self) -> str:
+        label = self.label or self.dataset.local_name()
+        return (f"{label} — {self.observations} observations, "
+                f"{self.dimensions} dimensions, {self.measures} measures")
+
+
+def list_cubes(endpoint: LocalEndpoint) -> List[CubeInfo]:
+    """All QB4OLAP cubes (data sets whose DSD has level components)."""
+    query = """
+    PREFIX qb: <http://purl.org/linked-data/cube#>
+    PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+    PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+    SELECT DISTINCT ?dataset ?dsd WHERE {
+        ?dataset a qb:DataSet ; qb:structure ?dsd .
+        ?dsd qb:component ?c .
+        ?c qb4o:level ?level .
+    }
+    """
+    cubes: List[CubeInfo] = []
+    for row in endpoint.select(query):
+        dataset = row.get("dataset")
+        dsd = row.get("dsd")
+        if not isinstance(dataset, IRI) or not isinstance(dsd, IRI):
+            continue
+        cubes.append(_cube_info(endpoint, dataset, dsd))
+    cubes.sort(key=lambda info: info.dataset.value)
+    return cubes
+
+
+def _cube_info(endpoint: LocalEndpoint, dataset: IRI, dsd: IRI) -> CubeInfo:
+    label_rows = endpoint.select(f"""
+    PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+    SELECT ?label WHERE {{ <{dataset.value}> rdfs:label ?label }} LIMIT 1
+    """).to_python()
+    label = str(label_rows[0]["label"]) if label_rows else None
+
+    counts = endpoint.select(f"""
+    PREFIX qb: <http://purl.org/linked-data/cube#>
+    SELECT (COUNT(?obs) AS ?n) WHERE {{
+        ?obs qb:dataSet <{dataset.value}> .
+    }}
+    """).to_python()
+    observations = int(counts[0]["n"]) if counts else 0
+
+    components = endpoint.select(f"""
+    PREFIX qb: <http://purl.org/linked-data/cube#>
+    PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+    SELECT ?level ?measure WHERE {{
+        <{dsd.value}> qb:component ?c .
+        OPTIONAL {{ ?c qb4o:level ?level }}
+        OPTIONAL {{ ?c qb:measure ?measure }}
+    }}
+    """)
+    levels = {row["level"] for row in components if "level" in row}
+    measures = {row["measure"] for row in components if "measure" in row}
+    return CubeInfo(dataset=dataset, dsd=dsd, label=label,
+                    observations=observations,
+                    dimensions=len(levels), measures=len(measures))

@@ -1,0 +1,84 @@
+"""Schema navigation: dimensions, hierarchies, levels and attributes.
+
+The user-facing view of an enriched cube.  All navigation happens
+against the cube model read back from the endpoint, so Exploration
+(like the paper's module) works on any QB4OLAP cube in the store, not
+only ones enriched in the current session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rdf.terms import IRI
+from repro.sparql.endpoint import LocalEndpoint
+from repro.qb4olap.model import CubeSchema, Dimension, Hierarchy
+from repro.qb4olap.reader import read_cube_schema
+
+
+class CubeExplorer:
+    """Navigate one cube's multidimensional schema."""
+
+    def __init__(self, endpoint: LocalEndpoint, dataset: IRI,
+                 dsd: Optional[IRI] = None) -> None:
+        self.endpoint = endpoint
+        self.dataset = dataset
+        union = endpoint.dataset.union()
+        if dsd is None:
+            dsd = self._pick_qb4olap_dsd(union, dataset)
+        self.schema: CubeSchema = read_cube_schema(union, dataset, dsd=dsd)
+
+    @staticmethod
+    def _pick_qb4olap_dsd(graph, dataset: IRI) -> Optional[IRI]:
+        """Prefer the structure that carries QB4OLAP level components."""
+        from repro.qb import vocabulary as qb
+        from repro.qb4olap import vocabulary as qb4o
+
+        candidates = [o for o in graph.objects(dataset, qb.structure)
+                      if isinstance(o, IRI)]
+        for candidate in sorted(candidates, key=lambda iri: iri.value):
+            for component in graph.objects(candidate, qb.component):
+                if graph.value(component, qb4o.level, None) is not None:
+                    return candidate
+        return candidates[0] if candidates else None
+
+    # -- navigation ---------------------------------------------------------------
+
+    def dimensions(self) -> List[Dimension]:
+        return list(self.schema.dimensions)
+
+    def dimension(self, iri: IRI) -> Dimension:
+        return self.schema.require_dimension(iri)
+
+    def hierarchies(self, dimension_iri: IRI) -> List[Hierarchy]:
+        return list(self.schema.require_dimension(dimension_iri).hierarchies)
+
+    def levels(self, dimension_iri: IRI) -> List[IRI]:
+        return self.schema.require_dimension(dimension_iri).levels()
+
+    def attributes(self, level: IRI) -> List[IRI]:
+        return self.schema.attributes_of(level)
+
+    def measures(self):
+        return list(self.schema.measures)
+
+    def bottom_level(self, dimension_iri: IRI) -> IRI:
+        return self.schema.bottom_level(dimension_iri)
+
+    def rollup_targets(self, dimension_iri: IRI) -> List[IRI]:
+        """Levels one can roll up to from the dimension's bottom level."""
+        dimension = self.schema.require_dimension(dimension_iri)
+        bottom = self.schema.bottom_level(dimension_iri)
+        targets: List[IRI] = []
+        for hierarchy in dimension.hierarchies:
+            for level in hierarchy.levels:
+                if level == bottom:
+                    continue
+                if hierarchy.path_up(bottom, level) is not None \
+                        and level not in targets:
+                    targets.append(level)
+        return targets
+
+    def describe(self) -> str:
+        """The full schema tree as text (GUI tree replacement)."""
+        return self.schema.describe()

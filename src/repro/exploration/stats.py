@@ -1,0 +1,111 @@
+"""Cube statistics for the Exploration module.
+
+Summaries a GUI would chart: observations per dimension member,
+measure distributions, level fan-outs.  Everything is computed through
+SPARQL so the module works on any endpoint-resident cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import IRI, Term
+from repro.sparql.endpoint import LocalEndpoint
+from repro.qb4olap.model import CubeSchema
+
+
+@dataclass
+class MeasureSummary:
+    measure: IRI
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class CubeStatistics:
+    """Aggregate statistics over one cube."""
+
+    def __init__(self, endpoint: LocalEndpoint, schema: CubeSchema) -> None:
+        self.endpoint = endpoint
+        self.schema = schema
+
+    def observation_count(self) -> int:
+        rows = self.endpoint.select(f"""
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        SELECT (COUNT(?o) AS ?n)
+        WHERE {{ ?o qb:dataSet <{self.schema.dataset.value}> }}
+        """).to_python()
+        return int(rows[0]["n"]) if rows else 0
+
+    def measure_summary(self, measure: IRI) -> MeasureSummary:
+        rows = self.endpoint.select(f"""
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        SELECT (COUNT(?v) AS ?n) (SUM(?v) AS ?total)
+               (MIN(?v) AS ?lo) (MAX(?v) AS ?hi)
+        WHERE {{
+            ?o qb:dataSet <{self.schema.dataset.value}> .
+            ?o <{measure.value}> ?v .
+        }}
+        """).to_python()
+        row = rows[0]
+        return MeasureSummary(
+            measure=measure,
+            count=int(row["n"]),
+            total=float(row["total"]),
+            minimum=float(row["lo"]),
+            maximum=float(row["hi"]),
+        )
+
+    def members_per_level(self) -> Dict[IRI, int]:
+        counts: Dict[IRI, int] = {}
+        for level in self.schema.all_levels():
+            rows = self.endpoint.select(f"""
+            PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+            SELECT (COUNT(DISTINCT ?m) AS ?n)
+            WHERE {{ ?m qb4o:memberOf <{level.value}> }}
+            """).to_python()
+            counts[level] = int(rows[0]["n"]) if rows else 0
+        return counts
+
+    def observations_by_member(self, dimension_property: IRI,
+                               limit: int = 10
+                               ) -> List[Tuple[Term, int]]:
+        """Top members of a bottom level by observation count."""
+        table = self.endpoint.select(f"""
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        SELECT ?m (COUNT(?o) AS ?n) WHERE {{
+            ?o qb:dataSet <{self.schema.dataset.value}> .
+            ?o <{dimension_property.value}> ?m .
+        }}
+        GROUP BY ?m
+        ORDER BY DESC(?n)
+        LIMIT {limit}
+        """)
+        result: List[Tuple[Term, int]] = []
+        for row in table:
+            member = row.get("m")
+            count = row.get("n")
+            if member is not None and count is not None:
+                result.append((member, int(count.value)))
+        return result
+
+    def summary_text(self) -> str:
+        lines = [f"Cube: {self.schema.dataset.value}",
+                 f"Observations: {self.observation_count()}"]
+        for measure in self.schema.measures:
+            summary = self.measure_summary(measure.iri)
+            lines.append(
+                f"Measure {measure.iri.local_name()}: "
+                f"n={summary.count} sum={summary.total:.0f} "
+                f"min={summary.minimum:.0f} max={summary.maximum:.0f} "
+                f"mean={summary.mean:.1f}")
+        lines.append("Members per level:")
+        for level, count in self.members_per_level().items():
+            lines.append(f"  {level.local_name()}: {count}")
+        return "\n".join(lines)

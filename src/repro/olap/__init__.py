@@ -1,0 +1,24 @@
+"""Native OLAP baseline: ETL a QB4OLAP cube into an in-memory star
+schema and answer the same pipelines with numpy group-bys.
+
+Implements the paper's "first approach" (extract Web MD data into a
+traditional DW, ref. [2]) as both the E9 comparison baseline and the
+correctness oracle for the QL → SPARQL path.
+"""
+
+from repro.olap.compare import ComparisonOutcome, compare_results
+from repro.olap.engine import NativeOLAPEngine, NativeResult
+from repro.olap.etl import ETLReport, extract_star_schema
+from repro.olap.star import DimensionTable, FactTable, StarSchema
+
+__all__ = [
+    "ComparisonOutcome",
+    "DimensionTable",
+    "ETLReport",
+    "FactTable",
+    "NativeOLAPEngine",
+    "NativeResult",
+    "StarSchema",
+    "compare_results",
+    "extract_star_schema",
+]

@@ -1,0 +1,78 @@
+"""Equivalence checking between the SPARQL path and the native engine.
+
+Used by tests (oracle) and by E6/E9: for any QL program, the cube
+computed through SPARQL must match the cube computed natively, cell by
+cell, within floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import IRI, Literal, Term
+from repro.ql.cube import ResultCube
+from repro.olap.engine import NativeResult
+
+
+@dataclass
+class ComparisonOutcome:
+    equal: bool
+    missing_in_native: List[Tuple] = field(default_factory=list)
+    missing_in_sparql: List[Tuple] = field(default_factory=list)
+    value_mismatches: List[Tuple] = field(default_factory=list)
+
+    def explain(self) -> str:
+        if self.equal:
+            return "results identical"
+        parts = []
+        if self.missing_in_native:
+            parts.append(
+                f"{len(self.missing_in_native)} cells only in SPARQL result")
+        if self.missing_in_sparql:
+            parts.append(
+                f"{len(self.missing_in_sparql)} cells only in native result")
+        if self.value_mismatches:
+            parts.append(f"{len(self.value_mismatches)} value mismatches")
+        return "; ".join(parts)
+
+
+def compare_results(cube: ResultCube, native: NativeResult,
+                    tolerance: float = 1e-9) -> ComparisonOutcome:
+    """Cell-by-cell comparison of the two evaluation paths.
+
+    The SPARQL cube's axes follow the translator's dimension order
+    (sorted by IRI), as does the native engine — so coordinates align
+    positionally.
+    """
+    outcome = ComparisonOutcome(equal=True)
+
+    sparql_cells: Dict[Tuple[Term, ...], Dict[IRI, float]] = {}
+    for key in cube.coordinates():
+        values: Dict[IRI, float] = {}
+        for measure in cube.measures:
+            value = cube.value(measure, *key)
+            if value is None:
+                continue
+            values[measure] = float(value)
+        sparql_cells[key] = values
+
+    native_cells = native.cells
+
+    for key, values in sparql_cells.items():
+        other = native_cells.get(key)
+        if other is None:
+            outcome.missing_in_native.append(key)
+            outcome.equal = False
+            continue
+        for measure, value in values.items():
+            native_value = other.get(measure)
+            if native_value is None or abs(native_value - value) > tolerance:
+                outcome.value_mismatches.append((key, measure, value,
+                                                 native_value))
+                outcome.equal = False
+    for key in native_cells:
+        if key not in sparql_cells:
+            outcome.missing_in_sparql.append(key)
+            outcome.equal = False
+    return outcome

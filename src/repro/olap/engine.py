@@ -1,0 +1,291 @@
+"""The native OLAP engine over the star schema.
+
+Evaluates the same canonical pipelines QL produces — roll-ups, slices
+and dices — directly with numpy group-bys.  Two roles:
+
+* the **baseline** of experiment E9 (traditional-DW approach: pay ETL
+  once, then answer queries from arrays);
+* the **correctness oracle**: for every QL query, the SPARQL path and
+  this engine must produce identical cells
+  (:mod:`repro.olap.compare`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rdf.terms import IRI, Literal, Term
+from repro.ql.ast import (
+    AttributePath,
+    BooleanCondition,
+    Comparison,
+    DiceCondition,
+    MeasureRef,
+    NotCondition,
+)
+from repro.ql.simplifier import SimplifiedProgram
+from repro.olap.star import StarSchema
+
+
+@dataclass
+class NativeResult:
+    """Cells produced by the native engine."""
+
+    #: dimension IRI → level the axis sits at
+    axis_levels: Dict[IRI, IRI]
+    #: rows: coordinate tuple (terms, dimension order) → measure values
+    cells: Dict[Tuple[Term, ...], Dict[IRI, float]]
+    dimension_order: List[IRI]
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def value(self, measure: IRI, *coordinate: Term) -> Optional[float]:
+        cell = self.cells.get(tuple(coordinate))
+        return None if cell is None else cell.get(measure)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for key, measures in self.cells.items():
+            row: Dict[str, object] = {}
+            for iri, member in zip(self.dimension_order, key):
+                row[iri.value] = getattr(member, "value", str(member))
+            for measure, value in measures.items():
+                row[measure.value] = value
+            rows.append(row)
+        return rows
+
+
+class NativeOLAPEngine:
+    """Array-based evaluation of canonical QL pipelines."""
+
+    def __init__(self, star: StarSchema) -> None:
+        self.star = star
+
+    def evaluate(self, program: SimplifiedProgram) -> NativeResult:
+        """Evaluate a simplified QL program over the star schema."""
+        if program.state is None:
+            raise ValueError("program lacks a checked cube state")
+        started = time.perf_counter()
+        state = program.state
+        facts = self.star.facts
+        n = facts.size
+
+        kept_dimensions = sorted(state.levels, key=lambda iri: iri.value)
+        axis_levels = {iri: state.levels[iri] for iri in kept_dimensions}
+
+        # coordinate codes at the target levels
+        coordinate_codes: List[np.ndarray] = []
+        keep_mask = np.ones(n, dtype=bool)
+        for dimension_iri in kept_dimensions:
+            table = self.star.dimension(dimension_iri)
+            bottom_codes = facts.coordinates[dimension_iri]
+            level = axis_levels[dimension_iri]
+            ancestor = table.map_to_level(level)
+            codes = np.full(n, -1, dtype=np.int64)
+            valid = bottom_codes >= 0
+            codes[valid] = ancestor[bottom_codes[valid]]
+            keep_mask &= codes >= 0  # SPARQL joins drop unmapped members
+            coordinate_codes.append(codes)
+
+        # pre-aggregation dice: attribute-only conditions filter facts
+        for condition in program.dices:
+            if condition.measure_refs():
+                continue
+            mask = self._attribute_mask(
+                condition, kept_dimensions, axis_levels, coordinate_codes, n)
+            keep_mask &= mask
+
+        rows = np.flatnonzero(keep_mask)
+        if coordinate_codes:
+            stacked = np.stack(
+                [codes[rows] for codes in coordinate_codes], axis=1)
+            unique_keys, inverse = np.unique(
+                stacked, axis=0, return_inverse=True)
+        else:
+            unique_keys = np.zeros((1, 0), dtype=np.int64)
+            inverse = np.zeros(len(rows), dtype=np.int64)
+        group_count = unique_keys.shape[0]
+
+        aggregated: Dict[IRI, np.ndarray] = {}
+        for measure_iri in state.measures:
+            keyword = self.star.measure_aggregates.get(measure_iri, "SUM")
+            values = facts.measures[measure_iri][rows]
+            aggregated[measure_iri] = _aggregate(
+                keyword, values, inverse, group_count)
+
+        # post-aggregation dice: measure-bearing conditions filter cells
+        cell_mask = np.ones(group_count, dtype=bool)
+        for condition in program.dices:
+            if not condition.measure_refs():
+                continue
+            cell_mask &= self._cell_mask(
+                condition, kept_dimensions, axis_levels,
+                unique_keys, aggregated, group_count)
+
+        cells: Dict[Tuple[Term, ...], Dict[IRI, float]] = {}
+        member_lists = [
+            self.star.dimension(iri).members_at(axis_levels[iri])
+            for iri in kept_dimensions]
+        for group in np.flatnonzero(cell_mask):
+            key = tuple(
+                member_lists[axis][int(unique_keys[group, axis])]
+                for axis in range(len(kept_dimensions)))
+            cells[key] = {
+                measure: float(values[group])
+                for measure, values in aggregated.items()}
+        elapsed = time.perf_counter() - started
+        return NativeResult(axis_levels=axis_levels, cells=cells,
+                            dimension_order=kept_dimensions, seconds=elapsed)
+
+    # -- dice helpers -----------------------------------------------------------
+
+    def _attribute_mask(self, condition: DiceCondition,
+                        kept: List[IRI], axis_levels: Dict[IRI, IRI],
+                        coordinate_codes: List[np.ndarray],
+                        n: int) -> np.ndarray:
+        if isinstance(condition, Comparison):
+            assert isinstance(condition.operand, AttributePath)
+            path = condition.operand
+            axis = kept.index(path.dimension)
+            table = self.star.dimension(path.dimension)
+            members = table.members_at(axis_levels[path.dimension])
+            values = table.attribute_values(
+                axis_levels[path.dimension], path.attribute)
+            member_ok = np.zeros(len(members), dtype=bool)
+            for code, member in enumerate(members):
+                value = values.get(member)
+                member_ok[code] = _compare_terms(value, condition.op,
+                                                 condition.value)
+            codes = coordinate_codes[axis]
+            mask = np.zeros(n, dtype=bool)
+            valid = codes >= 0
+            mask[valid] = member_ok[codes[valid]]
+            return mask
+        if isinstance(condition, BooleanCondition):
+            masks = [self._attribute_mask(operand, kept, axis_levels,
+                                          coordinate_codes, n)
+                     for operand in condition.operands]
+            combined = masks[0]
+            for mask in masks[1:]:
+                combined = combined & mask if condition.op == "AND" \
+                    else combined | mask
+            return combined
+        if isinstance(condition, NotCondition):
+            return ~self._attribute_mask(condition.operand, kept,
+                                         axis_levels, coordinate_codes, n)
+        raise ValueError(f"unknown condition {condition!r}")
+
+    def _cell_mask(self, condition: DiceCondition, kept: List[IRI],
+                   axis_levels: Dict[IRI, IRI], unique_keys: np.ndarray,
+                   aggregated: Dict[IRI, np.ndarray],
+                   group_count: int) -> np.ndarray:
+        if isinstance(condition, Comparison):
+            if isinstance(condition.operand, MeasureRef):
+                values = aggregated[condition.operand.measure]
+                target = float(condition.value.value) \
+                    if isinstance(condition.value, Literal) else 0.0
+                return _numeric_compare(values, condition.op, target)
+            path = condition.operand
+            axis = kept.index(path.dimension)
+            table = self.star.dimension(path.dimension)
+            members = table.members_at(axis_levels[path.dimension])
+            attr_values = table.attribute_values(
+                axis_levels[path.dimension], path.attribute)
+            member_ok = np.zeros(len(members), dtype=bool)
+            for code, member in enumerate(members):
+                member_ok[code] = _compare_terms(
+                    attr_values.get(member), condition.op, condition.value)
+            return member_ok[unique_keys[:, axis]]
+        if isinstance(condition, BooleanCondition):
+            masks = [self._cell_mask(operand, kept, axis_levels,
+                                     unique_keys, aggregated, group_count)
+                     for operand in condition.operands]
+            combined = masks[0]
+            for mask in masks[1:]:
+                combined = combined & mask if condition.op == "AND" \
+                    else combined | mask
+            return combined
+        if isinstance(condition, NotCondition):
+            return ~self._cell_mask(condition.operand, kept, axis_levels,
+                                    unique_keys, aggregated, group_count)
+        raise ValueError(f"unknown condition {condition!r}")
+
+
+def _aggregate(keyword: str, values: np.ndarray, inverse: np.ndarray,
+               groups: int) -> np.ndarray:
+    if keyword == "SUM":
+        out = np.zeros(groups)
+        np.add.at(out, inverse, values)
+        return out
+    if keyword == "COUNT":
+        out = np.zeros(groups)
+        np.add.at(out, inverse, 1.0)
+        return out
+    if keyword == "AVG":
+        sums = np.zeros(groups)
+        counts = np.zeros(groups)
+        np.add.at(sums, inverse, values)
+        np.add.at(counts, inverse, 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / counts, 0.0)
+    if keyword == "MIN":
+        out = np.full(groups, np.inf)
+        np.minimum.at(out, inverse, values)
+        return out
+    if keyword == "MAX":
+        out = np.full(groups, -np.inf)
+        np.maximum.at(out, inverse, values)
+        return out
+    raise ValueError(f"unknown aggregate {keyword!r}")
+
+
+def _numeric_compare(values: np.ndarray, op: str, target: float
+                     ) -> np.ndarray:
+    if op == "=":
+        return values == target
+    if op == "!=":
+        return values != target
+    if op == "<":
+        return values < target
+    if op == "<=":
+        return values <= target
+    if op == ">":
+        return values > target
+    if op == ">=":
+        return values >= target
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _compare_terms(value: Optional[Term], op: str, target) -> bool:
+    """Python-side comparison for attribute dices (mirrors SPARQL)."""
+    if value is None:
+        return False
+    if isinstance(value, Literal) and isinstance(target, Literal):
+        left = value.value
+        right = target.value
+        try:
+            if op == "=":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+    if op == "=":
+        return value == target
+    if op == "!=":
+        return value != target
+    return False

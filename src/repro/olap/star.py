@@ -1,0 +1,107 @@
+"""In-memory star schema: dimension tables and the fact table.
+
+This is the storage layer of the *traditional DW* baseline (paper
+§I, first approach / ref. [2] Kämpgen & Harth): observations are
+extracted from RDF once, dictionary-encoded into dense integer codes,
+and measures land in numpy arrays.  OLAP then runs as array group-bys
+instead of SPARQL joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rdf.terms import IRI, Literal, Term
+
+
+@dataclass
+class DimensionTable:
+    """One dimension: bottom members plus per-level roll-up maps."""
+
+    dimension: IRI
+    bottom_level: IRI
+    #: bottom member code → term (position = code)
+    bottom_members: List[Term] = field(default_factory=list)
+    #: level → members of that level (position = code)
+    level_members: Dict[IRI, List[Term]] = field(default_factory=dict)
+    #: level → int array mapping bottom code → level member code (-1 = none)
+    ancestor_maps: Dict[IRI, np.ndarray] = field(default_factory=dict)
+    #: level → attribute property → {member term: literal value}
+    attributes: Dict[IRI, Dict[IRI, Dict[Term, Term]]] = \
+        field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._bottom_index = {member: code for code, member
+                              in enumerate(self.bottom_members)}
+        self.level_members.setdefault(self.bottom_level, self.bottom_members)
+        if self.bottom_level not in self.ancestor_maps:
+            self.ancestor_maps[self.bottom_level] = np.arange(
+                len(self.bottom_members), dtype=np.int64)
+
+    def bottom_code(self, member: Term) -> Optional[int]:
+        return self._bottom_index.get(member)
+
+    def members_at(self, level: IRI) -> List[Term]:
+        return self.level_members[level]
+
+    def map_to_level(self, level: IRI) -> np.ndarray:
+        """bottom code → member code at ``level`` (-1 when unmapped)."""
+        return self.ancestor_maps[level]
+
+    def attribute_values(self, level: IRI, attribute: IRI
+                         ) -> Dict[Term, Term]:
+        return self.attributes.get(level, {}).get(attribute, {})
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.bottom_members)
+
+
+@dataclass
+class FactTable:
+    """The encoded fact table."""
+
+    #: dimension IRI → int64 code array (length = #facts; -1 = missing)
+    coordinates: Dict[IRI, np.ndarray] = field(default_factory=dict)
+    #: measure IRI → float64 value array
+    measures: Dict[IRI, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        for array in self.coordinates.values():
+            return int(array.shape[0])
+        for array in self.measures.values():
+            return int(array.shape[0])
+        return 0
+
+
+@dataclass
+class StarSchema:
+    """The complete materialized DW."""
+
+    dataset: IRI
+    dimensions: Dict[IRI, DimensionTable] = field(default_factory=dict)
+    facts: FactTable = field(default_factory=FactTable)
+    #: measure IRI → aggregate keyword ("SUM", "AVG", ...)
+    measure_aggregates: Dict[IRI, str] = field(default_factory=dict)
+
+    def dimension(self, iri: IRI) -> DimensionTable:
+        table = self.dimensions.get(iri)
+        if table is None:
+            raise KeyError(f"unknown dimension {iri}")
+        return table
+
+    def summary(self) -> str:
+        lines = [f"Star schema for {self.dataset.value}",
+                 f"  facts: {self.facts.size}"]
+        for iri, table in sorted(self.dimensions.items(),
+                                 key=lambda kv: kv[0].value):
+            levels = ", ".join(
+                f"{level.local_name()}({len(members)})"
+                for level, members in sorted(
+                    table.level_members.items(), key=lambda kv: kv[0].value))
+            lines.append(f"  {iri.local_name()}: {levels}")
+        return "\n".join(lines)

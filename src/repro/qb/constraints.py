@@ -1,0 +1,386 @@
+"""The 21 normative RDF Data Cube integrity constraints as SPARQL.
+
+The W3C recommendation (§11.1) *defines* well-formedness operationally:
+a QB data set is well-formed iff, after normalization
+(:mod:`repro.qb.normalize`), every one of 21 ``ASK`` queries returns
+``false``.  This module carries those queries and runs them on the
+in-repo SPARQL engine — the same way the paper's tool would validate
+input cubes against a Virtuoso endpoint before enrichment.
+
+The query texts follow the spec with three engine-documented
+adaptations:
+
+* **IC-12** (no duplicate observations) uses an equivalent
+  nested-``FILTER NOT EXISTS`` formulation instead of the spec's
+  ``MIN(?equal)``-over-booleans subquery; both detect a pair of
+  observations that agree on every dimension.
+* **IC-17** restates the spec's ``HAVING (?count != ?numMeasures)``
+  as ``HAVING (COUNT(?obs2) != ?numMeasures)`` (the aggregate inlined,
+  same value).
+* **IC-20/IC-21** are the spec's *templates*: they are expanded per
+  ``qb:parentChildProperty`` value found in the graph
+  (:func:`hierarchy_constraint_checks`) exactly as §11.1.1 prescribes —
+  IRI-valued properties instantiate IC-20, ``owl:inverseOf`` blank
+  nodes instantiate IC-21 with an inverse path.
+
+IC-12 and IC-17 compare observation pairs (quadratic); they are flagged
+``expensive`` so :func:`check_graph` can skip them on large graphs where
+:mod:`repro.qb.validator` provides linear-time native equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.namespace import OWL, QB
+from repro.rdf.terms import IRI
+from repro.sparql.evaluator import evaluate_query
+from repro.sparql.parser import parse_query
+
+PROLOGUE = """\
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+PREFIX qb:   <http://purl.org/linked-data/cube#>
+PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+PREFIX owl:  <http://www.w3.org/2002/07/owl#>
+"""
+
+
+@dataclass
+class ConstraintCheck:
+    """One integrity constraint: id, spec title and its ASK queries.
+
+    A constraint is violated when *any* of its queries returns true.
+    """
+
+    ic: str
+    label: str
+    queries: List[str]
+    expensive: bool = False
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of a constraint run over one graph."""
+
+    results: Dict[str, bool] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[str]:
+        return [ic for ic, violated in self.results.items() if violated]
+
+    @property
+    def well_formed(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        lines = []
+        for ic, violated in sorted(
+                self.results.items(),
+                key=lambda item: int(item[0].split("-")[1])):
+            lines.append(f"{ic}: {'VIOLATED' if violated else 'ok'}")
+        for ic in self.skipped:
+            lines.append(f"{ic}: skipped")
+        return "\n".join(lines)
+
+
+STATIC_CONSTRAINTS: List[ConstraintCheck] = [
+    ConstraintCheck("IC-1", "Unique DataSet", [PROLOGUE + """
+ASK {
+  {
+    ?obs a qb:Observation .
+    FILTER NOT EXISTS { ?obs qb:dataSet ?dataset1 . }
+  } UNION {
+    ?obs a qb:Observation ;
+       qb:dataSet ?dataset1, ?dataset2 .
+    FILTER (?dataset1 != ?dataset2)
+  }
+}
+"""]),
+    ConstraintCheck("IC-2", "Unique DSD", [PROLOGUE + """
+ASK {
+  {
+    ?dataset a qb:DataSet .
+    FILTER NOT EXISTS { ?dataset qb:structure ?dsd . }
+  } UNION {
+    ?dataset a qb:DataSet ;
+       qb:structure ?dsd1, ?dsd2 .
+    FILTER (?dsd1 != ?dsd2)
+  }
+}
+"""]),
+    ConstraintCheck("IC-3", "DSD includes measure", [PROLOGUE + """
+ASK {
+  ?dsd a qb:DataStructureDefinition .
+  FILTER NOT EXISTS {
+    ?dsd qb:component [ qb:componentProperty [ a qb:MeasureProperty ] ]
+  }
+}
+"""]),
+    ConstraintCheck("IC-4", "Dimensions have range", [PROLOGUE + """
+ASK {
+  ?dim a qb:DimensionProperty .
+  FILTER NOT EXISTS { ?dim rdfs:range [] }
+}
+"""]),
+    ConstraintCheck("IC-5", "Concept dimensions have code lists",
+                    [PROLOGUE + """
+ASK {
+  ?dim a qb:DimensionProperty ;
+       rdfs:range skos:Concept .
+  FILTER NOT EXISTS { ?dim qb:codeList [] }
+}
+"""]),
+    ConstraintCheck("IC-6", "Only attributes may be optional",
+                    [PROLOGUE + """
+ASK {
+  ?dsd qb:component ?componentSpec .
+  ?componentSpec qb:componentRequired "false"^^xsd:boolean ;
+                 qb:componentProperty ?component .
+  FILTER NOT EXISTS { ?component a qb:AttributeProperty }
+}
+"""]),
+    ConstraintCheck("IC-7", "Slice Keys must be declared", [PROLOGUE + """
+ASK {
+  ?sliceKey a qb:SliceKey .
+  FILTER NOT EXISTS {
+    [ a qb:DataStructureDefinition ] qb:sliceKey ?sliceKey
+  }
+}
+"""]),
+    ConstraintCheck("IC-8", "Slice Keys consistent with DSD", [PROLOGUE + """
+ASK {
+  ?slicekey a qb:SliceKey ;
+      qb:componentProperty ?prop .
+  ?dsd qb:sliceKey ?slicekey .
+  FILTER NOT EXISTS { ?dsd qb:component [ qb:componentProperty ?prop ] }
+}
+"""]),
+    ConstraintCheck("IC-9", "Unique slice structure", [PROLOGUE + """
+ASK {
+  {
+    ?slice a qb:Slice .
+    FILTER NOT EXISTS { ?slice qb:sliceStructure ?key }
+  } UNION {
+    ?slice a qb:Slice ;
+           qb:sliceStructure ?key1, ?key2 .
+    FILTER (?key1 != ?key2)
+  }
+}
+"""]),
+    ConstraintCheck("IC-10", "Slice dimensions complete", [PROLOGUE + """
+ASK {
+  ?slice qb:sliceStructure [ qb:componentProperty ?dim ] .
+  FILTER NOT EXISTS { ?slice ?dim [] }
+}
+"""]),
+    ConstraintCheck("IC-11", "All dimensions required", [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component/qb:componentProperty ?dim .
+  ?dim a qb:DimensionProperty .
+  FILTER NOT EXISTS { ?obs ?dim [] }
+}
+"""]),
+    ConstraintCheck("IC-12", "No duplicate observations", [PROLOGUE + """
+ASK {
+  ?obs1 qb:dataSet ?dataset .
+  ?obs2 qb:dataSet ?dataset .
+  FILTER (?obs1 != ?obs2)
+  FILTER NOT EXISTS {
+    ?dataset qb:structure/qb:component/qb:componentProperty ?dim .
+    ?dim a qb:DimensionProperty .
+    FILTER NOT EXISTS {
+      ?obs1 ?dim ?value1 .
+      ?obs2 ?dim ?value2 .
+      FILTER (?value1 = ?value2)
+    }
+  }
+}
+"""], expensive=True),
+    ConstraintCheck("IC-13", "Required attributes", [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component ?component .
+  ?component qb:componentRequired "true"^^xsd:boolean ;
+             qb:componentProperty ?attr .
+  FILTER NOT EXISTS { ?obs ?attr [] }
+}
+"""]),
+    ConstraintCheck("IC-14", "All measures present", [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure ?dsd .
+  FILTER NOT EXISTS {
+    ?dsd qb:component/qb:componentProperty qb:measureType
+  }
+  ?dsd qb:component/qb:componentProperty ?measure .
+  ?measure a qb:MeasureProperty .
+  FILTER NOT EXISTS { ?obs ?measure [] }
+}
+"""]),
+    ConstraintCheck("IC-15", "Measure dimension consistent", [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure ?dsd ;
+       qb:measureType ?measure .
+  ?dsd qb:component/qb:componentProperty qb:measureType .
+  FILTER NOT EXISTS { ?obs ?measure [] }
+}
+"""]),
+    ConstraintCheck("IC-16", "Single measure on measure dimension cube",
+                    [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure ?dsd ;
+       qb:measureType ?measure ;
+       ?omeasure [] .
+  ?dsd qb:component/qb:componentProperty qb:measureType ;
+       qb:component/qb:componentProperty ?omeasure .
+  ?omeasure a qb:MeasureProperty .
+  FILTER (?omeasure != ?measure)
+}
+"""]),
+    ConstraintCheck("IC-17", "All measures present in measures dimension cube",
+                    [PROLOGUE + """
+ASK {
+  {
+    SELECT ?numMeasures (COUNT(?obs2) AS ?count) WHERE {
+      {
+        SELECT ?dsd (COUNT(?m) AS ?numMeasures) WHERE {
+          ?dsd qb:component/qb:componentProperty ?m .
+          ?m a qb:MeasureProperty .
+        } GROUP BY ?dsd
+      }
+      ?obs1 qb:dataSet/qb:structure ?dsd ;
+            qb:measureType ?m1 .
+      ?obs2 qb:dataSet/qb:structure ?dsd ;
+            qb:measureType ?m2 .
+      FILTER NOT EXISTS {
+        ?dsd qb:component/qb:componentProperty ?dim .
+        FILTER (?dim != qb:measureType)
+        ?dim a qb:DimensionProperty .
+        ?obs1 ?dim ?v1 .
+        ?obs2 ?dim ?v2 .
+        FILTER (?v1 != ?v2)
+      }
+    } GROUP BY ?obs1 ?numMeasures
+      HAVING (COUNT(?obs2) != ?numMeasures)
+  }
+}
+"""], expensive=True),
+    ConstraintCheck("IC-18", "Consistent data set links", [PROLOGUE + """
+ASK {
+  ?dataset qb:slice ?slice .
+  ?slice   qb:observation ?obs .
+  FILTER NOT EXISTS { ?obs qb:dataSet ?dataset . }
+}
+"""]),
+    ConstraintCheck("IC-19", "Codes from code list", [PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component/qb:componentProperty ?dim .
+  ?dim a qb:DimensionProperty ;
+       qb:codeList ?list .
+  ?list a skos:ConceptScheme .
+  ?obs ?dim ?v .
+  FILTER NOT EXISTS { ?v a skos:Concept ; skos:inScheme ?list }
+}
+""", PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component/qb:componentProperty ?dim .
+  ?dim a qb:DimensionProperty ;
+       qb:codeList ?list .
+  ?list a skos:Collection .
+  ?obs ?dim ?v .
+  FILTER NOT EXISTS { ?v a skos:Concept . ?list skos:member+ ?v }
+}
+"""]),
+]
+
+#: IC-20/IC-21 template bodies; ``%(p)s`` is the parent-child property.
+_IC20_TEMPLATE = PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component/qb:componentProperty ?dim .
+  ?dim a qb:DimensionProperty ;
+       qb:codeList ?list .
+  ?list a qb:HierarchicalCodeList .
+  ?obs ?dim ?v .
+  FILTER NOT EXISTS { ?list qb:hierarchyRoot/<%(p)s>* ?v }
+}
+"""
+
+_IC21_TEMPLATE = PROLOGUE + """
+ASK {
+  ?obs qb:dataSet/qb:structure/qb:component/qb:componentProperty ?dim .
+  ?dim a qb:DimensionProperty ;
+       qb:codeList ?list .
+  ?list a qb:HierarchicalCodeList .
+  ?obs ?dim ?v .
+  FILTER NOT EXISTS { ?list qb:hierarchyRoot/(^<%(p)s>)* ?v }
+}
+"""
+
+
+def hierarchy_constraint_checks(graph: Graph) -> List[ConstraintCheck]:
+    """Expand the IC-20/IC-21 templates for ``graph``.
+
+    One IC-20 query per IRI-valued ``qb:parentChildProperty``; one IC-21
+    query per ``[owl:inverseOf <p>]`` blank-node value, per §11.1.1.
+    """
+    forward: List[IRI] = []
+    inverse: List[IRI] = []
+    for _, _, value in graph.triples((None, QB.parentChildProperty, None)):
+        if isinstance(value, IRI):
+            if value not in forward:
+                forward.append(value)
+        else:  # blank node: look for owl:inverseOf
+            for inverted in graph.objects(value, OWL.inverseOf):
+                if isinstance(inverted, IRI) and inverted not in inverse:
+                    inverse.append(inverted)
+    checks: List[ConstraintCheck] = []
+    if forward:
+        checks.append(ConstraintCheck(
+            "IC-20", "Codes from hierarchy",
+            [_IC20_TEMPLATE % {"p": iri.value} for iri in forward]))
+    if inverse:
+        checks.append(ConstraintCheck(
+            "IC-21", "Codes from hierarchy (inverse)",
+            [_IC21_TEMPLATE % {"p": iri.value} for iri in inverse]))
+    return checks
+
+
+def all_constraint_checks(graph: Graph) -> List[ConstraintCheck]:
+    """The static constraints plus the expanded hierarchy templates."""
+    return STATIC_CONSTRAINTS + hierarchy_constraint_checks(graph)
+
+
+def _ask(graph: Graph, query_text: str) -> bool:
+    dataset = Dataset()
+    dataset.default = graph
+    return bool(evaluate_query(parse_query(query_text), dataset,
+                               default_as_union=False))
+
+
+def check_constraint(graph: Graph, check: ConstraintCheck) -> bool:
+    """True when ``graph`` violates ``check``."""
+    return any(_ask(graph, query) for query in check.queries)
+
+
+def check_graph(graph: Graph,
+                include_expensive: Optional[bool] = None,
+                expensive_limit: int = 2000) -> ConstraintReport:
+    """Run the full constraint suite over a (normalized) graph.
+
+    ``include_expensive`` defaults to running the quadratic checks only
+    when the graph holds at most ``expensive_limit`` triples; the native
+    :mod:`repro.qb.validator` covers those constraints in linear time on
+    big data.  Skipped constraints are reported, never silently dropped.
+    """
+    if include_expensive is None:
+        include_expensive = len(graph) <= expensive_limit
+    report = ConstraintReport()
+    for check in all_constraint_checks(graph):
+        if check.expensive and not include_expensive:
+            report.skipped.append(check.ic)
+            continue
+        report.results[check.ic] = check_constraint(graph, check)
+    return report

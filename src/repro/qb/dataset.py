@@ -1,0 +1,105 @@
+"""Access to QB data sets and their observations.
+
+A :class:`QBDataSet` bundles the data set IRI, its DSD, and the graph
+holding the observations.  Observation access is index-backed and used
+by the enrichment module ("collect the level instances and their
+properties") and by the ETL baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.qb import vocabulary as qb
+from repro.qb.dsd import DataStructureDefinition, QBSchemaError, dsd_for_dataset
+
+
+@dataclass
+class Observation:
+    """One fact: dimension bindings plus measure values."""
+
+    iri: Term
+    dimensions: Dict[IRI, Term]
+    measures: Dict[IRI, Term]
+    attributes: Dict[IRI, Term]
+
+    def dimension_key(self, order: List[IRI]) -> tuple:
+        """The observation's coordinates in a fixed dimension order."""
+        return tuple(self.dimensions.get(prop) for prop in order)
+
+
+class QBDataSet:
+    """A QB data set bound to the graph that stores it."""
+
+    def __init__(self, graph: Graph, iri: IRI,
+                 dsd: Optional[DataStructureDefinition] = None) -> None:
+        self.graph = graph
+        self.iri = iri
+        if dsd is None:
+            dsd_iri = dsd_for_dataset(graph, iri)
+            if dsd_iri is None:
+                raise QBSchemaError(
+                    f"data set {iri} has no qb:structure in the graph")
+            dsd = DataStructureDefinition.from_graph(graph, dsd_iri)
+        self.dsd = dsd
+
+    # -- observations -----------------------------------------------------------
+
+    def observation_iris(self) -> Iterator[Term]:
+        """Subjects attached to this data set via ``qb:dataSet``."""
+        return self.graph.subjects(qb.dataSet, self.iri)
+
+    def observations(self) -> Iterator[Observation]:
+        dimension_set = set(self.dsd.dimension_properties())
+        measure_set = set(self.dsd.measure_properties())
+        attribute_set = set(self.dsd.attribute_properties())
+        for subject in self.observation_iris():
+            dimensions: Dict[IRI, Term] = {}
+            measures: Dict[IRI, Term] = {}
+            attributes: Dict[IRI, Term] = {}
+            for predicate, objects in self.graph.subject_predicates(
+                    subject).items():
+                if not isinstance(predicate, IRI):
+                    continue
+                value = next(iter(objects))
+                if predicate in dimension_set:
+                    dimensions[predicate] = value
+                elif predicate in measure_set:
+                    measures[predicate] = value
+                elif predicate in attribute_set:
+                    attributes[predicate] = value
+            yield Observation(subject, dimensions, measures, attributes)
+
+    def observation_count(self) -> int:
+        return self.graph.count((None, qb.dataSet, self.iri))
+
+    def dimension_members(self, prop: IRI) -> Set[Term]:
+        """Distinct values of one dimension across all observations."""
+        members: Set[Term] = set()
+        for subject in self.observation_iris():
+            value = self.graph.value(subject, prop, None)
+            if value is not None:
+                members.add(value)
+        return members
+
+    def member_counts(self) -> Dict[IRI, int]:
+        """Distinct member count per dimension (cube density profile)."""
+        return {
+            prop: len(self.dimension_members(prop))
+            for prop in self.dsd.dimension_properties()
+        }
+
+    def __repr__(self) -> str:
+        return f"<QBDataSet {self.iri.value} ({self.observation_count()} obs)>"
+
+
+def find_datasets(graph: Graph) -> List[IRI]:
+    """All ``qb:DataSet`` IRIs asserted in ``graph``."""
+    return sorted(
+        (s for s in graph.subjects(RDF.type, qb.DataSet)
+         if isinstance(s, IRI)),
+        key=lambda iri: iri.value)

@@ -1,0 +1,170 @@
+"""Data Structure Definitions: the schema of a QB data set.
+
+A DSD is a set of *component specifications*, each declaring a
+dimension, measure or attribute property (§II of the paper).  This
+module models DSDs in Python and reads/writes them from/to RDF graphs.
+
+>>> dsd = DataStructureDefinition(IRI("http://e/dsd"))
+>>> dsd.add_dimension(IRI("http://e/refPeriod"))
+>>> dsd.dimension_properties()
+[IRI('http://e/refPeriod')]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import BNode, IRI, Literal, Term
+from repro.qb import vocabulary as qb
+
+
+class QBSchemaError(Exception):
+    """Raised when a graph does not contain a readable QB schema."""
+
+
+@dataclass
+class ComponentSpecification:
+    """One ``qb:component`` entry of a DSD.
+
+    ``kind`` is one of ``"dimension"``, ``"measure"``, ``"attribute"``.
+    ``order`` mirrors ``qb:order`` (presentation ordering) and
+    ``required`` mirrors ``qb:componentRequired`` for attributes.
+    """
+
+    kind: str
+    property: IRI
+    order: Optional[int] = None
+    required: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in qb.COMPONENT_KINDS:
+            raise QBSchemaError(f"unknown component kind {self.kind!r}")
+
+
+@dataclass
+class DataStructureDefinition:
+    """A QB Data Structure Definition."""
+
+    iri: IRI
+    components: List[ComponentSpecification] = field(default_factory=list)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_dimension(self, prop: IRI, order: Optional[int] = None) -> None:
+        self.components.append(
+            ComponentSpecification("dimension", prop, order=order))
+
+    def add_measure(self, prop: IRI, order: Optional[int] = None) -> None:
+        self.components.append(
+            ComponentSpecification("measure", prop, order=order))
+
+    def add_attribute(self, prop: IRI, required: Optional[bool] = None) -> None:
+        self.components.append(
+            ComponentSpecification("attribute", prop, required=required))
+
+    # -- accessors ---------------------------------------------------------------
+
+    def dimension_properties(self) -> List[IRI]:
+        return [c.property for c in self.components if c.kind == "dimension"]
+
+    def measure_properties(self) -> List[IRI]:
+        return [c.property for c in self.components if c.kind == "measure"]
+
+    def attribute_properties(self) -> List[IRI]:
+        return [c.property for c in self.components if c.kind == "attribute"]
+
+    def component_for(self, prop: IRI) -> Optional[ComponentSpecification]:
+        for component in self.components:
+            if component.property == prop:
+                return component
+        return None
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    # -- RDF mapping ----------------------------------------------------------------
+
+    def to_graph(self, graph: Optional[Graph] = None) -> Graph:
+        """Emit the DSD triples (fresh blank node per component)."""
+        target = graph if graph is not None else Graph()
+        target.add(self.iri, RDF.type, qb.DataStructureDefinition)
+        kind_property = {
+            "dimension": qb.dimension,
+            "measure": qb.measure,
+            "attribute": qb.attribute,
+        }
+        for component in self.components:
+            node = BNode()
+            target.add(self.iri, qb.component, node)
+            target.add(node, kind_property[component.kind], component.property)
+            if component.order is not None:
+                target.add(node, qb.order, Literal(component.order))
+            if component.required is not None:
+                target.add(node, qb.componentRequired,
+                           Literal(component.required))
+        return target
+
+    @classmethod
+    def from_graph(cls, graph: Graph, iri: IRI) -> "DataStructureDefinition":
+        """Read the DSD rooted at ``iri`` from ``graph``."""
+        if (iri, RDF.type, qb.DataStructureDefinition) not in graph:
+            raise QBSchemaError(f"{iri} is not a qb:DataStructureDefinition")
+        dsd = cls(iri)
+        for node in graph.objects(iri, qb.component):
+            component = cls._read_component(graph, node)
+            if component is not None:
+                dsd.components.append(component)
+        dsd.components.sort(
+            key=lambda c: (c.order if c.order is not None else 1 << 30,
+                           c.property.value))
+        return dsd
+
+    @staticmethod
+    def _read_component(graph: Graph,
+                        node: Term) -> Optional[ComponentSpecification]:
+        kind_property = {
+            qb.dimension: "dimension",
+            qb.measure: "measure",
+            qb.attribute: "attribute",
+        }
+        found: Optional[ComponentSpecification] = None
+        for prop, kind in kind_property.items():
+            target = graph.value(node, prop, None)
+            if target is None:
+                continue
+            if not isinstance(target, IRI):
+                raise QBSchemaError(
+                    f"component {prop} value must be an IRI, got {target!r}")
+            order_term = graph.value(node, qb.order, None)
+            order = None
+            if isinstance(order_term, Literal):
+                value = order_term.value
+                if isinstance(value, int):
+                    order = value
+            required_term = graph.value(node, qb.componentRequired, None)
+            required = None
+            if isinstance(required_term, Literal):
+                value = required_term.value
+                if isinstance(value, bool):
+                    required = value
+            found = ComponentSpecification(kind, target, order=order,
+                                           required=required)
+            break
+        return found
+
+
+def find_dsds(graph: Graph) -> List[IRI]:
+    """All DSD IRIs asserted in ``graph``."""
+    return sorted(
+        (s for s in graph.subjects(RDF.type, qb.DataStructureDefinition)
+         if isinstance(s, IRI)),
+        key=lambda iri: iri.value)
+
+
+def dsd_for_dataset(graph: Graph, dataset: IRI) -> Optional[IRI]:
+    """The DSD a dataset points to via ``qb:structure``."""
+    value = graph.value(dataset, qb.structure, None)
+    return value if isinstance(value, IRI) else None

@@ -1,0 +1,201 @@
+"""Well-formedness checks for QB data (W3C integrity constraints).
+
+Implements the practically relevant subset of the normative integrity
+constraints from the RDF Data Cube recommendation §11.  Each check is a
+function returning :class:`Violation` records; :func:`validate_graph`
+runs them all.
+
+Implemented constraints:
+
+========  =============================================================
+IC-1      every observation has exactly one ``qb:dataSet``
+IC-2      every data set has exactly one ``qb:structure`` (DSD)
+IC-3      every DSD includes at least one measure
+IC-4      every dimension declared in a DSD is an IRI
+IC-11/12  every observation carries a value for every dimension of its
+          data set's DSD, and no two observations of a data set share
+          the same dimension coordinates
+IC-14     every observation carries every declared measure
+IC-MEAS   measure values are literals
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Literal, Term
+from repro.qb import vocabulary as qb
+from repro.qb.dataset import QBDataSet, find_datasets
+from repro.qb.dsd import DataStructureDefinition, QBSchemaError, find_dsds
+
+
+@dataclass
+class Violation:
+    """One integrity constraint violation."""
+
+    constraint: str
+    message: str
+    subject: Term | None = None
+
+    def __str__(self) -> str:
+        where = f" [{self.subject}]" if self.subject is not None else ""
+        return f"{self.constraint}: {self.message}{where}"
+
+
+def check_ic1_observation_dataset(graph: Graph) -> List[Violation]:
+    """IC-1: every observation has exactly one qb:dataSet."""
+    violations: List[Violation] = []
+    for observation in graph.subjects(RDF.type, qb.Observation):
+        datasets = list(graph.objects(observation, qb.dataSet))
+        if len(datasets) != 1:
+            violations.append(Violation(
+                "IC-1",
+                f"observation has {len(datasets)} qb:dataSet links "
+                "(expected exactly 1)",
+                observation))
+    return violations
+
+
+def check_ic2_dataset_structure(graph: Graph) -> List[Violation]:
+    """IC-2: every data set has exactly one qb:structure."""
+    violations: List[Violation] = []
+    for dataset in find_datasets(graph):
+        structures = list(graph.objects(dataset, qb.structure))
+        if len(structures) != 1:
+            violations.append(Violation(
+                "IC-2",
+                f"data set has {len(structures)} qb:structure links "
+                "(expected exactly 1)",
+                dataset))
+    return violations
+
+
+def check_ic3_dsd_includes_measure(graph: Graph) -> List[Violation]:
+    """IC-3: every DSD declares at least one measure."""
+    violations: List[Violation] = []
+    for dsd_iri in find_dsds(graph):
+        try:
+            dsd = DataStructureDefinition.from_graph(graph, dsd_iri)
+        except QBSchemaError as error:
+            violations.append(Violation("IC-3", str(error), dsd_iri))
+            continue
+        if not dsd.measure_properties():
+            violations.append(Violation(
+                "IC-3", "DSD declares no measure component", dsd_iri))
+    return violations
+
+
+def check_ic4_dimensions_are_iris(graph: Graph) -> List[Violation]:
+    """IC-4 (adjunct): qb:dimension values must be IRIs."""
+    violations: List[Violation] = []
+    for component in graph.subjects(None, None):
+        for value in graph.objects(component, qb.dimension):
+            if not isinstance(value, IRI):
+                violations.append(Violation(
+                    "IC-4", f"qb:dimension value {value!r} is not an IRI",
+                    component))
+    return violations
+
+
+def _datasets_with_dsd(graph: Graph) -> List[QBDataSet]:
+    datasets: List[QBDataSet] = []
+    for iri in find_datasets(graph):
+        try:
+            datasets.append(QBDataSet(graph, iri))
+        except QBSchemaError:
+            continue  # reported by IC-2
+    return datasets
+
+
+def check_ic11_dimensions_required(graph: Graph) -> List[Violation]:
+    """IC-11: observations carry a value for every dimension."""
+    violations: List[Violation] = []
+    for dataset in _datasets_with_dsd(graph):
+        required = dataset.dsd.dimension_properties()
+        for observation in dataset.observations():
+            for prop in required:
+                if prop not in observation.dimensions:
+                    violations.append(Violation(
+                        "IC-11",
+                        f"observation misses dimension {prop.value}",
+                        observation.iri))
+    return violations
+
+
+def check_ic12_no_duplicate_observations(graph: Graph) -> List[Violation]:
+    """IC-12: no two observations share all dimension values (hash-based, linear time)."""
+    violations: List[Violation] = []
+    for dataset in _datasets_with_dsd(graph):
+        order = dataset.dsd.dimension_properties()
+        seen: Dict[tuple, Term] = {}
+        for observation in dataset.observations():
+            key = observation.dimension_key(order)
+            if None in key:
+                continue  # IC-11 reports missing dimensions
+            if key in seen:
+                violations.append(Violation(
+                    "IC-12",
+                    f"duplicate dimension coordinates with {seen[key]}",
+                    observation.iri))
+            else:
+                seen[key] = observation.iri
+    return violations
+
+
+def check_ic14_measures_present(graph: Graph) -> List[Violation]:
+    """IC-14: observations carry every declared measure."""
+    violations: List[Violation] = []
+    for dataset in _datasets_with_dsd(graph):
+        measures = dataset.dsd.measure_properties()
+        for observation in dataset.observations():
+            for prop in measures:
+                if prop not in observation.measures:
+                    violations.append(Violation(
+                        "IC-14",
+                        f"observation misses measure {prop.value}",
+                        observation.iri))
+    return violations
+
+
+def check_measure_values_are_literals(graph: Graph) -> List[Violation]:
+    """Adjunct check: measure values must be literals."""
+    violations: List[Violation] = []
+    for dataset in _datasets_with_dsd(graph):
+        for observation in dataset.observations():
+            for prop, value in observation.measures.items():
+                if not isinstance(value, Literal):
+                    violations.append(Violation(
+                        "IC-MEAS",
+                        f"measure {prop.value} value {value!r} "
+                        "is not a literal",
+                        observation.iri))
+    return violations
+
+
+ALL_CHECKS: List[Callable[[Graph], List[Violation]]] = [
+    check_ic1_observation_dataset,
+    check_ic2_dataset_structure,
+    check_ic3_dsd_includes_measure,
+    check_ic4_dimensions_are_iris,
+    check_ic11_dimensions_required,
+    check_ic12_no_duplicate_observations,
+    check_ic14_measures_present,
+    check_measure_values_are_literals,
+]
+
+
+def validate_graph(graph: Graph) -> List[Violation]:
+    """Run every implemented integrity constraint over ``graph``."""
+    violations: List[Violation] = []
+    for check in ALL_CHECKS:
+        violations.extend(check(graph))
+    return violations
+
+
+def is_well_formed(graph: Graph) -> bool:
+    """True when no implemented constraint is violated."""
+    return not validate_graph(graph)

@@ -1,0 +1,44 @@
+"""Terms of the W3C RDF Data Cube vocabulary (QB).
+
+Convenience constants over :data:`repro.rdf.namespace.QB` so that model
+code reads like the spec: ``qb.DataStructureDefinition``,
+``qb.component``, ``qb.dimension`` and so on.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import QB
+
+# -- classes -----------------------------------------------------------------
+
+DataSet = QB.DataSet
+DataStructureDefinition = QB.DataStructureDefinition
+Observation = QB.Observation
+ComponentSpecification = QB.ComponentSpecification
+DimensionProperty = QB.DimensionProperty
+MeasureProperty = QB.MeasureProperty
+AttributeProperty = QB.AttributeProperty
+CodedProperty = QB.CodedProperty
+SliceClass = QB.Slice
+SliceKey = QB.SliceKey
+
+# -- properties ----------------------------------------------------------------
+
+structure = QB.structure
+component = QB.component
+dimension = QB.dimension
+measure = QB.measure
+attribute = QB.attribute
+componentProperty = QB.componentProperty
+componentRequired = QB.componentRequired
+componentAttachment = QB.componentAttachment
+order = QB.order
+dataSet = QB.dataSet
+observation = QB.observation
+codeList = QB.codeList
+concept = QB.concept
+sliceStructure = QB.sliceStructure
+sliceKey = QB.sliceKey
+
+#: The three component kinds a component specification can carry.
+COMPONENT_KINDS = ("dimension", "measure", "attribute")

@@ -1,0 +1,44 @@
+"""The QB4OLAP layer: multidimensional schemas over QB data.
+
+Models the QB4OLAP vocabulary — dimension levels, hierarchies with
+roll-up steps and cardinalities, level attributes and members, and
+measures with aggregate functions — plus graph readers/writers and
+validators.
+"""
+
+from repro.qb4olap.model import (
+    CubeSchema,
+    Dimension,
+    Hierarchy,
+    HierarchyStep,
+    Level,
+    Measure,
+    SchemaError,
+)
+from repro.qb4olap.reader import list_cubes, read_cube_schema
+from repro.qb4olap.validator import (
+    InstanceReport,
+    SchemaViolation,
+    validate_instances,
+    validate_schema,
+)
+from repro.qb4olap.writer import member_triples, schema_triples, write_schema
+
+__all__ = [
+    "CubeSchema",
+    "Dimension",
+    "Hierarchy",
+    "HierarchyStep",
+    "InstanceReport",
+    "Level",
+    "Measure",
+    "SchemaError",
+    "SchemaViolation",
+    "list_cubes",
+    "member_triples",
+    "read_cube_schema",
+    "schema_triples",
+    "validate_instances",
+    "validate_schema",
+    "write_schema",
+]

@@ -1,0 +1,140 @@
+"""Read a QB4OLAP graph into a :class:`~repro.qb4olap.model.CubeSchema`.
+
+The reader inspects the enriched schema triples that the Enrichment
+module generated (or that any QB4OLAP publisher asserted) and rebuilds
+the in-memory cube model used by Exploration and Querying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import IRI, Term
+from repro.qb import vocabulary as qb
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import (
+    CubeSchema,
+    Dimension,
+    Hierarchy,
+    HierarchyStep,
+    Measure,
+    SchemaError,
+)
+
+
+def _iri_objects(graph: Graph, subject: Term, predicate: IRI) -> List[IRI]:
+    return sorted(
+        (o for o in graph.objects(subject, predicate) if isinstance(o, IRI)),
+        key=lambda iri: iri.value)
+
+
+def read_cube_schema(graph: Graph, dataset: IRI,
+                     dsd: Optional[IRI] = None) -> CubeSchema:
+    """Build the cube schema for ``dataset`` from ``graph``.
+
+    ``dsd`` may be passed explicitly when the dataset lacks a
+    ``qb:structure`` link (e.g. while enrichment is still in flight).
+    """
+    if dsd is None:
+        value = graph.value(dataset, qb.structure, None)
+        if not isinstance(value, IRI):
+            raise SchemaError(f"data set {dataset} has no qb:structure")
+        dsd = value
+
+    schema = CubeSchema(dsd=dsd, dataset=dataset)
+
+    # -- components: levels (with cardinality) and measures ------------------
+    dsd_levels: List[IRI] = []
+    for component in graph.objects(dsd, qb.component):
+        level = graph.value(component, qb4o.level, None)
+        if isinstance(level, IRI):
+            dsd_levels.append(level)
+            cardinality = graph.value(component, qb4o.cardinality, None)
+            if isinstance(cardinality, IRI):
+                schema.cardinalities[level] = cardinality
+            continue
+        measure = graph.value(component, qb.measure, None)
+        if isinstance(measure, IRI):
+            aggregate = graph.value(component, qb4o.aggregateFunction, None)
+            if not isinstance(aggregate, IRI):
+                aggregate = qb4o.SUM
+            schema.measures.append(Measure(measure, aggregate))
+
+    # -- dimensions reachable from the DSD levels ------------------------------
+    level_to_dimension: Dict[IRI, IRI] = {}
+    dimension_iris: List[IRI] = []
+    for hierarchy_iri in graph.subjects(RDF.type, qb4o.Hierarchy):
+        dimension = graph.value(hierarchy_iri, qb4o.inDimension, None)
+        if not isinstance(dimension, IRI):
+            continue
+        if dimension not in dimension_iris:
+            dimension_iris.append(dimension)
+        for level in _iri_objects(graph, hierarchy_iri, qb4o.hasLevel):
+            level_to_dimension.setdefault(level, dimension)
+    dimension_iris.sort(key=lambda iri: iri.value)
+
+    for dimension_iri in dimension_iris:
+        dimension = Dimension(dimension_iri)
+        hierarchy_iris = _iri_objects(graph, dimension_iri, qb4o.hasHierarchy)
+        # also accept hierarchies that only assert qb4o:inDimension
+        for hierarchy_iri in graph.subjects(qb4o.inDimension, dimension_iri):
+            if isinstance(hierarchy_iri, IRI) \
+                    and hierarchy_iri not in hierarchy_iris:
+                hierarchy_iris.append(hierarchy_iri)
+        for hierarchy_iri in sorted(hierarchy_iris, key=lambda i: i.value):
+            hierarchy = Hierarchy(hierarchy_iri, dimension_iri)
+            hierarchy.levels = _iri_objects(graph, hierarchy_iri, qb4o.hasLevel)
+            for step_node in graph.subjects(qb4o.inHierarchy, hierarchy_iri):
+                child = graph.value(step_node, qb4o.childLevel, None)
+                parent = graph.value(step_node, qb4o.parentLevel, None)
+                cardinality = graph.value(step_node, qb4o.pcCardinality, None)
+                if isinstance(child, IRI) and isinstance(parent, IRI):
+                    hierarchy.steps.append(HierarchyStep(
+                        child, parent,
+                        cardinality if isinstance(cardinality, IRI)
+                        else qb4o.MANY_TO_ONE))
+            hierarchy.steps.sort(key=lambda s: (s.child.value, s.parent.value))
+            dimension.hierarchies.append(hierarchy)
+        schema.dimensions.append(dimension)
+
+    # -- DSD level → owning dimension ------------------------------------------
+    for level in dsd_levels:
+        dimension_iri = level_to_dimension.get(level)
+        if dimension_iri is not None:
+            schema.dimension_levels[dimension_iri] = level
+        else:
+            # degenerate dimension: the level participates in no hierarchy;
+            # expose it as a single-level dimension named after the level.
+            dimension = Dimension(level)
+            hierarchy = Hierarchy(
+                IRI(level.value + "/implicitHier"), level, [level], [])
+            dimension.hierarchies.append(hierarchy)
+            schema.dimensions.append(dimension)
+            schema.dimension_levels[level] = level
+
+    # -- level attributes ----------------------------------------------------------
+    for level in set(level_to_dimension) | set(dsd_levels):
+        attributes = _iri_objects(graph, level, qb4o.hasAttribute)
+        if attributes:
+            schema.level_attributes[level] = attributes
+
+    schema.dimensions.sort(key=lambda d: d.iri.value)
+    return schema
+
+
+def list_cubes(graph: Graph) -> List[IRI]:
+    """Data sets in ``graph`` whose DSD carries QB4OLAP level components."""
+    cubes: List[IRI] = []
+    for dataset in graph.subjects(RDF.type, qb.DataSet):
+        if not isinstance(dataset, IRI):
+            continue
+        dsd = graph.value(dataset, qb.structure, None)
+        if dsd is None:
+            continue
+        for component in graph.objects(dsd, qb.component):
+            if graph.value(component, qb4o.level, None) is not None:
+                cubes.append(dataset)
+                break
+    return sorted(cubes, key=lambda iri: iri.value)

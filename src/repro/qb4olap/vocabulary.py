@@ -1,0 +1,67 @@
+"""Terms of the QB4OLAP vocabulary (version 1.3 style).
+
+QB4OLAP extends QB with the multidimensional concepts OLAP needs
+(§II of the paper): dimension levels, hierarchies, hierarchy steps with
+parent/child cardinalities, level attributes, level members, and
+aggregate functions attached to measures.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import QB4O
+
+# -- classes -----------------------------------------------------------------
+
+DimensionProperty = QB4O.DimensionProperty  # rarely used; QB's is reused
+LevelProperty = QB4O.LevelProperty
+LevelAttribute = QB4O.LevelAttribute
+Hierarchy = QB4O.Hierarchy
+HierarchyStep = QB4O.HierarchyStep
+LevelMember = QB4O.LevelMember
+AggregateFunction = QB4O.AggregateFunction
+Cardinality = QB4O.Cardinality
+
+# -- properties ----------------------------------------------------------------
+
+level = QB4O.level
+cardinality = QB4O.cardinality
+aggregateFunction = QB4O.aggregateFunction
+hasHierarchy = QB4O.hasHierarchy
+inDimension = QB4O.inDimension
+hasLevel = QB4O.hasLevel
+inHierarchy = QB4O.inHierarchy
+childLevel = QB4O.childLevel
+parentLevel = QB4O.parentLevel
+pcCardinality = QB4O.pcCardinality
+hasAttribute = QB4O.hasAttribute
+inLevel = QB4O.inLevel
+memberOf = QB4O.memberOf
+isCuboidOf = QB4O.isCuboidOf
+
+# -- aggregate function instances ---------------------------------------------
+
+SUM = QB4O.sum
+AVG = QB4O.avg
+COUNT = QB4O.count
+MIN = QB4O.min
+MAX = QB4O.max
+
+AGGREGATE_FUNCTIONS = (SUM, AVG, COUNT, MIN, MAX)
+
+#: Map from function IRI → SPARQL aggregate keyword.
+AGGREGATE_TO_SPARQL = {
+    SUM: "SUM",
+    AVG: "AVG",
+    COUNT: "COUNT",
+    MIN: "MIN",
+    MAX: "MAX",
+}
+
+# -- cardinality instances -------------------------------------------------------
+
+ONE_TO_ONE = QB4O.OneToOne
+ONE_TO_MANY = QB4O.OneToMany
+MANY_TO_ONE = QB4O.ManyToOne
+MANY_TO_MANY = QB4O.ManyToMany
+
+CARDINALITIES = (ONE_TO_ONE, ONE_TO_MANY, MANY_TO_ONE, MANY_TO_MANY)

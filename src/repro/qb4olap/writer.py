@@ -1,0 +1,95 @@
+"""Serialize a :class:`~repro.qb4olap.model.CubeSchema` to QB4OLAP triples.
+
+This is the output half of the Enrichment module's *Triple Generation
+Phase*: schema triples describing the cube structure, plus instance
+triples (level membership and roll-up links) produced elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, SKOS
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
+from repro.qb import vocabulary as qb
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import CubeSchema, Dimension, Hierarchy
+
+
+def schema_triples(schema: CubeSchema) -> List[Triple]:
+    """All schema-level triples for ``schema`` (deterministic order)."""
+    triples: List[Triple] = []
+
+    def emit(s: Term, p: Term, o: Term) -> None:
+        triples.append(Triple(s, p, o))
+
+    # data set + DSD skeleton
+    emit(schema.dataset, RDF.type, qb.DataSet)
+    emit(schema.dataset, qb.structure, schema.dsd)
+    emit(schema.dsd, RDF.type, qb.DataStructureDefinition)
+
+    # components: one blank node per level / measure
+    for dimension in schema.dimensions:
+        level = schema.dimension_levels.get(dimension.iri)
+        if level is None:
+            continue
+        node = BNode()
+        emit(schema.dsd, qb.component, node)
+        emit(node, qb4o.level, level)
+        emit(node, qb4o.cardinality,
+             schema.cardinalities.get(level, qb4o.MANY_TO_ONE))
+    for measure in schema.measures:
+        node = BNode()
+        emit(schema.dsd, qb.component, node)
+        emit(node, qb.measure, measure.iri)
+        emit(node, qb4o.aggregateFunction, measure.aggregate)
+
+    # dimensions, hierarchies, steps, levels and attributes
+    for dimension in schema.dimensions:
+        emit(dimension.iri, RDF.type, qb.DimensionProperty)
+        for hierarchy in dimension.hierarchies:
+            emit(dimension.iri, qb4o.hasHierarchy, hierarchy.iri)
+            emit(hierarchy.iri, RDF.type, qb4o.Hierarchy)
+            emit(hierarchy.iri, qb4o.inDimension, dimension.iri)
+            for level in hierarchy.levels:
+                emit(hierarchy.iri, qb4o.hasLevel, level)
+            for step in hierarchy.steps:
+                step_node = BNode()
+                emit(step_node, RDF.type, qb4o.HierarchyStep)
+                emit(step_node, qb4o.inHierarchy, hierarchy.iri)
+                emit(step_node, qb4o.childLevel, step.child)
+                emit(step_node, qb4o.parentLevel, step.parent)
+                emit(step_node, qb4o.pcCardinality, step.cardinality)
+        for level in dimension.levels():
+            emit(level, RDF.type, qb4o.LevelProperty)
+            for attribute in schema.attributes_of(level):
+                emit(level, qb4o.hasAttribute, attribute)
+                emit(attribute, RDF.type, qb4o.LevelAttribute)
+                emit(attribute, qb4o.inLevel, level)
+    return triples
+
+
+def write_schema(schema: CubeSchema, graph: Graph) -> int:
+    """Add the schema triples to ``graph``; returns triples added."""
+    before = len(graph)
+    graph.add_all(schema_triples(schema))
+    return len(graph) - before
+
+
+def member_triples(member: IRI, level: IRI,
+                   parent: IRI | None = None,
+                   attributes: Iterable[tuple[IRI, Term]] = ()
+                   ) -> List[Triple]:
+    """Instance triples for one level member.
+
+    ``qb4o:memberOf`` asserts membership; ``skos:broader`` links the
+    member to its parent member one level up (the roll-up edge QL
+    navigates); attribute pairs attach descriptive values.
+    """
+    triples = [Triple(member, qb4o.memberOf, level)]
+    if parent is not None:
+        triples.append(Triple(member, SKOS.broader, parent))
+    for attribute, value in attributes:
+        triples.append(Triple(member, attribute, value))
+    return triples

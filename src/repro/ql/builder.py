@@ -1,0 +1,133 @@
+"""Fluent programmatic construction of QL programs.
+
+Graphical OLAP tools "can be developed, and translated first into a
+mediator language like QL" (paper §IV) — this builder is that
+programmatic entry point: it produces the same
+:class:`~repro.ql.ast.QLProgram` the text parser does.
+
+>>> program = (QLBuilder(cube_iri)
+...            .slice(asylapp_dim)
+...            .rollup(citizenship_dim, continent_level)
+...            .dice(attr(citizenship_dim, continent_level,
+...                       continent_name) == "Africa")
+...            .build())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.rdf.terms import IRI, Literal
+from repro.ql.ast import (
+    AttributePath,
+    BooleanCondition,
+    Comparison,
+    Dice,
+    DiceCondition,
+    DrillDown,
+    MeasureRef,
+    NotCondition,
+    QLProgram,
+    RollUp,
+    Slice,
+    Statement,
+)
+
+
+class ConditionBuilder:
+    """Wraps a dice operand so comparison operators build conditions."""
+
+    def __init__(self, operand: Union[AttributePath, MeasureRef]) -> None:
+        self.operand = operand
+
+    def _compare(self, op: str, value) -> Comparison:
+        if not isinstance(value, (Literal, IRI)):
+            value = Literal(value)
+        return Comparison(self.operand, op, value)
+
+    def __eq__(self, value) -> Comparison:  # type: ignore[override]
+        return self._compare("=", value)
+
+    def __ne__(self, value) -> Comparison:  # type: ignore[override]
+        return self._compare("!=", value)
+
+    def __lt__(self, value) -> Comparison:
+        return self._compare("<", value)
+
+    def __le__(self, value) -> Comparison:
+        return self._compare("<=", value)
+
+    def __gt__(self, value) -> Comparison:
+        return self._compare(">", value)
+
+    def __ge__(self, value) -> Comparison:
+        return self._compare(">=", value)
+
+    def __hash__(self) -> int:
+        return hash(self.operand)
+
+
+def attr(dimension: IRI, level: IRI, attribute: IRI) -> ConditionBuilder:
+    """A ``dimension|level|attribute`` dice operand."""
+    return ConditionBuilder(AttributePath(dimension, level, attribute))
+
+
+def measure(measure_iri: IRI) -> ConditionBuilder:
+    """A measure dice operand."""
+    return ConditionBuilder(MeasureRef(measure_iri))
+
+
+def all_of(*conditions: DiceCondition) -> DiceCondition:
+    """AND-combination of dice conditions."""
+    if len(conditions) == 1:
+        return conditions[0]
+    return BooleanCondition("AND", tuple(conditions))
+
+
+def any_of(*conditions: DiceCondition) -> DiceCondition:
+    """OR-combination of dice conditions."""
+    if len(conditions) == 1:
+        return conditions[0]
+    return BooleanCondition("OR", tuple(conditions))
+
+
+def negate(condition: DiceCondition) -> DiceCondition:
+    """Negate a dice condition (builder-level NOT)."""
+    return NotCondition(condition)
+
+
+class QLBuilder:
+    """Accumulates operations into a well-formed QL program."""
+
+    def __init__(self, cube: IRI, variable_prefix: str = "$C") -> None:
+        self.cube = cube
+        self.variable_prefix = variable_prefix
+        self._operations: List = []
+
+    def rollup(self, dimension: IRI, level: IRI) -> "QLBuilder":
+        self._operations.append(RollUp(dimension, level))
+        return self
+
+    def drilldown(self, dimension: IRI, level: IRI) -> "QLBuilder":
+        self._operations.append(DrillDown(dimension, level))
+        return self
+
+    def slice(self, target: IRI) -> "QLBuilder":
+        self._operations.append(Slice(target))
+        return self
+
+    def dice(self, condition: DiceCondition) -> "QLBuilder":
+        self._operations.append(Dice(condition))
+        return self
+
+    def build(self) -> QLProgram:
+        if not self._operations:
+            raise ValueError("QL program needs at least one operation")
+        program = QLProgram()
+        previous: Union[str, IRI] = self.cube
+        for index, operation in enumerate(self._operations, start=1):
+            variable = f"{self.variable_prefix}{index}"
+            program.statements.append(
+                Statement(variable, previous, operation))
+            previous = variable
+        return program

@@ -1,0 +1,175 @@
+"""Semantic validation of QL programs against a cube schema.
+
+Tracks the *cube state* through the pipeline — which level each
+dimension currently sits at, which dimensions/measures were sliced
+away — and rejects programs that:
+
+* violate the ``(ROLLUP | SLICE | DRILLDOWN)* (DICE)*`` shape the
+  Querying module imposes,
+* roll up along a non-existent path, drill below the base granularity,
+  or touch sliced/unknown dimensions,
+* dice on attributes that do not belong to the dimension's *current*
+  level, or on unknown/sliced measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.rdf.terms import IRI
+from repro.qb4olap.model import CubeSchema, SchemaError
+from repro.ql.ast import (
+    AttributePath,
+    Dice,
+    DrillDown,
+    MeasureRef,
+    Operation,
+    QLProgram,
+    RollUp,
+    Slice,
+)
+
+
+class QLSemanticError(Exception):
+    """A QL program is inconsistent with the cube schema."""
+
+
+@dataclass
+class CubeState:
+    """The (virtual) cube produced so far by a QL prefix."""
+
+    schema: CubeSchema
+    #: dimension IRI → current level (sliced dimensions removed)
+    levels: Dict[IRI, IRI] = field(default_factory=dict)
+    #: measures still present
+    measures: List[IRI] = field(default_factory=list)
+    sliced_dimensions: Set[IRI] = field(default_factory=set)
+    sliced_measures: Set[IRI] = field(default_factory=set)
+
+    @classmethod
+    def initial(cls, schema: CubeSchema) -> "CubeState":
+        state = cls(schema=schema)
+        for dimension in schema.dimensions:
+            state.levels[dimension.iri] = schema.bottom_level(dimension.iri)
+        state.measures = [measure.iri for measure in schema.measures]
+        return state
+
+    def copy(self) -> "CubeState":
+        clone = CubeState(schema=self.schema)
+        clone.levels = dict(self.levels)
+        clone.measures = list(self.measures)
+        clone.sliced_dimensions = set(self.sliced_dimensions)
+        clone.sliced_measures = set(self.sliced_measures)
+        return clone
+
+
+def apply_operation(state: CubeState, operation: Operation) -> CubeState:
+    """Validate one operation against ``state``; return the next state."""
+    schema = state.schema
+    next_state = state.copy()
+    if isinstance(operation, (RollUp, DrillDown)):
+        dimension = operation.dimension
+        if dimension in state.sliced_dimensions:
+            raise QLSemanticError(
+                f"{operation.name} on sliced dimension {dimension}")
+        if dimension not in state.levels:
+            raise QLSemanticError(
+                f"{operation.name} on unknown dimension {dimension}")
+        target = operation.level
+        dim = schema.require_dimension(dimension)
+        if target not in dim.levels():
+            raise QLSemanticError(
+                f"level {target} does not belong to dimension {dimension}")
+        bottom = schema.bottom_level(dimension)
+        found = dim.find_path(bottom, target)
+        if found is None:
+            raise QLSemanticError(
+                f"no roll-up path from {bottom} to {target} "
+                f"in dimension {dimension}")
+        if isinstance(operation, RollUp):
+            # must go up (or stay) from the current level
+            current = state.levels[dimension]
+            current_path = dim.find_path(bottom, current)
+            target_path = found
+            if current_path is not None \
+                    and len(target_path[1]) < len(current_path[1]):
+                raise QLSemanticError(
+                    f"ROLLUP to {target.local_name()} is below the "
+                    f"current level {current.local_name()}; use DRILLDOWN")
+        else:
+            current = state.levels[dimension]
+            current_path = dim.find_path(bottom, current)
+            if current_path is not None \
+                    and len(found[1]) > len(current_path[1]):
+                raise QLSemanticError(
+                    f"DRILLDOWN to {target.local_name()} is above the "
+                    f"current level {current.local_name()}; use ROLLUP")
+        next_state.levels[dimension] = target
+        return next_state
+    if isinstance(operation, Slice):
+        target = operation.target
+        if target in state.levels:
+            del next_state.levels[target]
+            next_state.sliced_dimensions.add(target)
+            return next_state
+        if target in state.measures:
+            if len(state.measures) == 1:
+                raise QLSemanticError(
+                    "cannot slice away the last measure")
+            next_state.measures.remove(target)
+            next_state.sliced_measures.add(target)
+            return next_state
+        raise QLSemanticError(
+            f"SLICE target {target} is neither a dimension nor a measure "
+            "of the cube")
+    if isinstance(operation, Dice):
+        _check_dice(state, operation)
+        return next_state
+    raise QLSemanticError(f"unknown operation {operation!r}")
+
+
+def _check_dice(state: CubeState, dice: Dice) -> None:
+    for path in dice.condition.attribute_paths():
+        if path.dimension in state.sliced_dimensions:
+            raise QLSemanticError(
+                f"DICE references sliced dimension {path.dimension}")
+        current = state.levels.get(path.dimension)
+        if current is None:
+            raise QLSemanticError(
+                f"DICE references unknown dimension {path.dimension}")
+        if path.level != current:
+            raise QLSemanticError(
+                f"DICE attribute {path.attribute.local_name()} is bound to "
+                f"level {path.level.local_name()} but dimension "
+                f"{path.dimension.local_name()} currently sits at "
+                f"{current.local_name()}")
+        attributes = state.schema.attributes_of(path.level)
+        if path.attribute not in attributes:
+            raise QLSemanticError(
+                f"{path.attribute} is not an attribute of level "
+                f"{path.level}")
+    for ref in dice.condition.measure_refs():
+        if ref.measure in state.sliced_measures:
+            raise QLSemanticError(
+                f"DICE references sliced measure {ref.measure}")
+        if ref.measure not in state.measures:
+            raise QLSemanticError(
+                f"{ref.measure} is not a measure of the cube")
+
+
+def check_program(program: QLProgram, schema: CubeSchema) -> CubeState:
+    """Validate the whole program; returns the final cube state."""
+    operations = program.operations()
+    seen_dice = False
+    for operation in operations:
+        if isinstance(operation, Dice):
+            seen_dice = True
+        elif seen_dice:
+            raise QLSemanticError(
+                "QL requires all DICE operations at the end of the "
+                "program: (ROLLUP | SLICE | DRILLDOWN)* (DICE)*")
+    state = CubeState.initial(schema)
+    for operation in operations:
+        state = apply_operation(state, operation)
+    return state

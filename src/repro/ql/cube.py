@@ -1,0 +1,155 @@
+"""The result cube: what a QL query returns.
+
+"The resulting cube is computed on-the-fly" (paper §III-B).  A
+:class:`ResultCube` wraps the SPARQL result table with the cube
+metadata the translator tracked: which columns are dimension
+coordinates (and at which level), and which are aggregated measures.
+It offers cell access by coordinates, 2-D pivots and text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.results import ResultTable
+from repro.ql.translator import TranslationMetadata
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One dimension axis of the result cube."""
+
+    dimension: IRI
+    level: IRI
+    column: str  # result-table column with the member coordinate
+
+    def __str__(self) -> str:
+        return f"{self.dimension.local_name()}@{self.level.local_name()}"
+
+
+class ResultCube:
+    """An in-memory OLAP cube materialized from a query result."""
+
+    def __init__(self, table: ResultTable,
+                 metadata: TranslationMetadata) -> None:
+        self.table = table
+        self.axes: List[Axis] = [
+            Axis(binding.dimension, binding.final_level,
+                 binding.group_variable)
+            for binding in metadata.dimensions
+        ]
+        self.measures: Dict[IRI, str] = dict(metadata.measure_aliases)
+        self._cells: Dict[Tuple[Term, ...], Dict[str, Term]] = {}
+        axis_columns = [axis.column for axis in self.axes]
+        measure_columns = list(self.measures.values())
+        for row in table:
+            key = tuple(row.get(column) for column in axis_columns)
+            self._cells[key] = {
+                column: row.get(column) for column in measure_columns}
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def coordinates(self) -> List[Tuple[Term, ...]]:
+        return list(self._cells.keys())
+
+    def cell(self, *coordinate: Term) -> Optional[Dict[str, Term]]:
+        """Measure values at a coordinate (axis order), or ``None``."""
+        return self._cells.get(tuple(coordinate))
+
+    def value(self, measure: IRI, *coordinate: Term):
+        """The Python value of one measure at a coordinate."""
+        cell = self.cell(*coordinate)
+        if cell is None:
+            return None
+        term = cell.get(self.measures[measure])
+        if isinstance(term, Literal):
+            return term.value
+        return term
+
+    def members(self, axis_index: int = 0) -> List[Term]:
+        """Distinct members along one axis, sorted."""
+        seen = []
+        found = set()
+        for key in self._cells:
+            member = key[axis_index]
+            if member not in found:
+                found.add(member)
+                seen.append(member)
+        seen.sort(key=lambda t: getattr(t, "value", str(t)))
+        return seen
+
+    def totals(self) -> Dict[IRI, float]:
+        """Grand total per measure (sums the aggregated cells)."""
+        totals: Dict[IRI, float] = {}
+        for measure, column in self.measures.items():
+            total = 0.0
+            for cell in self._cells.values():
+                term = cell.get(column)
+                if isinstance(term, Literal) and term.is_numeric:
+                    value = term.value
+                    if not isinstance(value, str):
+                        total += float(value)
+            totals[measure] = total
+        return totals
+
+    # -- presentation -------------------------------------------------------------
+
+    @staticmethod
+    def _label(term: Optional[Term]) -> str:
+        if term is None:
+            return "-"
+        if isinstance(term, IRI):
+            return term.local_name()
+        if isinstance(term, Literal):
+            return term.lexical
+        return str(term)
+
+    def pivot(self, row_axis: int, column_axis: int,
+              measure: Optional[IRI] = None) -> str:
+        """A 2-D pivot-table rendering (remaining axes are summed)."""
+        if measure is None:
+            measure = next(iter(self.measures))
+        column_name = self.measures[measure]
+        sums: Dict[Tuple[Term, Term], float] = {}
+        for key, cell in self._cells.items():
+            row_member = key[row_axis]
+            column_member = key[column_axis]
+            term = cell.get(column_name)
+            if isinstance(term, Literal) and not isinstance(term.value, str):
+                sums[(row_member, column_member)] = \
+                    sums.get((row_member, column_member), 0.0) \
+                    + float(term.value)
+        rows = self.members(row_axis)
+        columns = self.members(column_axis)
+        header = [""] + [self._label(c) for c in columns]
+        grid = [header]
+        for row_member in rows:
+            line = [self._label(row_member)]
+            for column_member in columns:
+                value = sums.get((row_member, column_member))
+                line.append("" if value is None else f"{value:.0f}")
+            grid.append(line)
+        widths = [max(len(row[i]) for row in grid)
+                  for i in range(len(header))]
+        out_lines = []
+        for index, row in enumerate(grid):
+            out_lines.append(" | ".join(
+                cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                for i, cell in enumerate(row)))
+            if index == 0:
+                out_lines.append("-+-".join("-" * w for w in widths))
+        return "\n".join(out_lines)
+
+    def to_text(self, max_rows: Optional[int] = 20) -> str:
+        header = " × ".join(str(axis) for axis in self.axes) or "(scalar)"
+        return f"Cube [{header}] — {len(self)} cells\n" \
+               + self.table.to_text(max_rows=max_rows)
+
+    def __repr__(self) -> str:
+        axes = " × ".join(str(axis) for axis in self.axes)
+        return f"<ResultCube {axes or 'scalar'} ({len(self)} cells)>"

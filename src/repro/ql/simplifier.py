@@ -1,0 +1,131 @@
+"""The Query Simplification Phase (paper §III-B).
+
+"QL queries are automatically simplified to produce better ones (e.g.,
+the user may have included unnecessary operations, or written them in a
+non-optimal ordered sequence).  The current implementation applies the
+following typical OLAP processing optimization rules: (a) perform SLICE
+operations as soon as possible, to reduce the size of intermediate
+results; and (b) group all the ROLLUP and DRILLDOWN operations over the
+same dimension, and replace them with a single ROLLUP from the
+dimension's bottom level to the latest level reached by the sequence."
+
+The simplifier turns any valid pipeline into a canonical
+:class:`SimplifiedProgram`:
+
+* ``slices`` — every sliced dimension/measure (ordered first);
+* ``rollups`` — one final target level per non-sliced dimension whose
+  level moved (net effect of all its ROLLUP/DRILLDOWN hops);
+* ``dices`` — the dice conditions, in order, at the end.
+
+Roll-ups on dimensions that are later sliced are *dropped entirely* —
+their aggregation work would be thrown away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.terms import IRI
+from repro.qb4olap.model import CubeSchema
+from repro.ql.ast import (
+    Dice,
+    DiceCondition,
+    DrillDown,
+    Operation,
+    QLProgram,
+    RollUp,
+    Slice,
+)
+from repro.ql.checker import CubeState, QLSemanticError, check_program
+
+
+@dataclass
+class SimplifiedProgram:
+    """Canonical form of a QL pipeline."""
+
+    cube: IRI
+    slices: List[IRI] = field(default_factory=list)
+    #: dimension → final level (only dimensions that moved off bottom)
+    rollups: Dict[IRI, IRI] = field(default_factory=dict)
+    dices: List[DiceCondition] = field(default_factory=list)
+    #: final cube state (for result metadata)
+    state: Optional[CubeState] = None
+    #: prefix bindings inherited from the QL program (for readable SPARQL)
+    prefixes: Dict[str, str] = field(default_factory=dict)
+
+    def operations(self) -> List[Operation]:
+        """The simplified pipeline as a flat operation list."""
+        pipeline: List[Operation] = [Slice(target) for target in self.slices]
+        for dimension, level in self.rollups.items():
+            pipeline.append(RollUp(dimension, level))
+        pipeline.extend(Dice(condition) for condition in self.dices)
+        return pipeline
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.slices) + len(self.rollups) + len(self.dices)
+
+    def describe(self) -> str:
+        lines = [f"cube: {self.cube.value}"]
+        for target in self.slices:
+            lines.append(f"  SLICE {target.local_name()}")
+        for dimension, level in self.rollups.items():
+            lines.append(
+                f"  ROLLUP {dimension.local_name()} -> {level.local_name()}")
+        for condition in self.dices:
+            lines.append(f"  DICE {condition}")
+        return "\n".join(lines)
+
+
+def simplify(program: QLProgram, schema: CubeSchema) -> SimplifiedProgram:
+    """Validate and canonicalize ``program``.
+
+    The program is checked first (so simplification never silently
+    accepts invalid pipelines); the canonical form is derived from the
+    final cube state, which by construction encodes the net effect of
+    every ROLLUP/DRILLDOWN chain.
+    """
+    final_state = check_program(program, schema)
+    simplified = SimplifiedProgram(cube=program.cube, state=final_state,
+                                   prefixes=dict(program.prefixes))
+
+    # rule (a): slices first — ordered deterministically
+    sliced = sorted(final_state.sliced_dimensions, key=lambda i: i.value)
+    sliced += sorted(final_state.sliced_measures, key=lambda i: i.value)
+    simplified.slices = sliced
+
+    # rule (b): one ROLLUP per moved dimension, bottom -> final level
+    for dimension_iri, level in final_state.levels.items():
+        bottom = schema.bottom_level(dimension_iri)
+        if level != bottom:
+            simplified.rollups[dimension_iri] = level
+
+    # dices keep their order at the end
+    for operation in program.operations():
+        if isinstance(operation, Dice):
+            simplified.dices.append(operation.condition)
+    return simplified
+
+
+@dataclass
+class SimplificationReport:
+    """Before/after metrics for the E7 ablation."""
+
+    original_operations: int
+    simplified_operations: int
+
+    @property
+    def removed(self) -> int:
+        return self.original_operations - self.simplified_operations
+
+
+def simplify_with_report(program: QLProgram, schema: CubeSchema
+                         ) -> Tuple[SimplifiedProgram, SimplificationReport]:
+    """Simplify a program and report which rules fired."""
+    simplified = simplify(program, schema)
+    report = SimplificationReport(
+        original_operations=len(program.operations()),
+        simplified_operations=simplified.operation_count,
+    )
+    return simplified, report

@@ -1,0 +1,92 @@
+"""RDF substrate: terms, namespaces, graphs and serializations.
+
+This package replaces the Jena library used by the paper's Java
+implementation.  It provides exactly what QB2OLAP needs from an RDF
+stack: immutable terms, an indexed in-memory graph with pattern
+matching, named-graph datasets, and Turtle / N-Triples round-tripping.
+
+Quick tour:
+
+>>> from repro.rdf import Graph, IRI, Literal, Namespace
+>>> EX = Namespace("http://example.org/")
+>>> g = Graph()
+>>> _ = g.add(EX.nigeria, EX.partOf, EX.africa)
+>>> (EX.nigeria, EX.partOf, EX.africa) in g
+True
+"""
+
+from repro.rdf.errors import ParseError, RDFError, SerializationError, TermError
+from repro.rdf.graph import Dataset, Graph, TriplePattern
+from repro.rdf.namespace import (
+    DCT,
+    DEFAULT_PREFIXES,
+    FOAF,
+    Namespace,
+    NamespaceManager,
+    OWL,
+    QB,
+    QB4O,
+    RDF,
+    RDFS,
+    SDMX_ATTRIBUTE,
+    SDMX_CODE,
+    SDMX_CONCEPT,
+    SDMX_DIMENSION,
+    SDMX_MEASURE,
+    SKOS,
+    XSD,
+)
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Triple,
+    make_triple,
+    term_sort_key,
+    triple_sort_key,
+)
+from repro.rdf.trig import parse_trig, serialize_trig
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+__all__ = [
+    "BNode",
+    "DCT",
+    "DEFAULT_PREFIXES",
+    "Dataset",
+    "FOAF",
+    "Graph",
+    "IRI",
+    "Literal",
+    "Namespace",
+    "NamespaceManager",
+    "OWL",
+    "ParseError",
+    "QB",
+    "QB4O",
+    "RDF",
+    "RDFError",
+    "RDFS",
+    "SDMX_ATTRIBUTE",
+    "SDMX_CODE",
+    "SDMX_CONCEPT",
+    "SDMX_DIMENSION",
+    "SDMX_MEASURE",
+    "SKOS",
+    "SerializationError",
+    "Term",
+    "TermError",
+    "Triple",
+    "TriplePattern",
+    "XSD",
+    "make_triple",
+    "parse_ntriples",
+    "parse_trig",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_trig",
+    "serialize_turtle",
+    "term_sort_key",
+    "triple_sort_key",
+]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the RDF substrate.
+
+Every error raised by :mod:`repro.rdf` derives from :class:`RDFError`, so
+callers can catch substrate problems with a single ``except`` clause while
+still being able to distinguish term-level problems from syntax problems.
+"""
+
+from __future__ import annotations
+
+
+class RDFError(Exception):
+    """Base class for all RDF substrate errors."""
+
+
+class TermError(RDFError):
+    """An RDF term was constructed or used incorrectly.
+
+    Examples: a literal used as a triple subject, an IRI built from a
+    non-string, a malformed language tag.
+    """
+
+
+class ParseError(RDFError):
+    """A serialized RDF document (Turtle, N-Triples) could not be parsed.
+
+    Carries the line and column of the offending token when known so that
+    test fixtures and user files can be debugged positionally.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {column})" if column is not None else ")")
+            message = message + location
+        super().__init__(message)
+
+
+class SerializationError(RDFError):
+    """A graph could not be serialized to the requested format."""

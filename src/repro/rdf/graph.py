@@ -1,0 +1,367 @@
+"""An indexed, in-memory RDF graph and a named-graph dataset.
+
+:class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that any triple
+pattern with at least one bound position is answered by dictionary lookups
+rather than scans.  This is the storage layer underneath the local SPARQL
+endpoint that stands in for the Virtuoso instance used in the paper.
+
+Pattern positions use ``None`` as the wildcard:
+
+>>> from repro.rdf.terms import IRI
+>>> g = Graph()
+>>> _ = g.add(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o"))
+>>> len(list(g.triples((None, IRI("http://e/p"), None))))
+1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from repro.rdf.errors import TermError
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, make_triple
+
+TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    try:
+        level2 = index[a]
+        level3 = level2[b]
+        level3.discard(c)
+        if not level3:
+            del level2[b]
+        if not level2:
+            del index[a]
+    except KeyError:
+        pass
+
+
+class Graph:
+    """A mutable set of RDF triples with SPO/POS/OSP indexes."""
+
+    def __init__(self, identifier: Optional[IRI] = None,
+                 namespace_manager: Optional[NamespaceManager] = None) -> None:
+        self.identifier = identifier
+        self.namespace_manager = namespace_manager or NamespaceManager()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, subject_or_triple: Union[Term, Triple, Tuple],
+            predicate: Optional[Term] = None,
+            obj: Optional[Term] = None) -> "Graph":
+        """Add one triple; accepts ``add(triple)`` or ``add(s, p, o)``.
+
+        Returns the graph so calls can be chained.
+        """
+        if predicate is None and obj is None:
+            triple = subject_or_triple
+            if not isinstance(triple, tuple) or len(triple) != 3:
+                raise TermError(f"expected a triple, got {triple!r}")
+            s, p, o = triple
+        else:
+            s, p, o = subject_or_triple, predicate, obj
+        validated = make_triple(s, p, o)
+        s, p, o = validated
+        if o in self._spo.get(s, {}).get(p, ()):  # already present
+            return self
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        return self
+
+    def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> "Graph":
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> int:
+        """Remove all triples matching ``pattern``; return how many."""
+        victims = list(self.triples(pattern))
+        for s, p, o in victims:
+            _index_remove(self._spo, s, p, o)
+            _index_remove(self._pos, p, o, s)
+            _index_remove(self._osp, o, s, p)
+        self._size -= len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # -- query ---------------------------------------------------------------
+
+    def triples(self, pattern: TriplePattern = (None, None, None)
+                ) -> Iterator[Triple]:
+        """Yield all triples matching a pattern with ``None`` wildcards."""
+        s, p, o = pattern
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, p, o)
+                    return
+                for obj in objects:
+                    yield Triple(s, p, obj)
+                return
+            for predicate, objects in by_predicate.items():
+                if o is not None:
+                    if o in objects:
+                        yield Triple(s, predicate, o)
+                    continue
+                for obj in objects:
+                    yield Triple(s, predicate, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                for subject in by_object.get(o, ()):
+                    yield Triple(subject, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subject in subjects:
+                    yield Triple(subject, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subject, predicates in by_subject.items():
+                for predicate in predicates:
+                    yield Triple(subject, predicate, o)
+            return
+        for subject, by_predicate in self._spo.items():
+            for predicate, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(subject, predicate, obj)
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """Number of triples matching ``pattern`` (cheap for (None,)*3)."""
+        if pattern == (None, None, None):
+            return self._size
+        return sum(1 for _ in self.triples(pattern))
+
+    def estimate(self, pattern: TriplePattern) -> int:
+        """Cheap cardinality estimate for ``pattern`` (join ordering).
+
+        Exact for fully bound and (s,p,·)/(·,p,o) shapes; an index-size
+        proxy otherwise.  Never iterates matches.
+        """
+        s, p, o = pattern
+        if s is not None and p is not None:
+            objects = self._spo.get(s, {}).get(p)
+            if objects is None:
+                return 0
+            if o is not None:
+                return 1 if o in objects else 0
+            return len(objects)
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return 0
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            return sum(len(objs) for objs in by_predicate.values())
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return 0
+            # distinct objects is a lower bound; good enough for ordering
+            return sum(len(subjects) for subjects in by_object.values())
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return 0
+            return sum(len(preds) for preds in by_subject.values())
+        return self._size
+
+    def subjects(self, predicate: Optional[Term] = None,
+                 obj: Optional[Term] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for triple in self.triples((None, predicate, obj)):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def predicates(self, subject: Optional[Term] = None,
+                   obj: Optional[Term] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for triple in self.triples((subject, None, obj)):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def objects(self, subject: Optional[Term] = None,
+                predicate: Optional[Term] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for triple in self.triples((subject, predicate, None)):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def value(self, subject: Optional[Term] = None,
+              predicate: Optional[Term] = None,
+              obj: Optional[Term] = None,
+              default: Optional[Term] = None) -> Optional[Term]:
+        """Return the single term completing the two given positions.
+
+        Exactly two of subject/predicate/object must be bound.  When no
+        triple matches, ``default`` is returned; when several match, an
+        arbitrary one is returned (mirrors common RDF library behaviour).
+        """
+        bound = sum(term is not None for term in (subject, predicate, obj))
+        if bound != 2:
+            raise TermError("Graph.value needs exactly two bound positions")
+        for triple in self.triples((subject, predicate, obj)):
+            if subject is None:
+                return triple.subject
+            if predicate is None:
+                return triple.predicate
+            return triple.object
+        return default
+
+    # -- convenience ---------------------------------------------------------
+
+    def subject_predicates(self, subject: Term) -> Dict[Term, Set[Term]]:
+        """All (predicate → objects) for one subject, as plain dicts."""
+        return {
+            predicate: set(objects)
+            for predicate, objects in self._spo.get(subject, {}).items()
+        }
+
+    def __contains__(self, triple: Tuple) -> bool:
+        s, p, o = triple
+        return next(iter(self.triples((s, p, o))), None) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        return self.add_all(other)
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality on ground triples (blank-node labels compared as-is)."""
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(triple in other for triple in self)
+
+    def __hash__(self) -> int:  # identity hashing: graphs are mutable
+        return id(self)
+
+    def copy(self) -> "Graph":
+        clone = Graph(self.identifier, self.namespace_manager.copy())
+        clone.add_all(self)
+        return clone
+
+    def bind(self, prefix: str, namespace) -> None:
+        self.namespace_manager.bind(prefix, namespace)
+
+    def qname(self, iri: IRI) -> str:
+        """Compact form when possible, else the ``<...>`` N-Triples form."""
+        compact = self.namespace_manager.compact(iri)
+        return compact if compact is not None else iri.n3()
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier else "default"
+        return f"<Graph {name} ({self._size} triples)>"
+
+    # -- serialization entry points (implemented in sibling modules) ---------
+
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialize to ``turtle`` or ``ntriples`` text."""
+        if format in ("turtle", "ttl"):
+            from repro.rdf.turtle import serialize_turtle
+            return serialize_turtle(self)
+        if format in ("ntriples", "nt"):
+            from repro.rdf.ntriples import serialize_ntriples
+            return serialize_ntriples(self)
+        raise TermError(f"unknown serialization format: {format!r}")
+
+    def parse(self, text: str, format: str = "turtle") -> "Graph":
+        """Parse RDF text into this graph; returns the graph."""
+        if format in ("turtle", "ttl"):
+            from repro.rdf.turtle import parse_turtle
+            parse_turtle(text, self)
+            return self
+        if format in ("ntriples", "nt"):
+            from repro.rdf.ntriples import parse_ntriples
+            parse_ntriples(text, self)
+            return self
+        raise TermError(f"unknown parse format: {format!r}")
+
+
+class Dataset:
+    """A collection of named graphs plus a default graph.
+
+    This mirrors the SPARQL dataset model: updates and queries address
+    either the default graph or a named graph IRI.  The QB2OLAP endpoint
+    stores the original QB data, the generated QB4OLAP schema, and level
+    instances in separate named graphs, as the paper's tool does with
+    Virtuoso.
+    """
+
+    def __init__(self) -> None:
+        self.namespace_manager = NamespaceManager()
+        self.default = Graph(namespace_manager=self.namespace_manager)
+        self._named: Dict[IRI, Graph] = {}
+
+    def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
+        """Fetch (creating on demand) the graph with ``identifier``."""
+        if identifier is None:
+            return self.default
+        iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
+        if iri not in self._named:
+            self._named[iri] = Graph(iri, self.namespace_manager)
+        return self._named[iri]
+
+    def drop(self, identifier: Union[IRI, str]) -> bool:
+        iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
+        return self._named.pop(iri, None) is not None
+
+    def graphs(self) -> Iterator[Graph]:
+        """All named graphs (the default graph is not included)."""
+        return iter(self._named.values())
+
+    def union(self) -> Graph:
+        """A merged copy of the default plus all named graphs."""
+        merged = Graph(namespace_manager=self.namespace_manager.copy())
+        merged.add_all(self.default)
+        for graph in self._named.values():
+            merged.add_all(graph)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.default) + sum(len(g) for g in self._named.values())
+
+    def __contains__(self, identifier: Union[IRI, str]) -> bool:
+        iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
+        return iri in self._named

@@ -1,0 +1,183 @@
+"""Namespaces and prefix management.
+
+A :class:`Namespace` mints :class:`~repro.rdf.terms.IRI` terms by attribute
+or item access; a :class:`NamespaceManager` maintains prefix bindings for
+compact (qname) rendering in Turtle and SPARQL text.
+
+All vocabularies the reproduction needs are predefined here: RDF core
+vocabularies, SKOS, the W3C Data Cube vocabulary (QB), QB4OLAP, and the
+SDMX component vocabularies that statistical data sets reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.rdf.terms import IRI
+
+_RESERVED = frozenset({
+    "base", "term", "__class__", "__init__", "__getattr__", "__getitem__",
+})
+
+
+class Namespace:
+    """An IRI prefix that builds terms.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.thing
+    IRI('http://example.org/thing')
+    >>> EX["strange-name"]
+    IRI('http://example.org/strange-name')
+    """
+
+    def __init__(self, base: str) -> None:
+        self.base = str(base)
+
+    def term(self, name: str) -> IRI:
+        return IRI(self.base + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("__") or name in _RESERVED:
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and self.base == other.base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def __str__(self) -> str:
+        return self.base
+
+
+# ---------------------------------------------------------------------------
+# Core vocabularies
+# ---------------------------------------------------------------------------
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+DCT = Namespace("http://purl.org/dc/terms/")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+# -- statistical data publishing --------------------------------------------
+
+#: The W3C RDF Data Cube vocabulary (the paper's "QB").
+QB = Namespace("http://purl.org/linked-data/cube#")
+
+#: QB4OLAP, the OLAP extension of QB the paper enriches towards.
+QB4O = Namespace("http://purl.org/qb4olap/cubes#")
+
+#: SDMX-RDF component vocabularies reused by Eurostat-style data sets.
+SDMX_DIMENSION = Namespace("http://purl.org/linked-data/sdmx/2009/dimension#")
+SDMX_MEASURE = Namespace("http://purl.org/linked-data/sdmx/2009/measure#")
+SDMX_ATTRIBUTE = Namespace("http://purl.org/linked-data/sdmx/2009/attribute#")
+SDMX_CONCEPT = Namespace("http://purl.org/linked-data/sdmx/2009/concept#")
+SDMX_CODE = Namespace("http://purl.org/linked-data/sdmx/2009/code#")
+
+#: Default prefix table used by fresh graphs and the SPARQL engine.
+DEFAULT_PREFIXES: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "owl": OWL,
+    "skos": SKOS,
+    "dct": DCT,
+    "qb": QB,
+    "qb4o": QB4O,
+    "sdmx-dimension": SDMX_DIMENSION,
+    "sdmx-measure": SDMX_MEASURE,
+    "sdmx-attribute": SDMX_ATTRIBUTE,
+    "sdmx-concept": SDMX_CONCEPT,
+    "sdmx-code": SDMX_CODE,
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix ↔ namespace registry.
+
+    Longest-namespace matching is used when compacting an IRI so that
+    overlapping namespaces (for example ``.../cube#`` inside a broader
+    base) resolve to the most specific prefix.
+    """
+
+    def __init__(self, bind_defaults: bool = True) -> None:
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        if bind_defaults:
+            for prefix, namespace in DEFAULT_PREFIXES.items():
+                self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: Namespace | str,
+             replace: bool = True) -> None:
+        """Register ``prefix`` for ``namespace``.
+
+        With ``replace=False`` an existing binding for the prefix is kept.
+        """
+        base = namespace.base if isinstance(namespace, Namespace) else str(namespace)
+        if not replace and prefix in self._prefix_to_ns:
+            return
+        previous = self._prefix_to_ns.get(prefix)
+        if previous is not None:
+            self._ns_to_prefix.pop(previous, None)
+        self._prefix_to_ns[prefix] = base
+        self._ns_to_prefix[base] = prefix
+
+    def expand(self, qname: str) -> IRI:
+        """Expand ``prefix:local`` into an IRI.
+
+        Raises :class:`KeyError` when the prefix is unbound.
+        """
+        prefix, _, local = qname.partition(":")
+        base = self._prefix_to_ns[prefix]
+        return IRI(base + local)
+
+    def namespace_for(self, prefix: str) -> Optional[str]:
+        return self._prefix_to_ns.get(prefix)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Render ``iri`` as ``prefix:local`` when a binding covers it.
+
+        Returns ``None`` when no binding applies or when the local part
+        would not survive round-tripping (contains ``/`` or ``#``).
+        """
+        best: Optional[Tuple[str, str]] = None
+        for base, prefix in self._ns_to_prefix.items():
+            if iri.value.startswith(base):
+                if best is None or len(base) > len(best[0]):
+                    best = (base, prefix)
+        if best is None:
+            return None
+        base, prefix = best
+        local = iri.value[len(base):]
+        if not local or any(ch in local for ch in "/#?:@[]() "):
+            return None
+        return f"{prefix}:{local}"
+
+    def bindings(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over ``(prefix, namespace)`` pairs, sorted by prefix."""
+        return iter(sorted(self._prefix_to_ns.items()))
+
+    def copy(self) -> "NamespaceManager":
+        clone = NamespaceManager(bind_defaults=False)
+        for prefix, base in self._prefix_to_ns.items():
+            clone.bind(prefix, base)
+        return clone
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)

@@ -1,0 +1,391 @@
+"""A local SPARQL endpoint facade.
+
+:class:`LocalEndpoint` plays the role of the Virtuoso 7 instance in the
+paper's architecture (Fig. 1): the QB graph, the generated QB4OLAP
+schema graph and the level-instance graph all live here, and every
+module talks to the data exclusively through ``select`` / ``ask`` /
+``update`` calls carrying SPARQL text.
+
+The endpoint also reproduces two operational aspects the paper leans on:
+
+* a **query log with timings** — the benchmarks read it to report how
+  many SPARQL queries each enrichment phase issued;
+* optional **result-size limits** (``EndpointLimits``) emulating the
+  public-endpoint restrictions that motivate the Querying module's
+  alternative translation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
+from repro.sparql.algebra import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    SelectQuery,
+    Var,
+)
+from repro.sparql.errors import EndpointError, UpdateError
+from repro.sparql.evaluator import (
+    DatasetContext,
+    PatternEvaluator,
+    evaluate_ask,
+    evaluate_construct,
+    evaluate_describe,
+    evaluate_select,
+)
+from repro.sparql.parser import (
+    ClearOp,
+    CreateOp,
+    DeleteDataOp,
+    DropOp,
+    InsertDataOp,
+    ModifyOp,
+    Quad,
+    UpdateOperation,
+    parse_query,
+    parse_update,
+)
+from repro.sparql.results import ResultTable
+
+
+@dataclass
+class EndpointLimits:
+    """Operational limits emulating public SPARQL endpoints.
+
+    ``max_result_rows``: result sets longer than this raise
+    :class:`EndpointError` (as Virtuoso's default 2^16 row cap and many
+    public endpoints do).  ``None`` disables the check.
+
+    ``forbid_having``: reject queries containing ``HAVING`` — several
+    public endpoints of the era had missing or broken ``HAVING``
+    support, which is one of the "typical limitations" the Querying
+    module's alternative translation works around.
+    """
+
+    max_result_rows: Optional[int] = None
+    forbid_having: bool = False
+
+
+@dataclass
+class QueryLogEntry:
+    """One executed request, for statistics and benchmark reporting."""
+
+    kind: str  # "select" | "ask" | "update"
+    text: str
+    seconds: float
+    rows: int = 0
+
+
+@dataclass
+class EndpointStatistics:
+    selects: int = 0
+    asks: int = 0
+    updates: int = 0
+    triples_inserted: int = 0
+    triples_deleted: int = 0
+    total_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.selects = 0
+        self.asks = 0
+        self.updates = 0
+        self.triples_inserted = 0
+        self.triples_deleted = 0
+        self.total_seconds = 0.0
+
+
+class LocalEndpoint:
+    """An in-process SPARQL 1.1 endpoint over a named-graph dataset."""
+
+    def __init__(self, dataset: Optional[Dataset] = None,
+                 limits: Optional[EndpointLimits] = None,
+                 default_as_union: bool = True,
+                 keep_query_log: bool = False) -> None:
+        self.dataset = dataset or Dataset()
+        self.limits = limits or EndpointLimits()
+        self.default_as_union = default_as_union
+        self.keep_query_log = keep_query_log
+        self.query_log: List[QueryLogEntry] = []
+        self.statistics = EndpointStatistics()
+        self._fresh = itertools.count(1)
+
+    # -- read path -------------------------------------------------------------
+
+    def select(self, query_text: str) -> ResultTable:
+        """Run a SELECT query and return its result table."""
+        import re as _re
+        if self.limits.forbid_having and _re.search(
+                r"\bHAVING\b", query_text, _re.IGNORECASE):
+            raise EndpointError(
+                "this endpoint does not support HAVING clauses")
+        started = time.perf_counter()
+        query = parse_query(query_text)
+        if not isinstance(query, SelectQuery):
+            raise EndpointError("select() requires a SELECT query")
+        context = DatasetContext(self.dataset, self.default_as_union)
+        table = evaluate_select(query, context)
+        elapsed = time.perf_counter() - started
+        self.statistics.selects += 1
+        self.statistics.total_seconds += elapsed
+        self._log("select", query_text, elapsed, len(table))
+        if (self.limits.max_result_rows is not None
+                and len(table) > self.limits.max_result_rows):
+            raise EndpointError(
+                f"result size {len(table)} exceeds endpoint limit "
+                f"{self.limits.max_result_rows}")
+        return table
+
+    def ask(self, query_text: str) -> bool:
+        """Run an ASK query."""
+        started = time.perf_counter()
+        query = parse_query(query_text)
+        if not isinstance(query, AskQuery):
+            raise EndpointError("ask() requires an ASK query")
+        context = DatasetContext(self.dataset, self.default_as_union)
+        result = evaluate_ask(query, context)
+        elapsed = time.perf_counter() - started
+        self.statistics.asks += 1
+        self.statistics.total_seconds += elapsed
+        self._log("ask", query_text, elapsed, int(result))
+        return result
+
+    def construct(self, query_text: str) -> Graph:
+        """Run a CONSTRUCT query and return the built graph."""
+        started = time.perf_counter()
+        query = parse_query(query_text)
+        if not isinstance(query, ConstructQuery):
+            raise EndpointError("construct() requires a CONSTRUCT query")
+        context = DatasetContext(self.dataset, self.default_as_union)
+        graph = evaluate_construct(query, context)
+        elapsed = time.perf_counter() - started
+        self.statistics.selects += 1
+        self.statistics.total_seconds += elapsed
+        self._log("construct", query_text, elapsed, len(graph))
+        return graph
+
+    def describe(self, query_text: str) -> Graph:
+        """Run a DESCRIBE query and return the description graph."""
+        started = time.perf_counter()
+        query = parse_query(query_text)
+        if not isinstance(query, DescribeQuery):
+            raise EndpointError("describe() requires a DESCRIBE query")
+        context = DatasetContext(self.dataset, self.default_as_union)
+        graph = evaluate_describe(query, context)
+        elapsed = time.perf_counter() - started
+        self.statistics.selects += 1
+        self.statistics.total_seconds += elapsed
+        self._log("describe", query_text, elapsed, len(graph))
+        return graph
+
+    def query(self, query_text: str):
+        """Run any read query; dispatches on the parsed query form.
+
+        Returns a :class:`ResultTable` for SELECT, ``bool`` for ASK and
+        a :class:`Graph` for CONSTRUCT/DESCRIBE — mirroring what a
+        protocol client gets back from a real endpoint.
+        """
+        query = parse_query(query_text)
+        if isinstance(query, SelectQuery):
+            return self.select(query_text)
+        if isinstance(query, AskQuery):
+            return self.ask(query_text)
+        if isinstance(query, ConstructQuery):
+            return self.construct(query_text)
+        return self.describe(query_text)
+
+    # -- write path --------------------------------------------------------------
+
+    def update(self, update_text: str) -> int:
+        """Run an update request; returns net triples touched."""
+        started = time.perf_counter()
+        operations = parse_update(update_text)
+        touched = 0
+        for operation in operations:
+            touched += self._apply(operation)
+        elapsed = time.perf_counter() - started
+        self.statistics.updates += 1
+        self.statistics.total_seconds += elapsed
+        self._log("update", update_text, elapsed, touched)
+        return touched
+
+    def insert_triples(self, triples: Iterable[Triple],
+                       graph: Optional[Union[IRI, str]] = None) -> int:
+        """Directly load triples (bulk path used by data generators)."""
+        target = self.dataset.graph(graph) if graph is not None \
+            else self.dataset.default
+        before = len(target)
+        target.add_all(triples)
+        added = len(target) - before
+        self.statistics.triples_inserted += added
+        return added
+
+    # -- update operations ---------------------------------------------------------
+
+    def _apply(self, operation: UpdateOperation) -> int:
+        if isinstance(operation, InsertDataOp):
+            return self._insert_quads(operation.quads, {})
+        if isinstance(operation, DeleteDataOp):
+            return self._delete_quads(operation.quads, {})
+        if isinstance(operation, ClearOp) or isinstance(operation, DropOp):
+            return self._clear(operation.target)
+        if isinstance(operation, CreateOp):
+            self.dataset.graph(operation.graph)
+            return 0
+        if isinstance(operation, ModifyOp):
+            return self._modify(operation)
+        raise UpdateError(f"unsupported update operation {operation!r}")
+
+    def _clear(self, target: Union[IRI, str]) -> int:
+        if isinstance(target, IRI):
+            graph = self.dataset.graph(target)
+            removed = len(graph)
+            graph.clear()
+        elif target == "DEFAULT":
+            removed = len(self.dataset.default)
+            self.dataset.default.clear()
+        elif target == "NAMED":
+            removed = sum(len(g) for g in self.dataset.graphs())
+            for graph in list(self.dataset.graphs()):
+                graph.clear()
+        else:  # ALL
+            removed = len(self.dataset)
+            self.dataset.default.clear()
+            for graph in list(self.dataset.graphs()):
+                graph.clear()
+        self.statistics.triples_deleted += removed
+        return removed
+
+    def _modify(self, operation: ModifyOp) -> int:
+        context = DatasetContext(self.dataset, self.default_as_union)
+        evaluator = PatternEvaluator(context)
+        if operation.with_graph is not None:
+            source = context.named_source(operation.with_graph)
+        else:
+            source = context.default_source()
+        solutions = list(evaluator.evaluate(operation.pattern, source, {}))
+        touched = 0
+        for solution in solutions:
+            touched += self._delete_quads(
+                operation.delete_quads, solution,
+                default_graph=operation.with_graph)
+        for solution in solutions:
+            touched += self._insert_quads(
+                operation.insert_quads, solution,
+                default_graph=operation.with_graph)
+        return touched
+
+    def _instantiate(self, quad: Quad, binding: Dict[str, Term],
+                     bnode_map: Dict[str, BNode]) -> Optional[Tuple]:
+        graph_iri, s, p, o = quad
+        terms: List[Term] = []
+        for position in (s, p, o):
+            if isinstance(position, Var):
+                if position.name.startswith("_:"):
+                    label = position.name[2:]
+                    if label not in bnode_map:
+                        bnode_map[label] = BNode()
+                    terms.append(bnode_map[label])
+                    continue
+                value = binding.get(position.name)
+                if value is None:
+                    return None  # unbound var: skip this instantiation
+                terms.append(value)
+            else:
+                terms.append(position)
+        return graph_iri, terms[0], terms[1], terms[2]
+
+    def _insert_quads(self, quads: List[Quad], binding: Dict[str, Term],
+                      default_graph: Optional[IRI] = None) -> int:
+        added = 0
+        bnode_map: Dict[str, BNode] = {}
+        for quad in quads:
+            concrete = self._instantiate(quad, binding, bnode_map)
+            if concrete is None:
+                continue
+            graph_iri, s, p, o = concrete
+            target_iri = graph_iri or default_graph
+            target = self.dataset.graph(target_iri) if target_iri is not None \
+                else self.dataset.default
+            before = len(target)
+            try:
+                target.add(s, p, o)
+            except Exception as error:
+                raise UpdateError(f"cannot insert quad: {error}")
+            added += len(target) - before
+        self.statistics.triples_inserted += added
+        return added
+
+    def _delete_quads(self, quads: List[Quad], binding: Dict[str, Term],
+                      default_graph: Optional[IRI] = None) -> int:
+        removed = 0
+        bnode_map: Dict[str, BNode] = {}
+        for quad in quads:
+            concrete = self._instantiate(quad, binding, bnode_map)
+            if concrete is None:
+                continue
+            graph_iri, s, p, o = concrete
+            target_iri = graph_iri or default_graph
+            if target_iri is not None:
+                removed += self.dataset.graph(target_iri).remove((s, p, o))
+            else:
+                removed += self.dataset.default.remove((s, p, o))
+                for graph in self.dataset.graphs():
+                    removed += graph.remove((s, p, o))
+        self.statistics.triples_deleted += removed
+        return removed
+
+    # -- persistence -------------------------------------------------------------
+
+    def dump_trig(self) -> str:
+        """Snapshot the whole endpoint (all named graphs) as TriG."""
+        from repro.rdf.trig import serialize_trig
+        return serialize_trig(self.dataset)
+
+    def load_trig(self, text: str) -> int:
+        """Restore/merge a TriG snapshot into this endpoint's dataset.
+
+        Returns the number of triples added.
+        """
+        from repro.rdf.trig import parse_trig
+        before = len(self.dataset)
+        parse_trig(text, self.dataset)
+        added = len(self.dataset) - before
+        self.statistics.triples_inserted += added
+        return added
+
+    # -- introspection ---------------------------------------------------------
+
+    def explain(self, query_text: str) -> str:
+        """Render the evaluation plan for ``query_text`` with estimates."""
+        from repro.sparql.explain import explain
+        return explain(query_text, self.dataset)
+
+    def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
+        """Direct access to a stored graph (tests and tooling)."""
+        return self.dataset.graph(identifier)
+
+    def graph_sizes(self) -> Dict[str, int]:
+        sizes = {"default": len(self.dataset.default)}
+        for graph in self.dataset.graphs():
+            if graph.identifier is not None:
+                sizes[graph.identifier.value] = len(graph)
+        return sizes
+
+    def _log(self, kind: str, text: str, seconds: float, rows: int) -> None:
+        if self.keep_query_log:
+            self.query_log.append(QueryLogEntry(kind, text, seconds, rows))
+
+    def reset_statistics(self) -> None:
+        self.statistics.reset()
+        self.query_log.clear()
+
+    def __repr__(self) -> str:
+        return (f"<LocalEndpoint {len(self.dataset)} triples, "
+                f"{self.statistics.selects} selects>")

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SPARQL engine."""
+
+from __future__ import annotations
+
+
+class SPARQLError(Exception):
+    """Base class for all SPARQL engine errors."""
+
+
+class QuerySyntaxError(SPARQLError):
+    """The query text could not be parsed.
+
+    Mirrors :class:`repro.rdf.errors.ParseError` with positional info.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"{message} (line {line})"
+        super().__init__(message)
+
+
+class ExpressionError(SPARQLError):
+    """An expression evaluation error.
+
+    Per the SPARQL semantics these are *recoverable*: a FILTER whose
+    expression errors eliminates the solution, a BIND leaves the variable
+    unbound, and aggregates skip the offending value.  The evaluator
+    catches this exception at those boundaries.
+    """
+
+
+class EvaluationError(SPARQLError):
+    """A non-recoverable problem during query evaluation (engine bug or
+    unsupported feature reached at runtime)."""
+
+
+class UpdateError(SPARQLError):
+    """A SPARQL Update request failed."""
+
+
+class EndpointError(SPARQLError):
+    """Endpoint-level failure: unknown graph, exceeded result limits, ..."""

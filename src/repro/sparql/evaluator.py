@@ -1,0 +1,750 @@
+"""SPARQL query evaluation over in-memory graphs.
+
+The evaluator interprets :mod:`repro.sparql.algebra` trees with a
+*seeded* pipeline: every pattern operator is evaluated under an input
+binding, so joins and OPTIONALs push their bindings down into index
+lookups instead of materializing cross products.  Basic graph patterns
+re-plan greedily per binding via :mod:`repro.sparql.optimizer`.
+
+Dataset semantics follow Virtuoso's convenient default (and the paper's
+setup): with no ``FROM`` clause the default graph is the *union* of the
+dataset's default and named graphs; ``GRAPH <g>`` scopes matching to one
+named graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import IRI, Literal, Term, Triple
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    Empty,
+    Extend,
+    Filter,
+    GraphNode,
+    Join,
+    LeftJoin,
+    Minus,
+    PathPatternNode,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelectNode,
+    TriplePatternNode,
+    Union as UnionNode,
+    ValuesNode,
+    Var,
+)
+from repro.sparql.errors import EvaluationError, ExpressionError
+from repro.sparql.expressions import (
+    Aggregate,
+    ArithmeticExpression,
+    BooleanExpression,
+    ComparisonExpression,
+    EvalContext,
+    ExistsExpression,
+    Expression,
+    FunctionExpression,
+    InExpression,
+    NotExpression,
+    TermExpression,
+    UnaryMinusExpression,
+    VariableExpression,
+    contains_aggregate,
+    effective_boolean_value,
+    order_key,
+)
+from repro.sparql.optimizer import (
+    choose_next,
+    substituted,
+    substituted_endpoints,
+)
+from repro.sparql.paths import evaluate_path
+from repro.sparql.results import ResultTable
+
+Binding = Dict[str, Term]
+
+
+# ---------------------------------------------------------------------------
+# Graph sources
+# ---------------------------------------------------------------------------
+
+
+class GraphSource:
+    """A matchable view over one or more graphs."""
+
+    def match(self, pattern) -> Iterator[Triple]:
+        raise NotImplementedError
+
+    def estimate(self, pattern) -> int:
+        raise NotImplementedError
+
+
+class SingleGraphSource(GraphSource):
+    """A matchable view over exactly one graph."""
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def match(self, pattern) -> Iterator[Triple]:
+        return self.graph.triples(pattern)
+
+    def estimate(self, pattern) -> int:
+        return self.graph.estimate(pattern)
+
+
+class UnionGraphSource(GraphSource):
+    """The union of several graphs, with duplicate suppression."""
+
+    def __init__(self, graphs: Iterable[Graph]) -> None:
+        self.graphs = [g for g in graphs]
+
+    def match(self, pattern) -> Iterator[Triple]:
+        if len(self.graphs) == 1:
+            yield from self.graphs[0].triples(pattern)
+            return
+        seen: set = set()
+        for graph in self.graphs:
+            for triple in graph.triples(pattern):
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    def estimate(self, pattern) -> int:
+        return sum(graph.estimate(pattern) for graph in self.graphs)
+
+
+class DatasetContext:
+    """Resolves the active default view and named graphs for a query.
+
+    When a query carries dataset clauses, ``from_graphs`` (``FROM``)
+    and ``from_named`` (``FROM NAMED``) scope it per the W3C semantics:
+    the default graph becomes the merge of the ``FROM`` graphs (empty
+    if only ``FROM NAMED`` is given) and ``GRAPH`` patterns range over
+    the ``FROM NAMED`` graphs only.
+    """
+
+    def __init__(self, dataset: Dataset,
+                 default_as_union: bool = True,
+                 from_graphs: Optional[List[IRI]] = None,
+                 from_named: Optional[List[IRI]] = None) -> None:
+        self.dataset = dataset
+        self.default_as_union = default_as_union
+        self.from_graphs = list(from_graphs) if from_graphs else []
+        self.from_named = list(from_named) if from_named else []
+
+    @property
+    def has_dataset_clause(self) -> bool:
+        return bool(self.from_graphs or self.from_named)
+
+    def scoped(self, from_graphs: Optional[List[IRI]],
+               from_named: Optional[List[IRI]]) -> "DatasetContext":
+        """This context restricted by a query's dataset clauses."""
+        if not from_graphs and not from_named:
+            return self
+        return DatasetContext(self.dataset, self.default_as_union,
+                              from_graphs, from_named)
+
+    def default_source(self, from_graphs: Optional[List[IRI]] = None
+                       ) -> GraphSource:
+        active = from_graphs or self.from_graphs
+        if active:
+            return UnionGraphSource(
+                [self.dataset.graph(iri) for iri in active])
+        if self.from_named:
+            # FROM NAMED without FROM: the default graph is empty
+            return UnionGraphSource([])
+        if self.default_as_union:
+            graphs = [self.dataset.default] + list(self.dataset.graphs())
+            return UnionGraphSource(graphs)
+        return SingleGraphSource(self.dataset.default)
+
+    def named_source(self, iri: IRI) -> GraphSource:
+        if self.has_dataset_clause and iri not in self.from_named:
+            return UnionGraphSource([])
+        return SingleGraphSource(self.dataset.graph(iri))
+
+    def named_graphs(self) -> List[Tuple[IRI, Graph]]:
+        if self.has_dataset_clause:
+            return [(iri, self.dataset.graph(iri))
+                    for iri in self.from_named]
+        return [(graph.identifier, graph)
+                for graph in self.dataset.graphs()
+                if graph.identifier is not None]
+
+
+# ---------------------------------------------------------------------------
+# Pattern evaluation
+# ---------------------------------------------------------------------------
+
+
+def _try_extend(binding: Binding, pattern: TriplePatternNode,
+                triple: Triple) -> Optional[Binding]:
+    """Extend ``binding`` with the matches of ``pattern`` against ``triple``.
+
+    Returns ``None`` when a variable would need two different values
+    (repeated-variable consistency).
+    """
+    extension: Optional[Binding] = None
+    for position, value in zip(pattern.positions(), triple):
+        if isinstance(position, Var):
+            current = binding.get(position.name)
+            if current is None and extension is not None:
+                current = extension.get(position.name)
+            if current is None:
+                if extension is None:
+                    extension = {}
+                extension[position.name] = value
+            elif current != value:
+                return None
+        elif position != value:
+            return None
+    if extension is None:
+        return dict(binding)
+    merged = dict(binding)
+    merged.update(extension)
+    return merged
+
+
+def _compatible(left: Binding, right: Binding) -> bool:
+    for name, value in right.items():
+        if name in left and left[name] != value:
+            return False
+    return True
+
+
+class PatternEvaluator:
+    """Evaluates pattern nodes against a dataset context."""
+
+    def __init__(self, context: DatasetContext,
+                 eval_context: Optional[EvalContext] = None) -> None:
+        self.context = context
+        self.eval_context = eval_context or EvalContext()
+        self._subselect_cache: Dict[int, List[Binding]] = {}
+
+    def evaluate(self, node: PatternNode, source: GraphSource,
+                 seed: Optional[Binding] = None) -> Iterator[Binding]:
+        binding = seed or {}
+        if isinstance(node, BGP):
+            yield from self._eval_bgp(node.patterns, source, binding)
+        elif isinstance(node, Join):
+            for left in self.evaluate(node.left, source, binding):
+                yield from self.evaluate(node.right, source, left)
+        elif isinstance(node, LeftJoin):
+            yield from self._eval_left_join(node, source, binding)
+        elif isinstance(node, UnionNode):
+            yield from self.evaluate(node.left, source, binding)
+            yield from self.evaluate(node.right, source, binding)
+        elif isinstance(node, Minus):
+            yield from self._eval_minus(node, source, binding)
+        elif isinstance(node, Filter):
+            yield from self._eval_filter(node, source, binding)
+        elif isinstance(node, Extend):
+            yield from self._eval_extend(node, source, binding)
+        elif isinstance(node, ValuesNode):
+            yield from self._eval_values(node, binding)
+        elif isinstance(node, GraphNode):
+            yield from self._eval_graph(node, source, binding)
+        elif isinstance(node, SubSelectNode):
+            yield from self._eval_subselect(node, source, binding)
+        elif isinstance(node, Empty):
+            yield dict(binding)
+        else:
+            raise EvaluationError(f"unknown pattern node {node!r}")
+
+    # -- node implementations ------------------------------------------------
+
+    def _eval_bgp(self, patterns: List,
+                  source: GraphSource, binding: Binding
+                  ) -> Iterator[Binding]:
+        if not patterns:
+            yield dict(binding)
+            return
+        index = choose_next(patterns, binding, source)
+        pattern = patterns[index]
+        rest = patterns[:index] + patterns[index + 1:]
+        if isinstance(pattern, PathPatternNode):
+            for extended in self._eval_path_pattern(pattern, source, binding):
+                if rest:
+                    yield from self._eval_bgp(rest, source, extended)
+                else:
+                    yield extended
+            return
+        concrete = substituted(pattern, binding)
+        for triple in source.match(concrete):
+            extended = _try_extend(binding, pattern, triple)
+            if extended is None:
+                continue
+            if rest:
+                yield from self._eval_bgp(rest, source, extended)
+            else:
+                yield extended
+
+    def _eval_path_pattern(self, pattern: PathPatternNode,
+                           source: GraphSource, binding: Binding
+                           ) -> Iterator[Binding]:
+        start, end = substituted_endpoints(pattern, binding)
+        for start_term, end_term in evaluate_path(
+                source, pattern.path, start, end):
+            extended = dict(binding)
+            consistent = True
+            for position, value in zip(pattern.endpoints(),
+                                       (start_term, end_term)):
+                if isinstance(position, Var):
+                    current = extended.get(position.name)
+                    if current is None:
+                        extended[position.name] = value
+                    elif current != value:
+                        consistent = False
+                        break
+                elif position != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield extended
+
+    def _eval_left_join(self, node: LeftJoin, source: GraphSource,
+                        binding: Binding) -> Iterator[Binding]:
+        for left in self.evaluate(node.left, source, binding):
+            produced = False
+            for right in self.evaluate(node.right, source, left):
+                if node.condition is not None:
+                    try:
+                        keep = effective_boolean_value(
+                            node.condition.evaluate(right, self.eval_context))
+                    except ExpressionError:
+                        keep = False
+                    if not keep:
+                        continue
+                produced = True
+                yield right
+            if not produced:
+                yield left
+
+    def _eval_minus(self, node: Minus, source: GraphSource,
+                    binding: Binding) -> Iterator[Binding]:
+        # the right side is NOT correlated with the left in SPARQL MINUS
+        removals = list(self.evaluate(node.right, source, {}))
+        for left in self.evaluate(node.left, source, binding):
+            excluded = False
+            for right in removals:
+                shared = set(left) & set(right)
+                if shared and _compatible(left, right):
+                    excluded = True
+                    break
+            if not excluded:
+                yield left
+
+    def _eval_filter(self, node: Filter, source: GraphSource,
+                     binding: Binding) -> Iterator[Binding]:
+        eval_context = self._context_for(source)
+        for row in self.evaluate(node.child, source, binding):
+            try:
+                if effective_boolean_value(
+                        node.condition.evaluate(row, eval_context)):
+                    yield row
+            except ExpressionError:
+                continue
+
+    def _eval_extend(self, node: Extend, source: GraphSource,
+                     binding: Binding) -> Iterator[Binding]:
+        eval_context = self._context_for(source)
+        for row in self.evaluate(node.child, source, binding):
+            if node.var in row:
+                raise EvaluationError(
+                    f"BIND would rebind already-bound variable ?{node.var}")
+            extended = dict(row)
+            try:
+                extended[node.var] = node.expression.evaluate(
+                    row, eval_context)
+            except ExpressionError:
+                pass  # leave unbound per SPARQL error semantics
+            yield extended
+
+    def _eval_values(self, node: ValuesNode, binding: Binding
+                     ) -> Iterator[Binding]:
+        for row in node.rows:
+            candidate = dict(binding)
+            ok = True
+            for name, value in zip(node.vars, row):
+                if value is None:
+                    continue
+                current = candidate.get(name)
+                if current is None:
+                    candidate[name] = value
+                elif current != value:
+                    ok = False
+                    break
+            if ok:
+                yield candidate
+
+    def _eval_graph(self, node: GraphNode, source: GraphSource,
+                    binding: Binding) -> Iterator[Binding]:
+        if isinstance(node.name, Var):
+            bound = binding.get(node.name.name)
+            for iri, graph in self.context.named_graphs():
+                if bound is not None and bound != iri:
+                    continue
+                seeded = dict(binding)
+                seeded[node.name.name] = iri
+                yield from self.evaluate(
+                    node.child, SingleGraphSource(graph), seeded)
+            return
+        yield from self.evaluate(
+            node.child, self.context.named_source(node.name), binding)
+
+    def _eval_subselect(self, node: SubSelectNode, source: GraphSource,
+                        binding: Binding) -> Iterator[Binding]:
+        cache_key = id(node)
+        if cache_key not in self._subselect_cache:
+            table = evaluate_select(node.query, self.context, source=source)
+            materialized: List[Binding] = []
+            for row in table.rows:
+                materialized.append({
+                    name: value
+                    for name, value in zip(table.vars, row)
+                    if value is not None
+                })
+            self._subselect_cache[cache_key] = materialized
+        for sub_binding in self._subselect_cache[cache_key]:
+            if _compatible(binding, sub_binding):
+                merged = dict(binding)
+                merged.update(sub_binding)
+                yield merged
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _context_for(self, source: GraphSource) -> EvalContext:
+        def exists_evaluator(pattern: PatternNode, binding: Binding) -> bool:
+            return next(
+                iter(self.evaluate(pattern, source, binding)), None
+            ) is not None
+
+        context = EvalContext(exists_evaluator=exists_evaluator,
+                              now=self.eval_context.now)
+        return context
+
+
+# ---------------------------------------------------------------------------
+# Aggregation helpers
+# ---------------------------------------------------------------------------
+
+
+def _substitute_aggregates(expression: Expression, group: List[Binding],
+                           context: EvalContext) -> Expression:
+    """Replace Aggregate nodes with their computed constant values."""
+    if isinstance(expression, Aggregate):
+        try:
+            value = expression.apply(group, context)
+        except ExpressionError:
+            return _ErrorExpression()
+        return TermExpression(value)
+    if isinstance(expression, (TermExpression, VariableExpression)):
+        return expression
+    if isinstance(expression, BooleanExpression):
+        return BooleanExpression(
+            expression.op,
+            _substitute_aggregates(expression.left, group, context),
+            _substitute_aggregates(expression.right, group, context))
+    if isinstance(expression, NotExpression):
+        return NotExpression(
+            _substitute_aggregates(expression.operand, group, context))
+    if isinstance(expression, ComparisonExpression):
+        return ComparisonExpression(
+            expression.op,
+            _substitute_aggregates(expression.left, group, context),
+            _substitute_aggregates(expression.right, group, context))
+    if isinstance(expression, ArithmeticExpression):
+        return ArithmeticExpression(
+            expression.op,
+            _substitute_aggregates(expression.left, group, context),
+            _substitute_aggregates(expression.right, group, context))
+    if isinstance(expression, UnaryMinusExpression):
+        return UnaryMinusExpression(
+            _substitute_aggregates(expression.operand, group, context))
+    if isinstance(expression, InExpression):
+        return InExpression(
+            _substitute_aggregates(expression.operand, group, context),
+            [_substitute_aggregates(choice, group, context)
+             for choice in expression.choices],
+            negated=expression.negated)
+    if isinstance(expression, FunctionExpression):
+        return FunctionExpression(
+            expression.name,
+            [_substitute_aggregates(arg, group, context)
+             for arg in expression.args])
+    if isinstance(expression, ExistsExpression):
+        return expression
+    return expression
+
+
+class _ErrorExpression(Expression):
+    """An expression that always errors (aggregate over empty group)."""
+
+    def evaluate(self, binding: Binding, context: EvalContext) -> Term:
+        raise ExpressionError("aggregate evaluation error")
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_select(query: SelectQuery, context: DatasetContext,
+                    source: Optional[GraphSource] = None) -> ResultTable:
+    """Evaluate a SELECT query and return its result table."""
+    scoped = context.scoped(query.from_graphs,
+                            getattr(query, "from_named", None))
+    if scoped is not context:
+        context = scoped
+        source = context.default_source()
+    elif source is None:
+        source = context.default_source()
+    evaluator = PatternEvaluator(context)
+    eval_context = evaluator._context_for(source)
+    solutions = list(evaluator.evaluate(query.pattern, source, {}))
+
+    if query.is_aggregate_query:
+        result_bindings = _aggregate_rows(
+            query, solutions, eval_context)
+    else:
+        result_bindings = solutions
+        for item in query.projection or []:
+            if item.expression is None:
+                continue
+            extended_rows: List[Binding] = []
+            for row in result_bindings:
+                merged = dict(row)
+                try:
+                    merged[item.name] = item.expression.evaluate(
+                        row, eval_context)
+                except ExpressionError:
+                    pass
+                extended_rows.append(merged)
+            result_bindings = extended_rows
+
+    if query.order_by:
+        def sort_key(row: Binding):
+            key = []
+            for expression, ascending in query.order_by:
+                try:
+                    term = expression.evaluate(row, eval_context)
+                except ExpressionError:
+                    term = None
+                key.append((order_key(term), ascending))
+            # encode descending by wrapping in a reversor
+            return tuple(_Reversed(k) if not asc else k for k, asc in key)
+        result_bindings = sorted(result_bindings, key=sort_key)
+
+    names = query.output_names()
+    rows: List[Tuple[Optional[Term], ...]] = []
+    for row in result_bindings:
+        rows.append(tuple(row.get(name) for name in names))
+
+    if query.distinct or query.reduced:
+        deduped: List[Tuple[Optional[Term], ...]] = []
+        seen: set = set()
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        rows = deduped
+
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return ResultTable(names, rows)
+
+
+class _Reversed:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _aggregate_rows(query: SelectQuery, solutions: List[Binding],
+                    eval_context: EvalContext) -> List[Binding]:
+    """GROUP BY + aggregate projection + HAVING."""
+    groups: Dict[Tuple, List[Binding]] = {}
+    key_bindings: Dict[Tuple, Binding] = {}
+    if query.group_by:
+        for row in solutions:
+            key_parts: List[Optional[Term]] = []
+            key_binding: Binding = {}
+            for position, expression in enumerate(query.group_by):
+                try:
+                    value = expression.evaluate(row, eval_context)
+                except ExpressionError:
+                    value = None
+                key_parts.append(value)
+                alias = query.group_aliases.get(position)
+                if alias is not None and value is not None:
+                    key_binding[alias] = value
+                elif isinstance(expression, VariableExpression) \
+                        and value is not None:
+                    key_binding[expression.name] = value
+            key = tuple(key_parts)
+            groups.setdefault(key, []).append(row)
+            key_bindings.setdefault(key, key_binding)
+    else:
+        # implicit single group: aggregates over the whole solution set,
+        # producing exactly one row even when there are no solutions.
+        groups[()] = solutions
+        key_bindings[()] = {}
+
+    results: List[Binding] = []
+    for key, group in groups.items():
+        binding = dict(key_bindings[key])
+        # HAVING first: it may reject the whole group
+        rejected = False
+        for condition in query.having:
+            concrete = _substitute_aggregates(condition, group, eval_context)
+            try:
+                if not effective_boolean_value(
+                        concrete.evaluate(binding, eval_context)):
+                    rejected = True
+                    break
+            except ExpressionError:
+                rejected = True
+                break
+        if rejected:
+            continue
+        for item in query.projection or []:
+            if item.expression is None:
+                continue  # plain var: must be a group key, already bound
+            concrete = _substitute_aggregates(
+                item.expression, group, eval_context)
+            try:
+                binding[item.name] = concrete.evaluate(binding, eval_context)
+            except ExpressionError:
+                pass
+        results.append(binding)
+    return results
+
+
+def evaluate_ask(query: AskQuery, context: DatasetContext) -> bool:
+    """Evaluate an ASK query."""
+    context = context.scoped(getattr(query, "from_graphs", None),
+                             getattr(query, "from_named", None))
+    source = context.default_source()
+    evaluator = PatternEvaluator(context)
+    return next(
+        iter(evaluator.evaluate(query.pattern, source, {})), None) is not None
+
+
+def evaluate_construct(query, context: DatasetContext) -> Graph:
+    """Evaluate a CONSTRUCT query into a new graph.
+
+    Template instantiation follows the recommendation: blank nodes in
+    the template are freshly minted per solution, rows leaving template
+    variables unbound (or producing ill-formed triples, e.g. a literal
+    subject) contribute nothing, and the output graph is a set.
+    """
+    from repro.rdf.errors import TermError
+    from repro.rdf.terms import BNode
+
+    context = context.scoped(query.from_graphs,
+                             getattr(query, "from_named", None))
+    source = context.default_source()
+    evaluator = PatternEvaluator(context)
+    solutions = list(evaluator.evaluate(query.pattern, source, {}))
+    if query.offset:
+        solutions = solutions[query.offset:]
+    if query.limit is not None:
+        solutions = solutions[: query.limit]
+
+    result = Graph()
+    for prefix, base in query.prefixes.items():
+        result.namespace_manager.bind(prefix, base)
+    for binding in solutions:
+        bnode_map: Dict[str, BNode] = {}
+        for pattern in query.template:
+            terms: List[Optional[Term]] = []
+            for position in pattern.positions():
+                if isinstance(position, Var):
+                    if position.name.startswith("_:"):
+                        label = position.name[2:]
+                        if label not in bnode_map:
+                            bnode_map[label] = BNode()
+                        terms.append(bnode_map[label])
+                    else:
+                        terms.append(binding.get(position.name))
+                else:
+                    terms.append(position)
+            if any(term is None for term in terms):
+                continue
+            try:
+                result.add(terms[0], terms[1], terms[2])
+            except TermError:
+                continue  # ill-formed triple: skipped, not an error
+    return result
+
+
+def evaluate_describe(query, context: DatasetContext) -> Graph:
+    """Evaluate a DESCRIBE query as a concise bounded description (CBD).
+
+    For every described resource the output contains its outgoing
+    triples, recursing through blank-node objects (the common CBD
+    reading the recommendation leaves implementation-defined).
+    """
+    from repro.rdf.terms import BNode
+
+    context = context.scoped(query.from_graphs,
+                             getattr(query, "from_named", None))
+    source = context.default_source()
+    evaluator = PatternEvaluator(context)
+
+    resources: List[Term] = list(query.resources)
+    if query.pattern is not None:
+        names = query.variables
+        for binding in evaluator.evaluate(query.pattern, source, {}):
+            if query.star:
+                wanted = list(binding.values())
+            else:
+                wanted = [binding[name] for name in names if name in binding]
+            for value in wanted:
+                if not isinstance(value, Literal) and value not in resources:
+                    resources.append(value)
+
+    result = Graph()
+    described: set = set()
+    queue: List[Term] = list(resources)
+    while queue:
+        node = queue.pop()
+        if node in described:
+            continue
+        described.add(node)
+        for triple in source.match((node, None, None)):
+            result.add(triple)
+            if isinstance(triple.object, BNode) \
+                    and triple.object not in described:
+                queue.append(triple.object)
+    return result
+
+
+def evaluate_query(query: Query, dataset: Dataset,
+                   default_as_union: bool = True):
+    """Evaluate a parsed query against a dataset."""
+    from repro.sparql.algebra import ConstructQuery, DescribeQuery
+    context = DatasetContext(dataset, default_as_union=default_as_union)
+    if isinstance(query, SelectQuery):
+        return evaluate_select(query, context)
+    if isinstance(query, AskQuery):
+        return evaluate_ask(query, context)
+    if isinstance(query, ConstructQuery):
+        return evaluate_construct(query, context)
+    if isinstance(query, DescribeQuery):
+        return evaluate_describe(query, context)
+    raise EvaluationError(f"unsupported query type {type(query).__name__}")

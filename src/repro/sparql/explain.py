@@ -1,0 +1,175 @@
+"""Query-plan explanation.
+
+Renders a parsed query's algebra tree as an indented text plan, with
+cardinality estimates and the static greedy join order the optimizer
+would choose for each BGP.  This is the debugging surface the paper's
+users get from ``EXPLAIN`` on a production endpoint (Virtuoso prints a
+similar operator tree), and the repo's benchmarks use it to document
+*why* the two QL translations behave differently.
+
+>>> from repro.rdf.graph import Dataset
+>>> from repro.sparql.explain import explain
+>>> print(explain("SELECT ?s WHERE { ?s ?p ?o }", Dataset()))
+SELECT [?s]
+`-- BGP (1 patterns)
+    `-- [0] ?s ?p ?o  (est. 0)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.rdf.graph import Dataset
+from repro.sparql.algebra import (
+    AskQuery,
+    BGP,
+    ConstructQuery,
+    DescribeQuery,
+    Empty,
+    Extend,
+    Filter,
+    GraphNode,
+    Join,
+    LeftJoin,
+    Minus,
+    PathPatternNode,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelectNode,
+    TriplePatternNode,
+    Union as UnionNode,
+    ValuesNode,
+    Var,
+)
+from repro.sparql.evaluator import DatasetContext, GraphSource
+from repro.sparql.optimizer import static_order
+from repro.sparql.parser import parse_query
+
+
+def _term_text(position) -> str:
+    if isinstance(position, Var):
+        return f"?{position.name}"
+    return position.n3()
+
+
+def _pattern_line(pattern: Union[TriplePatternNode, PathPatternNode],
+                  source: Optional[GraphSource]) -> str:
+    if isinstance(pattern, PathPatternNode):
+        text = (f"{_term_text(pattern.subject)} "
+                f"{pattern.path.to_sparql()} "
+                f"{_term_text(pattern.object)}")
+        return f"{text}  (path)"
+    text = " ".join(_term_text(p) for p in pattern.positions())
+    if source is None:
+        return text
+    concrete = tuple(
+        None if isinstance(p, Var) else p for p in pattern.positions())
+    return f"{text}  (est. {source.estimate(concrete)})"
+
+
+class _PlanPrinter:
+    def __init__(self, source: Optional[GraphSource]) -> None:
+        self.source = source
+        self.lines: List[str] = []
+
+    def emit(self, text: str, depth: int) -> None:
+        indent = "    " * (depth - 1) + "`-- " if depth else ""
+        self.lines.append(indent + text)
+
+    def walk(self, node: PatternNode, depth: int) -> None:
+        if isinstance(node, BGP):
+            self.emit(f"BGP ({len(node.patterns)} patterns)", depth)
+            ordered = node.patterns
+            if self.source is not None:
+                ordered = static_order(node.patterns, self.source)
+            for position, pattern in enumerate(ordered):
+                self.emit(f"[{position}] "
+                          f"{_pattern_line(pattern, self.source)}", depth + 1)
+        elif isinstance(node, Join):
+            self.emit("Join", depth)
+            self.walk(node.left, depth + 1)
+            self.walk(node.right, depth + 1)
+        elif isinstance(node, LeftJoin):
+            suffix = " (with condition)" if node.condition is not None else ""
+            self.emit(f"LeftJoin / OPTIONAL{suffix}", depth)
+            self.walk(node.left, depth + 1)
+            self.walk(node.right, depth + 1)
+        elif isinstance(node, UnionNode):
+            self.emit("Union", depth)
+            self.walk(node.left, depth + 1)
+            self.walk(node.right, depth + 1)
+        elif isinstance(node, Minus):
+            self.emit("Minus", depth)
+            self.walk(node.left, depth + 1)
+            self.walk(node.right, depth + 1)
+        elif isinstance(node, Filter):
+            self.emit(f"Filter {node.condition!r}", depth)
+            self.walk(node.child, depth + 1)
+        elif isinstance(node, Extend):
+            self.emit(f"Extend ?{node.var}", depth)
+            self.walk(node.child, depth + 1)
+        elif isinstance(node, ValuesNode):
+            self.emit(f"Values {node.vars} ({len(node.rows)} rows)", depth)
+        elif isinstance(node, GraphNode):
+            name = (f"?{node.name.name}" if isinstance(node.name, Var)
+                    else node.name.n3())
+            self.emit(f"Graph {name}", depth)
+            self.walk(node.child, depth + 1)
+        elif isinstance(node, SubSelectNode):
+            self.emit("SubSelect", depth)
+            self._describe_select(node.query, depth + 1)
+        elif isinstance(node, Empty):
+            self.emit("Empty", depth)
+        else:
+            self.emit(f"<{type(node).__name__}>", depth)
+
+    def _describe_select(self, query: SelectQuery, depth: int) -> None:
+        names = ", ".join(f"?{n}" for n in query.output_names())
+        modifiers = []
+        if query.distinct:
+            modifiers.append("DISTINCT")
+        if query.group_by:
+            modifiers.append(f"GROUP BY ({len(query.group_by)})")
+        if query.having:
+            modifiers.append("HAVING")
+        if query.order_by:
+            modifiers.append(f"ORDER BY ({len(query.order_by)})")
+        if query.limit is not None:
+            modifiers.append(f"LIMIT {query.limit}")
+        suffix = ("  [" + ", ".join(modifiers) + "]") if modifiers else ""
+        self.emit(f"SELECT [{names}]{suffix}"
+                  if depth else f"SELECT [{names}]{suffix}", depth)
+        self.walk(query.pattern, depth + 1)
+
+
+def explain_query(query: Query, dataset: Optional[Dataset] = None) -> str:
+    """Render a parsed query's plan; includes estimates when a dataset
+    is supplied."""
+    source: Optional[GraphSource] = None
+    if dataset is not None:
+        source = DatasetContext(dataset).default_source()
+    printer = _PlanPrinter(source)
+    if isinstance(query, SelectQuery):
+        printer._describe_select(query, 0)
+    elif isinstance(query, AskQuery):
+        printer.emit("ASK", 0)
+        printer.walk(query.pattern, 1)
+    elif isinstance(query, ConstructQuery):
+        printer.emit(
+            f"CONSTRUCT ({len(query.template)} template triples)", 0)
+        printer.walk(query.pattern, 1)
+    elif isinstance(query, DescribeQuery):
+        targets = ([iri.n3() for iri in query.resources]
+                   + [f"?{name}" for name in query.variables])
+        printer.emit(f"DESCRIBE [{', '.join(targets) or '*'}]", 0)
+        if query.pattern is not None:
+            printer.walk(query.pattern, 1)
+    else:
+        raise TypeError(f"cannot explain {type(query).__name__}")
+    return "\n".join(printer.lines)
+
+
+def explain(query_text: str, dataset: Optional[Dataset] = None) -> str:
+    """Parse ``query_text`` and render its plan."""
+    return explain_query(parse_query(query_text), dataset)

@@ -1,0 +1,117 @@
+"""Join-order optimization for basic graph patterns.
+
+The engine evaluates a BGP by index-nested-loop joins: each step picks
+the remaining triple pattern with the smallest estimated cardinality
+*under the bindings accumulated so far* (a greedy selectivity order).
+This mirrors what production stores (including Virtuoso, the paper's
+endpoint) do for star-shaped observation queries, and keeps the 80k-fact
+benchmark workloads tractable in pure Python.
+
+The estimate comes from :meth:`repro.rdf.graph.Graph.estimate`, which is
+exact for the bound shapes the QB2OLAP queries produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import Term
+from repro.sparql.algebra import PathPatternNode, TriplePatternNode, Var
+from repro.sparql.paths import estimate_path
+
+Binding = Dict[str, Term]
+
+#: Penalty rank applied before cardinality: patterns with no bound
+#: position join last unless nothing else is available.
+_UNBOUND_PENALTY = 1 << 40
+
+
+def substituted(pattern: TriplePatternNode, binding: Binding
+                ) -> Tuple[Optional[Term], Optional[Term], Optional[Term]]:
+    """The concrete match pattern under ``binding`` (None = wildcard)."""
+    out = []
+    for position in pattern.positions():
+        if isinstance(position, Var):
+            out.append(binding.get(position.name))
+        else:
+            out.append(position)
+    return out[0], out[1], out[2]
+
+
+def substituted_endpoints(pattern: PathPatternNode, binding: Binding
+                          ) -> Tuple[Optional[Term], Optional[Term]]:
+    """Concrete (start, end) endpoints of a path pattern under ``binding``."""
+    out = []
+    for position in pattern.endpoints():
+        if isinstance(position, Var):
+            out.append(binding.get(position.name))
+        else:
+            out.append(position)
+    return out[0], out[1]
+
+
+def pattern_cost(pattern, binding: Binding, source) -> int:
+    """Estimated matches for ``pattern`` under ``binding``."""
+    if isinstance(pattern, PathPatternNode):
+        start, end = substituted_endpoints(pattern, binding)
+        return estimate_path(source, pattern.path, start, end)
+    concrete = substituted(pattern, binding)
+    cost = source.estimate(concrete)
+    if all(term is None for term in concrete):
+        cost += _UNBOUND_PENALTY
+    return cost
+
+
+def choose_next(patterns: Sequence[TriplePatternNode], binding: Binding,
+                source) -> int:
+    """Index of the cheapest pattern to evaluate next (greedy)."""
+    best_index = 0
+    best_cost: Optional[int] = None
+    for index, pattern in enumerate(patterns):
+        cost = pattern_cost(pattern, binding, source)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_index = index
+            if cost == 0:
+                break  # cannot do better; also prunes dead branches early
+    return best_index
+
+
+def static_order(patterns: Sequence[TriplePatternNode], source,
+                 bound_vars: Optional[set] = None) -> List[TriplePatternNode]:
+    """A full greedy ordering computed once (used for EXPLAIN output).
+
+    Unlike :func:`choose_next` (which re-plans per binding), this assumes
+    every variable seen in an earlier pattern is bound, which is how the
+    classic textbook heuristic works.
+    """
+    remaining = list(patterns)
+    bound: set = set(bound_vars or ())
+    ordered: List[TriplePatternNode] = []
+    while remaining:
+        def rank(pattern) -> Tuple[int, int]:
+            if isinstance(pattern, PathPatternNode):
+                unbound = sum(
+                    1 for position in pattern.endpoints()
+                    if isinstance(position, Var)
+                    and position.name not in bound)
+                return (unbound + 1, 4096)
+            concrete = []
+            for position in pattern.positions():
+                if isinstance(position, Var):
+                    concrete.append(
+                        object() if position.name in bound else None)
+                else:
+                    concrete.append(position)
+            # count wildcards: fewer wildcards first, then raw estimate
+            wildcards = sum(1 for term in concrete if term is None)
+            estimate_pattern = tuple(
+                None if not isinstance(term, Term) else term
+                for term in concrete)
+            return (wildcards, source.estimate(estimate_pattern))
+
+        remaining.sort(key=rank)
+        chosen = remaining.pop(0)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered

@@ -1,0 +1,226 @@
+"""W3C SPARQL 1.1 query-result serializations.
+
+Implements the three result formats a protocol endpoint serves, working
+over :class:`~repro.sparql.results.ResultTable` and plain booleans:
+
+* **SPARQL 1.1 Query Results JSON Format**
+  (``application/sparql-results+json``) — :func:`results_to_json` /
+  :func:`results_from_json`, round-trippable;
+* **SPARQL Query Results XML Format**
+  (``application/sparql-results+xml``) — :func:`results_to_xml`;
+* **CSV and TSV** (RFC 4180 / the W3C TSV profile) —
+  :func:`results_to_csv` and :func:`results_to_tsv`.
+
+The paper's Exploration/Querying front ends consume exactly these wire
+formats from Virtuoso; the formats also let the repo's CLI print results
+the way `curl` against a real endpoint would.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Optional
+from xml.sax.saxutils import escape as xml_escape
+
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import BNode, IRI, Literal, Term, XSD_STRING
+from repro.sparql.errors import EndpointError
+from repro.sparql.results import ResultTable
+
+RDF_LANGSTRING = RDF.base + "langString"
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+
+def _term_to_json(term: Term) -> Dict[str, str]:
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        entry: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            entry["xml:lang"] = term.language
+        elif term.datatype.value != XSD_STRING:
+            entry["datatype"] = term.datatype.value
+        return entry
+    raise EndpointError(f"cannot serialize term {term!r}")
+
+
+def _term_from_json(entry: Dict[str, str]) -> Term:
+    kind = entry.get("type")
+    value = entry.get("value", "")
+    if kind == "uri":
+        return IRI(value)
+    if kind == "bnode":
+        return BNode(value)
+    if kind in ("literal", "typed-literal"):
+        language = entry.get("xml:lang")
+        if language is not None:
+            return Literal(value, language=language)
+        datatype = entry.get("datatype")
+        if datatype is not None and datatype != RDF_LANGSTRING:
+            return Literal(value, datatype=IRI(datatype))
+        return Literal(value, datatype=IRI(XSD_STRING))
+    raise EndpointError(f"unknown JSON term type {kind!r}")
+
+
+def results_to_json(table: ResultTable, indent: Optional[int] = None) -> str:
+    """Serialize a SELECT result to SPARQL 1.1 JSON."""
+    bindings: List[Dict[str, Any]] = []
+    for row in table.rows:
+        entry = {}
+        for name, value in zip(table.vars, row):
+            if value is not None:
+                entry[name] = _term_to_json(value)
+        bindings.append(entry)
+    document = {
+        "head": {"vars": list(table.vars)},
+        "results": {"bindings": bindings},
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def results_from_json(text: str) -> ResultTable:
+    """Parse a SPARQL 1.1 JSON SELECT result document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise EndpointError(f"malformed result JSON: {error}")
+    try:
+        names = list(document["head"]["vars"])
+        bindings = document["results"]["bindings"]
+    except (KeyError, TypeError):
+        raise EndpointError("result JSON lacks head.vars/results.bindings")
+    rows = []
+    for binding in bindings:
+        rows.append(tuple(
+            _term_from_json(binding[name]) if name in binding else None
+            for name in names))
+    return ResultTable(names, rows)
+
+
+def boolean_to_json(value: bool, indent: Optional[int] = None) -> str:
+    """Serialize an ASK result to SPARQL 1.1 JSON."""
+    return json.dumps({"head": {}, "boolean": bool(value)}, indent=indent)
+
+
+def boolean_from_json(text: str) -> bool:
+    """Parse an ASK result from SPARQL 1.1 JSON."""
+    try:
+        document = json.loads(text)
+        return bool(document["boolean"])
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise EndpointError(f"malformed boolean result JSON: {error}")
+
+
+# ---------------------------------------------------------------------------
+# XML
+# ---------------------------------------------------------------------------
+
+_XML_HEADER = '<?xml version="1.0"?>\n'
+_SPARQL_NS = "http://www.w3.org/2005/sparql-results#"
+
+
+def _term_to_xml(name: str, term: Term) -> str:
+    if isinstance(term, IRI):
+        body = f"<uri>{xml_escape(term.value)}</uri>"
+    elif isinstance(term, BNode):
+        body = f"<bnode>{xml_escape(term.label)}</bnode>"
+    elif isinstance(term, Literal):
+        attributes = ""
+        if term.language is not None:
+            attributes = f' xml:lang="{xml_escape(term.language)}"'
+        elif term.datatype.value != XSD_STRING:
+            attributes = f' datatype="{xml_escape(term.datatype.value)}"'
+        body = f"<literal{attributes}>{xml_escape(term.lexical)}</literal>"
+    else:
+        raise EndpointError(f"cannot serialize term {term!r}")
+    return f'      <binding name="{xml_escape(name)}">{body}</binding>'
+
+
+def results_to_xml(table: ResultTable) -> str:
+    """Serialize a SELECT result to the SPARQL XML results format."""
+    lines = [_XML_HEADER + f'<sparql xmlns="{_SPARQL_NS}">', "  <head>"]
+    lines += [f'    <variable name="{xml_escape(name)}"/>'
+              for name in table.vars]
+    lines.append("  </head>")
+    lines.append("  <results>")
+    for row in table.rows:
+        lines.append("    <result>")
+        for name, value in zip(table.vars, row):
+            if value is not None:
+                lines.append(_term_to_xml(name, value))
+        lines.append("    </result>")
+    lines.append("  </results>")
+    lines.append("</sparql>")
+    return "\n".join(lines)
+
+
+def boolean_to_xml(value: bool) -> str:
+    """Serialize an ASK result to the SPARQL XML results format."""
+    text = "true" if value else "false"
+    return (_XML_HEADER + f'<sparql xmlns="{_SPARQL_NS}">\n'
+            "  <head/>\n"
+            f"  <boolean>{text}</boolean>\n"
+            "</sparql>")
+
+
+# ---------------------------------------------------------------------------
+# CSV / TSV
+# ---------------------------------------------------------------------------
+
+
+def _term_to_csv(term: Optional[Term]) -> str:
+    """CSV cells carry plain lexical forms (per the W3C CSV profile)."""
+    if term is None:
+        return ""
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, BNode):
+        return f"_:{term.label}"
+    return term.value  # IRI written bare
+
+
+def results_to_csv(table: ResultTable) -> str:
+    """Serialize a SELECT result to W3C SPARQL CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\r\n")
+    writer.writerow(table.vars)
+    for row in table.rows:
+        writer.writerow([_term_to_csv(value) for value in row])
+    return buffer.getvalue()
+
+
+def _term_to_tsv(term: Optional[Term]) -> str:
+    """TSV cells carry full N-Triples term syntax (lossless)."""
+    if term is None:
+        return ""
+    return term.n3()
+
+
+def results_to_tsv(table: ResultTable) -> str:
+    """Serialize a SELECT result to W3C SPARQL TSV."""
+    lines = ["\t".join(f"?{name}" for name in table.vars)]
+    for row in table.rows:
+        lines.append("\t".join(_term_to_tsv(value) for value in row))
+    return "\n".join(lines) + "\n"
+
+
+#: Media type → serializer callables, the shape an HTTP layer would use.
+SELECT_SERIALIZERS = {
+    "application/sparql-results+json": results_to_json,
+    "application/sparql-results+xml": results_to_xml,
+    "text/csv": results_to_csv,
+    "text/tab-separated-values": results_to_tsv,
+}
+
+ASK_SERIALIZERS = {
+    "application/sparql-results+json": boolean_to_json,
+    "application/sparql-results+xml": boolean_to_xml,
+}

@@ -1,0 +1,44 @@
+"""Shared fixtures: a small enriched demo cube, reused across suites.
+
+The enrichment pipeline is deterministic (seeded generators), so the
+session-scoped fixtures are safe to share; tests must not mutate the
+shared endpoint (tests that need mutation build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import small_demo
+from repro.demo import EnrichedDemo, enrich
+
+
+@pytest.fixture(scope="session")
+def enriched() -> EnrichedDemo:
+    """A small (~1500 obs) fully enriched demo: endpoint + schema + engine."""
+    demo = small_demo(observations=1500)
+    return enrich(demo)
+
+
+@pytest.fixture(scope="session")
+def endpoint(enriched):
+    return enriched.endpoint
+
+
+@pytest.fixture(scope="session")
+def schema(enriched):
+    return enriched.schema
+
+
+@pytest.fixture(scope="session")
+def engine(enriched):
+    return enriched.engine
+
+
+@pytest.fixture(scope="session")
+def star(enriched):
+    """The ETL'd star schema + native engine for oracle comparisons."""
+    from repro.olap import NativeOLAPEngine, extract_star_schema
+
+    star_schema, _ = extract_star_schema(enriched.endpoint, enriched.schema)
+    return NativeOLAPEngine(star_schema)

@@ -1,0 +1,64 @@
+"""Fine-tuning configuration tests (paper §III-A parameters)."""
+
+import pytest
+
+from repro.rdf.namespace import Namespace, RDFS
+from repro.rdf.terms import IRI
+from repro.qb4olap import vocabulary as qb4o
+from repro.enrichment.config import (
+    DEFAULT_EXCLUDED_PROPERTIES,
+    EnrichmentConfig,
+)
+
+
+class TestDefaults:
+    def test_defaults_are_valid(self):
+        EnrichmentConfig().validate()
+
+    def test_exact_fd_by_default(self):
+        assert EnrichmentConfig().quasi_fd_threshold == 0.0
+
+    def test_sum_is_default_aggregate(self):
+        """Paper: obsValue gets qb4o:sum in the Redefinition Phase."""
+        config = EnrichmentConfig()
+        assert config.aggregate_for(
+            IRI("http://example.org/anyMeasure")) == qb4o.SUM
+
+    def test_structural_properties_excluded_from_discovery(self):
+        assert RDFS.label.value in DEFAULT_EXCLUDED_PROPERTIES
+        assert RDFS.seeAlso.value in DEFAULT_EXCLUDED_PROPERTIES
+
+
+class TestOverrides:
+    def test_per_measure_aggregate_override(self):
+        price = IRI("http://example.org/price")
+        config = EnrichmentConfig(measure_aggregates={price: qb4o.AVG})
+        assert config.aggregate_for(price) == qb4o.AVG
+        assert config.aggregate_for(
+            IRI("http://example.org/other")) == qb4o.SUM
+
+    def test_custom_schema_namespace(self):
+        ns = Namespace("http://elsewhere.example.org/schema#")
+        config = EnrichmentConfig(schema_namespace=ns)
+        config.validate()
+        assert config.schema_namespace.base == ns.base
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("quasi_fd_threshold", -0.1),
+        ("quasi_fd_threshold", 1.1),
+        ("min_support", 2.0),
+        ("max_level_distinct_ratio", 0.0),
+        ("min_level_distinct", 0),
+        ("multi_parent_policy", "random"),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        config = EnrichmentConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_boundary_values_accepted(self):
+        EnrichmentConfig(quasi_fd_threshold=1.0, min_support=0.0,
+                         max_level_distinct_ratio=1.0,
+                         min_level_distinct=1).validate()

@@ -1,0 +1,190 @@
+"""FD / quasi-FD discovery tests (the enrichment module's core analysis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import IRI, Literal, Namespace
+from repro.enrichment import EnrichmentConfig
+from repro.enrichment.discovery import (
+    ATTRIBUTE,
+    LEVEL,
+    PropertyProfile,
+    REJECTED,
+    classify_profile,
+    discover_candidates,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def profile_from(values_by_member, n_members=None):
+    table = {EX[f"m{i}"]: values for i, values in enumerate(values_by_member)}
+    return PropertyProfile(
+        prop=EX.p,
+        n_members=n_members if n_members is not None else len(values_by_member),
+        values_by_member=table)
+
+
+class TestPropertyProfile:
+    def test_exact_fd(self):
+        profile = profile_from([[EX.a], [EX.a], [EX.b], [EX.b]])
+        assert profile.is_exact_fd
+        assert profile.fd_error == 0.0
+        assert profile.support == 1.0
+        assert profile.distinct_values == 2
+        assert profile.distinct_ratio == 0.5
+
+    def test_missing_values_raise_error_rate(self):
+        profile = profile_from([[EX.a], [], [EX.b], []])
+        assert profile.missing == 2
+        assert profile.fd_error == 0.5
+
+    def test_multi_values_raise_error_rate(self):
+        profile = profile_from([[EX.a, EX.b], [EX.a], [EX.b], [EX.a]])
+        assert profile.multi_valued == 1
+        assert profile.fd_error == 0.25
+
+    def test_value_type_flags(self):
+        assert profile_from([[EX.a], [EX.b]]).all_iri_values
+        literal_profile = profile_from([[Literal("x")], [Literal("y")]])
+        assert literal_profile.all_literal_values
+        mixed = profile_from([[EX.a], [Literal("y")]])
+        assert not mixed.all_iri_values
+        assert not mixed.all_literal_values
+
+    def test_functional_mapping_policies(self):
+        profile = profile_from([[EX.b, EX.a], [EX.c]])
+        first = profile.functional_mapping("first")
+        assert first[EX.m0] == [EX.a]  # deterministic smallest
+        everything = profile.functional_mapping("all")
+        assert everything[EX.m0] == [EX.a, EX.b]
+
+    def test_empty_member_set(self):
+        profile = PropertyProfile(EX.p, 0)
+        assert profile.fd_error == 1.0
+        assert profile.support == 0.0
+
+
+class TestClassification:
+    def default(self, **kw):
+        return EnrichmentConfig(**kw)
+
+    def test_grouping_iri_property_is_level(self):
+        profile = profile_from([[EX.a]] * 5 + [[EX.b]] * 5)
+        assert classify_profile(profile, self.default()) == LEVEL
+
+    def test_unique_iri_property_is_attribute(self):
+        profile = profile_from([[EX[f"v{i}"]] for i in range(10)])
+        assert classify_profile(profile, self.default()) == ATTRIBUTE
+
+    def test_literal_property_is_attribute(self):
+        profile = profile_from([[Literal(f"name{i}")] for i in range(4)])
+        assert classify_profile(profile, self.default()) == ATTRIBUTE
+
+    def test_degenerate_single_value_grouping_is_attribute(self):
+        profile = profile_from([[EX.only]] * 6)
+        assert classify_profile(profile, self.default()) == ATTRIBUTE
+
+    def test_low_support_rejected(self):
+        profile = profile_from([[EX.a], [], [], []])
+        assert classify_profile(profile, self.default()) == REJECTED
+
+    def test_quasi_fd_threshold_gate(self):
+        # 1 of 10 members has two values: 10% error
+        rows = [[EX.a]] * 9 + [[EX.a, EX.b]]
+        profile = profile_from(rows)
+        strict = self.default(quasi_fd_threshold=0.0)
+        loose = self.default(quasi_fd_threshold=0.15)
+        assert classify_profile(profile, strict) == REJECTED
+        assert classify_profile(profile, loose) == LEVEL
+
+    def test_excluded_properties_rejected(self):
+        from repro.rdf.namespace import RDF
+        profile = profile_from([[EX.a]] * 4)
+        profile.prop = RDF.type
+        assert classify_profile(profile, self.default()) == REJECTED
+
+    def test_mixed_values_rejected(self):
+        profile = profile_from([[EX.a], [Literal("x")], [EX.a], [EX.a]])
+        assert classify_profile(profile, self.default()) == REJECTED
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EnrichmentConfig(quasi_fd_threshold=2.0).validate()
+        with pytest.raises(ValueError):
+            EnrichmentConfig(multi_parent_policy="maybe").validate()
+
+
+class TestDiscovery:
+    def test_ranking_prefers_strong_grouping(self):
+        table = {
+            EX.continent: {EX[f"m{i}"]: [EX[f"c{i % 3}"]]
+                           for i in range(12)},
+            EX.code: {EX[f"m{i}"]: [Literal(f"code{i}")]
+                      for i in range(12)},
+        }
+        candidates = discover_candidates(table, 12)
+        assert candidates[0].prop == EX.continent
+        assert candidates[0].kind == LEVEL
+        kinds = {c.prop: c.kind for c in candidates}
+        assert kinds[EX.code] == ATTRIBUTE
+
+    def test_rejected_not_listed(self):
+        table = {EX.sparse: {EX.m0: [EX.a]}}
+        assert discover_candidates(table, 10) == []
+
+    def test_describe_mentions_stats(self):
+        table = {EX.p: {EX[f"m{i}"]: [EX.a] for i in range(4)}}
+        candidate = discover_candidates(table, 4)[0]
+        assert "support=1.00" in candidate.describe()
+
+
+# -- property-based: planted FDs are always found --------------------------------
+
+@settings(max_examples=40)
+@given(
+    n_members=st.integers(4, 40),
+    n_groups=st.integers(2, 4),
+    seed=st.integers(0, 10**6),
+)
+def test_planted_fd_is_discovered_as_level(n_members, n_groups, seed):
+    import random
+    rng = random.Random(seed)
+    if n_groups * 2 > n_members:
+        n_groups = max(2, n_members // 2)
+    table = {EX.planted: {
+        EX[f"m{i}"]: [EX[f"g{rng.randrange(n_groups)}"]]
+        for i in range(n_members)}}
+    candidates = discover_candidates(table, n_members)
+    planted = [c for c in candidates if c.prop == EX.planted]
+    assert planted and planted[0].profile.is_exact_fd
+    # grouping ratio decides level vs attribute; when the values really
+    # group (≥2 distinct, each group ≥2 members on average) → LEVEL
+    profile = planted[0].profile
+    if profile.distinct_values >= 2 \
+            and profile.distinct_ratio <= 0.5:
+        assert planted[0].kind == LEVEL
+
+
+@settings(max_examples=40)
+@given(
+    n_members=st.integers(10, 40),
+    error_members=st.integers(0, 5),
+    threshold=st.floats(0.0, 0.5),
+)
+def test_quasi_fd_threshold_is_respected(n_members, error_members, threshold):
+    if error_members > n_members:
+        error_members = n_members
+    table = {}
+    values = {}
+    for i in range(n_members):
+        if i < error_members:
+            values[EX[f"m{i}"]] = [EX.g0, EX.g1]  # violates functionality
+        else:
+            values[EX[f"m{i}"]] = [EX[f"g{i % 2}"]]
+    table[EX.p] = values
+    config = EnrichmentConfig(quasi_fd_threshold=threshold)
+    candidates = discover_candidates(table, n_members, config)
+    error_rate = error_members / n_members
+    found = any(c.prop == EX.p for c in candidates)
+    assert found == (error_rate <= threshold)

@@ -1,0 +1,90 @@
+"""Triple Generation Phase tests."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace
+from repro.rdf.namespace import SKOS
+from repro.sparql import LocalEndpoint
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import (
+    CubeSchema,
+    Dimension,
+    Hierarchy,
+    HierarchyStep,
+    Measure,
+)
+from repro.enrichment import EnrichmentConfig
+from repro.enrichment.generation import generate, instance_triples
+from repro.enrichment.hierarchy import LevelState, StepState
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def pieces():
+    schema = CubeSchema(dsd=EX.dsd, dataset=EX.ds)
+    schema.dimensions = [Dimension(EX.timeDim, [Hierarchy(
+        EX.timeHier, EX.timeDim, levels=[EX.month, EX.year],
+        steps=[HierarchyStep(EX.month, EX.year)])])]
+    schema.dimension_levels[EX.timeDim] = EX.month
+    schema.measures = [Measure(EX.amount)]
+    levels = {
+        EX.month: LevelState(EX.month, members=[EX.m1, EX.m2]),
+        EX.year: LevelState(
+            EX.year, members=[EX.y1],
+            attributes={EX.yearName: {EX.y1: [Literal("2013")]}}),
+    }
+    steps = [StepState(EX.month, EX.year,
+                       mapping={EX.m1: [EX.y1], EX.m2: [EX.y1]})]
+    return schema, levels, steps
+
+
+class TestInstanceTriples:
+    def test_groups(self, pieces):
+        _, levels, steps = pieces
+        grouped = instance_triples(levels, steps)
+        assert len(grouped["membership"]) == 3
+        assert len(grouped["rollup"]) == 2
+        assert len(grouped["attribute"]) == 1
+
+    def test_attribute_copy_disabled(self, pieces):
+        _, levels, steps = pieces
+        config = EnrichmentConfig(copy_attribute_triples=False)
+        grouped = instance_triples(levels, steps, config)
+        assert grouped["attribute"] == []
+
+    def test_multi_parent_mapping_produces_two_edges(self, pieces):
+        _, levels, _ = pieces
+        steps = [StepState(EX.month, EX.year,
+                           mapping={EX.m1: [EX.y1, EX.y2]})]
+        grouped = instance_triples(levels, steps)
+        assert len(grouped["rollup"]) == 2
+
+
+class TestGenerate:
+    def test_writes_to_named_graphs(self, pieces):
+        schema, levels, steps = pieces
+        endpoint = LocalEndpoint()
+        report = generate(endpoint, schema, levels, steps,
+                          schema_graph=EX.schemaGraph,
+                          instance_graph=EX.instanceGraph)
+        assert report.total == report.schema_triples \
+            + report.instance_triples
+        schema_graph = endpoint.graph(EX.schemaGraph)
+        instance_graph = endpoint.graph(EX.instanceGraph)
+        assert len(schema_graph) == report.schema_triples
+        assert len(instance_graph) == report.instance_triples
+        assert (EX.m1, qb4o.memberOf, EX.month) in instance_graph
+        assert (EX.m1, SKOS.broader, EX.y1) in instance_graph
+        assert (EX.y1, EX.yearName, Literal("2013")) in instance_graph
+
+    def test_generate_idempotent(self, pieces):
+        schema, levels, steps = pieces
+        endpoint = LocalEndpoint()
+        generate(endpoint, schema, levels, steps,
+                 schema_graph=EX.sg, instance_graph=EX.ig)
+        second = generate(endpoint, schema, levels, steps,
+                          schema_graph=EX.sg, instance_graph=EX.ig)
+        # schema triples use fresh bnodes per call; instances dedupe
+        assert second.membership_triples == 0
+        assert second.rollup_triples == 0

@@ -1,0 +1,125 @@
+"""Unit tests for hierarchy construction helpers (Enrichment Phase)."""
+
+import pytest
+
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import CubeSchema, Dimension, Hierarchy
+from repro.enrichment.hierarchy import (
+    LevelState,
+    attach_level,
+    infer_cardinality,
+    mint_level_iri,
+)
+
+SCHEMA = Namespace("http://example.org/schema#")
+EX = Namespace("http://example.org/")
+
+
+def member(name: str) -> IRI:
+    return EX[name]
+
+
+class TestInferCardinality:
+    def test_many_to_one(self):
+        mapping = {member("ng"): [member("africa")],
+                   member("ke"): [member("africa")],
+                   member("sy"): [member("asia")]}
+        assert infer_cardinality(mapping) == qb4o.MANY_TO_ONE
+
+    def test_one_to_one(self):
+        mapping = {member("ng"): [member("a")],
+                   member("ke"): [member("b")]}
+        assert infer_cardinality(mapping) == qb4o.ONE_TO_ONE
+
+    def test_many_to_many(self):
+        mapping = {member("ng"): [member("a"), member("b")]}
+        assert infer_cardinality(mapping) == qb4o.MANY_TO_MANY
+
+    def test_empty_mapping_defaults_many_to_one(self):
+        assert infer_cardinality({}) == qb4o.MANY_TO_ONE
+
+
+class TestMintLevelIri:
+    def test_uses_property_local_name(self):
+        prop = IRI("http://ref.example.org/property#continent")
+        assert mint_level_iri(SCHEMA, prop) == SCHEMA.continent
+
+    def test_collision_gets_suffix(self):
+        prop = IRI("http://ref.example.org/property#continent")
+        existing = {SCHEMA.continent: LevelState(iri=SCHEMA.continent)}
+        assert mint_level_iri(SCHEMA, prop, existing) == SCHEMA.continent2
+
+    def test_second_collision_increments(self):
+        prop = IRI("http://ref.example.org/property#continent")
+        existing = {
+            SCHEMA.continent: LevelState(iri=SCHEMA.continent),
+            SCHEMA.continent2: LevelState(iri=SCHEMA.continent2),
+        }
+        assert mint_level_iri(SCHEMA, prop, existing) == SCHEMA.continent3
+
+
+class TestAttachLevel:
+    def make_schema(self) -> CubeSchema:
+        schema = CubeSchema(dsd=SCHEMA.dsd, dataset=EX.ds)
+        dimension = Dimension(SCHEMA.citDim)
+        dimension.hierarchies.append(Hierarchy(
+            SCHEMA.citHier, SCHEMA.citDim,
+            levels=[EX.citizen], steps=[]))
+        schema.dimensions.append(dimension)
+        schema.dimension_levels[SCHEMA.citDim] = EX.citizen
+        return schema
+
+    def test_adds_level_and_step(self):
+        schema = self.make_schema()
+        hierarchy = attach_level(schema, EX.citizen, SCHEMA.continent,
+                                 qb4o.MANY_TO_ONE)
+        assert SCHEMA.continent in hierarchy.levels
+        step = hierarchy.step_between(EX.citizen, SCHEMA.continent)
+        assert step is not None
+        assert step.cardinality == qb4o.MANY_TO_ONE
+
+    def test_idempotent(self):
+        schema = self.make_schema()
+        attach_level(schema, EX.citizen, SCHEMA.continent, qb4o.MANY_TO_ONE)
+        hierarchy = attach_level(schema, EX.citizen, SCHEMA.continent,
+                                 qb4o.MANY_TO_ONE)
+        assert hierarchy.levels.count(SCHEMA.continent) == 1
+        assert len(hierarchy.steps) == 1
+
+    def test_chains_extend_upwards(self):
+        schema = self.make_schema()
+        attach_level(schema, EX.citizen, SCHEMA.continent, qb4o.MANY_TO_ONE)
+        hierarchy = attach_level(schema, SCHEMA.continent, SCHEMA.world,
+                                 qb4o.MANY_TO_ONE)
+        assert hierarchy.levels_bottom_up() == [
+            EX.citizen, SCHEMA.continent, SCHEMA.world]
+
+    def test_unknown_level_raises(self):
+        schema = self.make_schema()
+        with pytest.raises(ValueError, match="belongs to no dimension"):
+            attach_level(schema, EX.stranger, SCHEMA.continent,
+                         qb4o.MANY_TO_ONE)
+
+
+class TestLevelsBottomUp:
+    def test_orphan_hierarchy_returns_levels_as_is(self):
+        hierarchy = Hierarchy(SCHEMA.h, SCHEMA.d,
+                              levels=[EX.a, EX.b], steps=[])
+        assert hierarchy.levels_bottom_up() == [EX.a, EX.b]
+
+    def test_diamond_visits_every_level_once(self):
+        from repro.qb4olap.model import HierarchyStep
+        hierarchy = Hierarchy(
+            SCHEMA.h, SCHEMA.d,
+            levels=[EX.day, EX.week, EX.month, EX.year],
+            steps=[HierarchyStep(EX.day, EX.week),
+                   HierarchyStep(EX.day, EX.month),
+                   HierarchyStep(EX.week, EX.year),
+                   HierarchyStep(EX.month, EX.year)])
+        ordered = hierarchy.levels_bottom_up()
+        assert ordered[0] == EX.day
+        assert ordered[-1] == EX.year
+        assert sorted(ordered, key=str) == sorted(
+            [EX.day, EX.week, EX.month, EX.year], key=str)

@@ -1,0 +1,121 @@
+"""Enrichment script (record/replay) tests."""
+
+import pytest
+
+from repro.data import small_demo
+from repro.data.namespaces import PROPERTY
+from repro.demo import MARY_PREFERENCES, PAPER_DIMENSION_NAMES
+from repro.enrichment import EnrichmentSession
+from repro.enrichment.script import (
+    ADD_ATTRIBUTE,
+    ADD_LEVEL,
+    EnrichmentScript,
+    ReplayError,
+    ScriptStep,
+)
+
+
+def make_session(observations: int = 1_000) -> EnrichmentSession:
+    data = small_demo(observations=observations)
+    return EnrichmentSession(data.endpoint, data.dataset, data.dsd,
+                             dimension_names=PAPER_DIMENSION_NAMES)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A session enriched with Mary's choices plus its exported script."""
+    session = make_session()
+    session.redefine()
+    session.auto_enrich(max_depth=3, add_attributes=True,
+                        prefer=MARY_PREFERENCES)
+    return session, session.export_script()
+
+
+class TestRecording:
+    def test_actions_recorded(self, recorded):
+        session, script = recorded
+        assert len(script) == len(session.actions) > 0
+
+    def test_level_choices_recorded_with_minted_iri(self, recorded):
+        _, script = recorded
+        level_steps = [step for step in script.steps
+                       if step.action == ADD_LEVEL]
+        assert level_steps
+        assert all(step.prop and step.minted for step in level_steps)
+
+    def test_attribute_choices_recorded(self, recorded):
+        _, script = recorded
+        assert any(step.action == ADD_ATTRIBUTE for step in script.steps)
+
+    def test_script_carries_session_identity(self, recorded):
+        session, script = recorded
+        assert script.dataset == session.dataset.value
+        assert script.dsd == session.dsd.value
+
+
+class TestSerialization:
+    def test_json_round_trip(self, recorded):
+        _, script = recorded
+        parsed = EnrichmentScript.from_json(script.to_json())
+        assert parsed.dataset == script.dataset
+        assert parsed.steps == script.steps
+        assert parsed.quasi_fd_threshold == script.quasi_fd_threshold
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ReplayError):
+            EnrichmentScript.from_json("{broken")
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ReplayError):
+            EnrichmentScript.from_json('{"steps": []}')
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptStep(action="drop_table", target="x")
+
+
+class TestReplay:
+    def test_replay_reproduces_schema(self, recorded):
+        original_session, script = recorded
+        fresh = make_session()
+        replayed_schema = script.replay(fresh)
+        original = original_session.schema
+        assert {d.iri for d in replayed_schema.dimensions} \
+            == {d.iri for d in original.dimensions}
+        for dimension in original.dimensions:
+            theirs = replayed_schema.require_dimension(dimension.iri)
+            assert set(theirs.hierarchies[0].levels) \
+                == set(dimension.hierarchies[0].levels)
+        assert replayed_schema.level_attributes \
+            == original.level_attributes
+
+    def test_replay_wrong_dataset_rejected(self, recorded):
+        _, script = recorded
+        fresh = make_session()
+        from repro.rdf.terms import IRI
+        fresh.dataset = IRI("http://example.org/other")
+        with pytest.raises(ReplayError, match="recorded for"):
+            script.replay(fresh)
+
+    def test_replay_missing_candidate_fails_loudly(self, recorded):
+        _, script = recorded
+        fresh = make_session()
+        fresh.redefine()
+        broken = EnrichmentScript(
+            dataset=script.dataset, dsd=script.dsd,
+            steps=[ScriptStep(action=ADD_LEVEL,
+                              target=PROPERTY.citizen.value,
+                              prop="http://example.org/never-discovered")])
+        with pytest.raises(ReplayError, match="no longer discovered"):
+            broken.replay(fresh)
+
+    def test_replay_with_generation(self, recorded):
+        _, script = recorded
+        fresh = make_session()
+        script.replay(fresh, generate=True)
+        # generated triples are queryable: the minted continent level
+        assert fresh.endpoint.ask("""
+            PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+            PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>
+            ASK { ?m qb4o:memberOf schema:continent }
+        """)

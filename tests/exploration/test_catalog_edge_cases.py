@@ -1,0 +1,67 @@
+"""Catalog behaviour on unusual endpoints."""
+
+import pytest
+
+from repro.rdf import Namespace
+from repro.sparql import LocalEndpoint
+from repro.exploration import list_cubes
+
+EX = Namespace("http://example.org/")
+
+
+class TestCatalogEdgeCases:
+    def test_empty_endpoint(self):
+        assert list_cubes(LocalEndpoint()) == []
+
+    def test_plain_qb_cube_not_listed(self):
+        """A data set whose DSD has only qb:dimension components is not
+        a QB4OLAP cube and must not appear in the catalog."""
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        INSERT DATA {
+          ex:ds a qb:DataSet ; qb:structure ex:dsd .
+          ex:dsd a qb:DataStructureDefinition ;
+                 qb:component ex:c1 .
+          ex:c1 qb:dimension ex:dim .
+        }
+        """)
+        assert list_cubes(ep) == []
+
+    def test_cube_without_label_or_observations(self):
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+        INSERT DATA {
+          ex:ds a qb:DataSet ; qb:structure ex:dsd .
+          ex:dsd a qb:DataStructureDefinition ; qb:component ex:c1 .
+          ex:c1 qb4o:level ex:level .
+        }
+        """)
+        cubes = list_cubes(ep)
+        assert len(cubes) == 1
+        info = cubes[0]
+        assert info.label is None
+        assert info.observations == 0
+        assert info.dimensions == 1
+        assert info.measures == 0
+
+    def test_two_cubes_sorted(self):
+        ep = LocalEndpoint()
+        for name in ("zeta", "alpha"):
+            ep.update(f"""
+            PREFIX ex: <http://example.org/>
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+            INSERT DATA {{
+              ex:{name} a qb:DataSet ; qb:structure ex:{name}Dsd .
+              ex:{name}Dsd a qb:DataStructureDefinition ;
+                           qb:component ex:{name}C .
+              ex:{name}C qb4o:level ex:{name}Level .
+            }}
+            """)
+        cubes = list_cubes(ep)
+        assert [c.dataset.local_name() for c in cubes] == ["alpha", "zeta"]

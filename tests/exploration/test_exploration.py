@@ -1,0 +1,151 @@
+"""Exploration module tests: catalog, schema navigation, instances, stats."""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
+from repro.demo import CONTINENT_LEVEL, QUARTER_LEVEL, YEAR_LEVEL
+from repro.exploration import (
+    CubeExplorer,
+    CubeStatistics,
+    InstanceBrowser,
+    list_cubes,
+)
+from repro.rdf.namespace import SDMX_DIMENSION, SDMX_MEASURE
+
+
+@pytest.fixture(scope="module")
+def explorer(enriched):
+    return CubeExplorer(enriched.endpoint, enriched.data.dataset)
+
+
+@pytest.fixture(scope="module")
+def browser(enriched, explorer):
+    return InstanceBrowser(enriched.endpoint, explorer.schema)
+
+
+class TestCatalog:
+    def test_lists_enriched_cube(self, enriched):
+        cubes = list_cubes(enriched.endpoint)
+        assert len(cubes) == 1
+        info = cubes[0]
+        assert info.dataset == enriched.data.dataset
+        assert info.observations == enriched.data.observations
+        assert info.dimensions == 6
+        assert info.measures == 1
+        assert "asylum" in (info.label or "").lower()
+
+    def test_str(self, enriched):
+        info = list_cubes(enriched.endpoint)[0]
+        assert "observations" in str(info)
+
+
+class TestExplorer:
+    def test_picks_qb4olap_dsd(self, explorer, enriched):
+        assert explorer.schema.dsd == enriched.schema.dsd
+
+    def test_dimensions(self, explorer):
+        names = {d.iri.local_name() for d in explorer.dimensions()}
+        assert "citizenshipDim" in names and "timeDim" in names
+
+    def test_levels_of_time(self, explorer):
+        levels = explorer.levels(SCHEMA.timeDim)
+        assert SDMX_DIMENSION.refPeriod in levels
+        assert QUARTER_LEVEL in levels
+        assert YEAR_LEVEL in levels
+
+    def test_attributes(self, explorer):
+        assert REF_PROP.continentName in explorer.attributes(CONTINENT_LEVEL)
+
+    def test_rollup_targets(self, explorer):
+        targets = explorer.rollup_targets(SCHEMA.timeDim)
+        assert QUARTER_LEVEL in targets and YEAR_LEVEL in targets
+        assert explorer.rollup_targets(SCHEMA.sexDim) == []
+
+    def test_bottom_level(self, explorer):
+        assert explorer.bottom_level(SCHEMA.citizenshipDim) == PROPERTY.citizen
+
+    def test_measures(self, explorer):
+        assert explorer.measures()[0].iri == SDMX_MEASURE.obsValue
+
+    def test_describe(self, explorer):
+        text = explorer.describe()
+        assert "citizenshipDim" in text and "continent" in text
+
+
+class TestBrowser:
+    def test_members(self, browser):
+        continents = browser.members(CONTINENT_LEVEL)
+        assert 3 <= len(continents) <= 6
+        assert browser.member_count(CONTINENT_LEVEL) == len(continents)
+
+    def test_members_limit(self, browser):
+        assert len(browser.members(PROPERTY.citizen, limit=3)) == 3
+
+    def test_member_label(self, browser):
+        continents = browser.members(CONTINENT_LEVEL)
+        labels = {browser.member_label(c) for c in continents}
+        assert "Africa" in labels or "Asia" in labels
+
+    def test_member_attributes(self, browser):
+        continent = browser.members(CONTINENT_LEVEL)[0]
+        attributes = browser.member_attributes(continent, CONTINENT_LEVEL)
+        assert REF_PROP.continentName in attributes
+
+    def test_rollup_edges(self, browser):
+        edges = browser.rollup_edges(PROPERTY.citizen, CONTINENT_LEVEL)
+        assert len(edges) == browser.member_count(PROPERTY.citizen)
+        children = {child for child, _ in edges}
+        assert len(children) == len(edges)  # functional
+
+    def test_cluster_by_level(self, browser):
+        clusters = browser.cluster_by_level(SCHEMA.citizenshipDim,
+                                            CONTINENT_LEVEL)
+        total = sum(len(members) for members in clusters.values())
+        assert total == browser.member_count(PROPERTY.citizen)
+        assert len(clusters) >= 3
+
+    def test_cluster_at_bottom_is_identity(self, browser):
+        clusters = browser.cluster_by_level(SCHEMA.sexDim,
+                                            PROPERTY.sex)
+        assert all(len(members) == 1 for members in clusters.values())
+
+    def test_cluster_two_hops(self, browser):
+        clusters = browser.cluster_by_level(SCHEMA.timeDim, YEAR_LEVEL)
+        assert len(clusters) == 2
+        assert all(len(members) == 12 for members in clusters.values())
+
+    def test_render_clusters(self, browser):
+        text = browser.render_clusters(SCHEMA.citizenshipDim,
+                                       CONTINENT_LEVEL, max_members=2)
+        assert "clustered by" in text
+        assert "members" in text
+
+
+class TestStatistics:
+    def test_summary(self, enriched, explorer):
+        stats = CubeStatistics(enriched.endpoint, explorer.schema)
+        assert stats.observation_count() == enriched.data.observations
+        summary = stats.measure_summary(SDMX_MEASURE.obsValue)
+        assert summary.count == enriched.data.observations
+        assert summary.minimum >= 0
+        assert summary.maximum >= summary.minimum
+        assert summary.mean == pytest.approx(
+            summary.total / summary.count)
+
+    def test_members_per_level(self, enriched, explorer):
+        stats = CubeStatistics(enriched.endpoint, explorer.schema)
+        counts = stats.members_per_level()
+        assert counts[YEAR_LEVEL] == 2
+        assert counts[PROPERTY.sex] == 3
+
+    def test_observations_by_member(self, enriched, explorer):
+        stats = CubeStatistics(enriched.endpoint, explorer.schema)
+        top = stats.observations_by_member(PROPERTY.citizen, limit=5)
+        assert len(top) == 5
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_summary_text(self, enriched, explorer):
+        stats = CubeStatistics(enriched.endpoint, explorer.schema)
+        text = stats.summary_text()
+        assert "Observations" in text and "obsValue" in text

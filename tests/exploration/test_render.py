@@ -1,0 +1,109 @@
+"""Tests for the DOT/text renderings of the Exploration views."""
+
+import pytest
+
+from repro.data.namespaces import SCHEMA
+from repro.demo import prepare_enriched_demo
+from repro.exploration.browser import InstanceBrowser
+from repro.exploration.render import (
+    hierarchy_text,
+    instance_graph_dot,
+    schema_dot,
+)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return prepare_enriched_demo(observations=1_200, small=True)
+
+
+@pytest.fixture(scope="module")
+def browser(demo):
+    return InstanceBrowser(demo.endpoint, demo.schema)
+
+
+class TestInstanceGraphDot:
+    def test_valid_dot_shape(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.citizenshipDim)
+        assert dot.startswith("digraph instances {")
+        assert dot.rstrip().endswith("}")
+        assert "subgraph cluster_0" in dot
+
+    def test_levels_appear_as_clusters(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.citizenshipDim)
+        assert 'label="citizen"' in dot
+        assert 'label="continent"' in dot
+
+    def test_rollup_edges_present(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.citizenshipDim)
+        assert "->" in dot
+
+    def test_truncation_notes_omitted_members(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.citizenshipDim,
+                                 max_members_per_level=2)
+        assert "more" in dot
+
+    def test_truncated_edges_only_between_visible_nodes(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.citizenshipDim,
+                                 max_members_per_level=1)
+        edge_lines = [line for line in dot.splitlines()
+                      if "->" in line]
+        node_ids = {line.strip().split(" ")[0]
+                    for line in dot.splitlines()
+                    if line.strip().startswith("n")}
+        for line in edge_lines:
+            source, _, target = line.strip().rstrip(";").partition(" -> ")
+            assert source in node_ids
+            assert target in node_ids
+
+    def test_quotes_escaped(self, browser):
+        dot = instance_graph_dot(browser, SCHEMA.timeDim)
+        for line in dot.splitlines():
+            if "label=" in line:
+                assert line.count('"') % 2 == 0
+
+
+class TestSchemaDot:
+    def test_valid_dot_shape(self, demo):
+        dot = schema_dot(demo.schema)
+        assert dot.startswith("digraph schema {")
+        assert dot.rstrip().endswith("}")
+
+    def test_cube_and_dimensions(self, demo):
+        dot = schema_dot(demo.schema)
+        assert "migr_asyappctzm" in dot
+        assert "citizenshipDim" in dot
+        assert "destinationDim" in dot
+
+    def test_rollup_arrows_labelled(self, demo):
+        dot = schema_dot(demo.schema)
+        assert 'label="rolls up"' in dot
+
+    def test_measures_with_aggregates(self, demo):
+        dot = schema_dot(demo.schema)
+        assert "obsValue" in dot
+        assert "sum" in dot
+
+    def test_attributes_listed_on_levels(self, demo):
+        dot = schema_dot(demo.schema)
+        assert "[" in dot  # at least one attribute bracket
+
+
+class TestHierarchyText:
+    def test_tree_structure(self, demo):
+        text = hierarchy_text(demo.schema, SCHEMA.citizenshipDim)
+        lines = text.splitlines()
+        assert lines[0] == "citizenshipDim"
+        assert any("citizen" in line for line in lines[1:])
+        assert any("continent" in line for line in lines[1:])
+
+    def test_bottom_up_order(self, demo):
+        text = hierarchy_text(demo.schema, SCHEMA.timeDim)
+        positions = {name: text.find(name)
+                     for name in ("refPeriod", "quarter", "year")}
+        assert positions["refPeriod"] < positions["quarter"] \
+            < positions["year"]
+
+    def test_unknown_dimension_raises(self, demo):
+        with pytest.raises(Exception):
+            hierarchy_text(demo.schema, SCHEMA.noSuchDim)

@@ -1,0 +1,110 @@
+"""Cross-feature integration: snapshot, replay, validation, drill-across.
+
+These tests chain the extension features end to end the way a user
+would: validate input per the W3C spec, enrich, snapshot the endpoint,
+restore it elsewhere, replay the recorded choices, and drill across —
+checking that every path yields the same answers.
+"""
+
+import pytest
+
+from repro.data import small_demo
+from repro.data.namespaces import QB_GRAPH
+from repro.demo import (
+    MARY_PREFERENCES,
+    MARY_QL,
+    PAPER_DIMENSION_NAMES,
+    prepare_enriched_demo,
+)
+from repro.enrichment import EnrichmentSession
+from repro.qb.constraints import check_graph
+from repro.qb.normalize import normalize_graph
+from repro.sparql.endpoint import LocalEndpoint
+from repro.ql import QLEngine
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return prepare_enriched_demo(observations=1_200, small=True)
+
+
+class TestSnapshotRestore:
+    def test_restored_endpoint_answers_mary_identically(self, demo):
+        snapshot = demo.endpoint.dump_trig()
+        restored = LocalEndpoint()
+        restored.load_trig(snapshot)
+        engine = QLEngine(restored, demo.schema)
+
+        original = demo.engine.execute(MARY_QL)
+        replayed = engine.execute(MARY_QL)
+        assert replayed.table.rows == original.table.rows
+
+    def test_snapshot_preserves_graph_layout(self, demo):
+        snapshot = demo.endpoint.dump_trig()
+        restored = LocalEndpoint()
+        restored.load_trig(snapshot)
+        assert restored.graph_sizes() == demo.endpoint.graph_sizes()
+
+
+class TestReplayEquivalence:
+    def test_replayed_enrichment_answers_mary_identically(self, demo):
+        script = demo.session.export_script()
+
+        fresh = small_demo(observations=1_200)
+        session = EnrichmentSession(
+            fresh.endpoint, fresh.dataset, fresh.dsd,
+            dimension_names=PAPER_DIMENSION_NAMES)
+        schema = script.replay(session, generate=True)
+
+        engine = QLEngine(fresh.endpoint, schema)
+        original = demo.engine.execute(MARY_QL)
+        replayed = engine.execute(MARY_QL)
+        assert replayed.table.rows == original.table.rows
+
+
+class TestValidationGate:
+    def test_enriched_output_passes_spec_suite_after_range_repair(self,
+                                                                  demo):
+        """After enrichment + the IC-4 metadata repair, the observation
+        graph is well-formed per the spec's operational definition."""
+        working = demo.endpoint.graph(QB_GRAPH).copy()
+        normalize_graph(working)
+        report = check_graph(working, include_expensive=True)
+        assert report.violations == ["IC-4"]
+
+        # the one-line publisher repair from examples/validation_workflow
+        from repro.rdf.graph import Dataset
+        scratch = Dataset()
+        scratch.default = working
+        publisher = LocalEndpoint(scratch, default_as_union=False)
+        publisher.update("""
+            PREFIX qb:   <http://purl.org/linked-data/cube#>
+            PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+            INSERT { ?dim rdfs:range rdfs:Resource . }
+            WHERE  {
+                ?dim a qb:DimensionProperty .
+                FILTER NOT EXISTS { ?dim rdfs:range ?any }
+            }
+        """)
+        assert check_graph(working, include_expensive=True).well_formed
+
+
+class TestFromNamedOnDemoLayout:
+    def test_query_scoped_to_qb_graph_only(self, demo):
+        """FROM NAMED isolates the original observations from the
+        enrichment output graphs."""
+        observation_count = demo.endpoint.select(f"""
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            SELECT (COUNT(?o) AS ?n)
+            FROM <{QB_GRAPH.value}>
+            WHERE {{ ?o a qb:Observation }}
+        """)
+        assert int(observation_count.rows[0][0].value) == 1_200
+
+    def test_schema_graph_invisible_under_from(self, demo):
+        rows = demo.endpoint.select(f"""
+            PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+            SELECT ?h FROM <{QB_GRAPH.value}>
+            WHERE {{ ?h a qb4o:Hierarchy }}
+        """)
+        assert len(rows) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the SPARQL-vs-native comparison oracle."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.results import ResultTable
+from repro.olap.compare import ComparisonOutcome, compare_results
+from repro.olap.engine import NativeResult
+from repro.ql.cube import ResultCube
+from repro.ql.translator import DimensionBinding, TranslationMetadata
+
+EX = "http://example.org/"
+MEASURE = IRI(EX + "obsValue")
+
+
+def make_cube(rows) -> ResultCube:
+    binding = DimensionBinding(
+        dimension=IRI(EX + "citDim"), bottom_level=IRI(EX + "citizen"),
+        final_level=IRI(EX + "continent"), levels=[IRI(EX + "continent")],
+        variables=["cont"])
+    metadata = TranslationMetadata(
+        dimensions=[binding],
+        measure_aliases={MEASURE: "value"},
+        group_variables=["cont"])
+    table = ResultTable(["cont", "value"], rows)
+    return ResultCube(table, metadata)
+
+
+def make_native(cells) -> NativeResult:
+    result = NativeResult.__new__(NativeResult)
+    result.cells = cells
+    result.seconds = 0.0
+    return result
+
+
+AFRICA = IRI(EX + "africa")
+ASIA = IRI(EX + "asia")
+
+
+class TestCompareResults:
+    def test_identical(self):
+        cube = make_cube([(AFRICA, Literal(10)), (ASIA, Literal(20))])
+        native = make_native({(AFRICA,): {MEASURE: 10.0},
+                              (ASIA,): {MEASURE: 20.0}})
+        outcome = compare_results(cube, native)
+        assert outcome.equal
+        assert outcome.explain() == "results identical"
+
+    def test_value_mismatch(self):
+        cube = make_cube([(AFRICA, Literal(10))])
+        native = make_native({(AFRICA,): {MEASURE: 11.0}})
+        outcome = compare_results(cube, native)
+        assert not outcome.equal
+        assert len(outcome.value_mismatches) == 1
+        assert "1 value mismatches" in outcome.explain()
+
+    def test_tolerance_absorbs_float_noise(self):
+        cube = make_cube([(AFRICA, Literal(10))])
+        native = make_native({(AFRICA,): {MEASURE: 10.0 + 1e-12}})
+        assert compare_results(cube, native).equal
+
+    def test_cell_missing_in_native(self):
+        cube = make_cube([(AFRICA, Literal(10)), (ASIA, Literal(20))])
+        native = make_native({(AFRICA,): {MEASURE: 10.0}})
+        outcome = compare_results(cube, native)
+        assert outcome.missing_in_native == [(ASIA,)]
+        assert "only in SPARQL result" in outcome.explain()
+
+    def test_cell_missing_in_sparql(self):
+        cube = make_cube([(AFRICA, Literal(10))])
+        native = make_native({(AFRICA,): {MEASURE: 10.0},
+                              (ASIA,): {MEASURE: 20.0}})
+        outcome = compare_results(cube, native)
+        assert outcome.missing_in_sparql == [(ASIA,)]
+        assert "only in native result" in outcome.explain()
+
+    def test_custom_tolerance(self):
+        cube = make_cube([(AFRICA, Literal(10))])
+        native = make_native({(AFRICA,): {MEASURE: 10.4}})
+        assert compare_results(cube, native, tolerance=0.5).equal
+        assert not compare_results(cube, native, tolerance=0.1).equal

@@ -1,0 +1,160 @@
+"""Native OLAP engine tests: oracle equivalence with the SPARQL path."""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
+from repro.demo import CONTINENT_LEVEL, MARY_QL, QUARTER_LEVEL, YEAR_LEVEL
+from repro.rdf.namespace import SDMX_MEASURE
+from repro.ql import QLBuilder, attr, measure, parse_ql, simplify
+from repro.olap import compare_results
+
+
+def run_both(enriched, star, program):
+    result = enriched.engine.execute(program, variant="direct")
+    native = star.evaluate(result.simplified)
+    return result, native
+
+
+class TestOracleEquivalence:
+    def test_rollup_only(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .build())
+        result, native = run_both(enriched, star, program)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+        assert len(result.cube) > 0
+
+    def test_mary_demo_query(self, enriched, star):
+        result, native = run_both(enriched, star, MARY_QL)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+
+    def test_attribute_dice(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                              REF_PROP.continentName) == "Asia")
+                   .build())
+        result, native = run_both(enriched, star, program)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+        assert len(result.cube) >= 1
+
+    def test_measure_dice(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.timeDim)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .dice(measure(SDMX_MEASURE.obsValue) > 100)
+                   .build())
+        result, native = run_both(enriched, star, program)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+
+    def test_no_op_program_grand_grain(self, enriched, star, schema):
+        # no rollups/slices: cube at base granularity
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .build())
+        result, native = run_both(enriched, star, program)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+
+    def test_scalar_result(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.timeDim)
+                   .slice(SCHEMA.citizenshipDim)
+                   .build())
+        result, native = run_both(enriched, star, program)
+        assert len(native) == 1
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+
+
+class TestNativeResult:
+    def test_as_rows(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.citizenshipDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        simplified = simplify(program, schema)
+        native = star.evaluate(simplified)
+        rows = native.as_rows()
+        assert len(rows) == 2  # two years
+        assert all(SDMX_MEASURE.obsValue.value in row for row in rows)
+
+    def test_value_accessor(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.citizenshipDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        native = star.evaluate(simplify(program, schema))
+        coordinate = next(iter(native.cells))
+        assert native.value(SDMX_MEASURE.obsValue, *coordinate) > 0
+        assert native.value(SDMX_MEASURE.obsValue, SCHEMA.ghost) is None
+
+    def test_timing_recorded(self, enriched, star, schema):
+        program = QLBuilder(schema.dataset).slice(SCHEMA.sexDim).build()
+        native = star.evaluate(simplify(program, schema))
+        assert native.seconds >= 0
+
+
+class TestComparisonOutcome:
+    def test_detects_value_mismatch(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.citizenshipDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        result = enriched.engine.execute(program)
+        native = star.evaluate(result.simplified)
+        # corrupt one native cell
+        key = next(iter(native.cells))
+        native.cells[key][SDMX_MEASURE.obsValue] += 1.0
+        outcome = compare_results(result.cube, native)
+        assert not outcome.equal
+        assert outcome.value_mismatches
+        assert "mismatch" in outcome.explain()
+
+    def test_detects_missing_cells(self, enriched, star, schema):
+        program = (QLBuilder(schema.dataset)
+                   .slice(SCHEMA.asylappDim)
+                   .slice(SCHEMA.ageDim)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.destinationDim)
+                   .slice(SCHEMA.citizenshipDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        result = enriched.engine.execute(program)
+        native = star.evaluate(result.simplified)
+        native.cells.pop(next(iter(native.cells)))
+        outcome = compare_results(result.cube, native)
+        assert not outcome.equal
+        assert outcome.missing_in_native

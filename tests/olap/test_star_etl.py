@@ -1,0 +1,68 @@
+"""Star schema + ETL tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.namespaces import PROPERTY, SCHEMA
+from repro.demo import CONTINENT_LEVEL, YEAR_LEVEL
+from repro.olap import extract_star_schema
+from repro.rdf.namespace import SDMX_DIMENSION, SDMX_MEASURE
+
+
+@pytest.fixture(scope="module")
+def star_and_report(enriched):
+    return extract_star_schema(enriched.endpoint, enriched.schema)
+
+
+class TestETL:
+    def test_fact_count_matches_observations(self, star_and_report, enriched):
+        star, report = star_and_report
+        assert star.facts.size == enriched.data.observations
+        assert report.facts == star.facts.size
+        assert report.seconds > 0
+
+    def test_dimension_tables_present(self, star_and_report):
+        star, _ = star_and_report
+        assert set(star.dimensions) == {
+            SCHEMA.citizenshipDim, SCHEMA.destinationDim, SCHEMA.timeDim,
+            SCHEMA.sexDim, SCHEMA.ageDim, SCHEMA.asylappDim}
+
+    def test_rollup_maps_compose(self, star_and_report):
+        star, _ = star_and_report
+        time_table = star.dimensions[SCHEMA.timeDim]
+        year_map = time_table.map_to_level(YEAR_LEVEL)
+        assert year_map.shape[0] == 24  # months
+        assert set(np.unique(year_map)) <= {0, 1}
+        years = time_table.members_at(YEAR_LEVEL)
+        assert len(years) == 2
+
+    def test_every_fact_has_valid_bottom_codes(self, star_and_report):
+        star, _ = star_and_report
+        for codes in star.facts.coordinates.values():
+            assert (codes >= 0).all()
+
+    def test_attributes_extracted(self, star_and_report):
+        star, _ = star_and_report
+        cit = star.dimensions[SCHEMA.citizenshipDim]
+        values = cit.attribute_values(
+            CONTINENT_LEVEL,
+            next(iter(cit.attributes[CONTINENT_LEVEL])))
+        assert values  # continentName values loaded
+
+    def test_measures_extracted(self, star_and_report):
+        star, _ = star_and_report
+        values = star.facts.measures[SDMX_MEASURE.obsValue]
+        assert values.sum() > 0
+        assert star.measure_aggregates[SDMX_MEASURE.obsValue] == "SUM"
+
+    def test_summary_text(self, star_and_report):
+        star, _ = star_and_report
+        text = star.summary()
+        assert "facts" in text and "citizenshipDim" in text
+
+    def test_bottom_code_lookup(self, star_and_report):
+        star, _ = star_and_report
+        table = star.dimensions[SCHEMA.sexDim]
+        member = table.bottom_members[0]
+        assert table.bottom_code(member) == 0
+        assert table.bottom_code(SCHEMA.ghost) is None

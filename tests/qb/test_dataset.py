@@ -1,0 +1,79 @@
+"""QB data set access tests."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace, RDF
+from repro.qb import DataStructureDefinition, QBDataSet, QBSchemaError, find_datasets
+from repro.qb import vocabulary as qb
+
+EX = Namespace("http://example.org/")
+
+
+def build_dataset(observations=4):
+    graph = Graph()
+    dsd = DataStructureDefinition(EX.dsd)
+    dsd.add_dimension(EX.time)
+    dsd.add_dimension(EX.place)
+    dsd.add_measure(EX.amount)
+    dsd.add_attribute(EX.unit)
+    dsd.to_graph(graph)
+    graph.add(EX.ds, RDF.type, qb.DataSet)
+    graph.add(EX.ds, qb.structure, EX.dsd)
+    for i in range(observations):
+        obs = EX[f"obs{i}"]
+        graph.add(obs, RDF.type, qb.Observation)
+        graph.add(obs, qb.dataSet, EX.ds)
+        graph.add(obs, EX.time, EX[f"t{i % 2}"])
+        graph.add(obs, EX.place, EX[f"p{i}"])
+        graph.add(obs, EX.amount, Literal(10 * i))
+        graph.add(obs, EX.unit, Literal("persons"))
+    return graph
+
+
+class TestQBDataSet:
+    def test_resolves_dsd_from_structure_link(self):
+        graph = build_dataset()
+        ds = QBDataSet(graph, EX.ds)
+        assert ds.dsd.iri == EX.dsd
+
+    def test_missing_structure_raises(self):
+        graph = Graph()
+        graph.add(EX.ds, RDF.type, qb.DataSet)
+        with pytest.raises(QBSchemaError):
+            QBDataSet(graph, EX.ds)
+
+    def test_observation_count(self):
+        ds = QBDataSet(build_dataset(5), EX.ds)
+        assert ds.observation_count() == 5
+
+    def test_observations_classified(self):
+        ds = QBDataSet(build_dataset(2), EX.ds)
+        observations = sorted(ds.observations(),
+                              key=lambda o: o.iri.value)
+        first = observations[0]
+        assert set(first.dimensions) == {EX.time, EX.place}
+        assert set(first.measures) == {EX.amount}
+        assert set(first.attributes) == {EX.unit}
+        assert first.measures[EX.amount].value == 0
+
+    def test_dimension_members(self):
+        ds = QBDataSet(build_dataset(4), EX.ds)
+        assert ds.dimension_members(EX.time) == {EX.t0, EX.t1}
+        assert len(ds.dimension_members(EX.place)) == 4
+
+    def test_member_counts(self):
+        ds = QBDataSet(build_dataset(4), EX.ds)
+        counts = ds.member_counts()
+        assert counts[EX.time] == 2
+        assert counts[EX.place] == 4
+
+    def test_dimension_key(self):
+        ds = QBDataSet(build_dataset(1), EX.ds)
+        observation = next(ds.observations())
+        key = observation.dimension_key([EX.time, EX.place])
+        assert key == (EX.t0, EX.p0)
+        assert observation.dimension_key([EX.nothing]) == (None,)
+
+    def test_find_datasets(self):
+        graph = build_dataset()
+        assert find_datasets(graph) == [EX.ds]

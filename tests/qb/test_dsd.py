@@ -1,0 +1,80 @@
+"""DSD model and RDF mapping tests."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Namespace, parse_turtle
+from repro.qb import (
+    ComponentSpecification,
+    DataStructureDefinition,
+    QBSchemaError,
+    dsd_for_dataset,
+    find_dsds,
+)
+from repro.qb import vocabulary as qb
+
+EX = Namespace("http://example.org/")
+
+
+def sample_dsd():
+    dsd = DataStructureDefinition(EX.dsd)
+    dsd.add_dimension(EX.time, order=1)
+    dsd.add_dimension(EX.place, order=2)
+    dsd.add_measure(EX.amount)
+    dsd.add_attribute(EX.unit, required=True)
+    return dsd
+
+
+class TestModel:
+    def test_accessors(self):
+        dsd = sample_dsd()
+        assert dsd.dimension_properties() == [EX.time, EX.place]
+        assert dsd.measure_properties() == [EX.amount]
+        assert dsd.attribute_properties() == [EX.unit]
+        assert len(dsd) == 4
+
+    def test_component_for(self):
+        dsd = sample_dsd()
+        component = dsd.component_for(EX.time)
+        assert component.kind == "dimension"
+        assert component.order == 1
+        assert dsd.component_for(EX.nothing) is None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(QBSchemaError):
+            ComponentSpecification("banana", EX.x)
+
+
+class TestRDFMapping:
+    def test_roundtrip(self):
+        dsd = sample_dsd()
+        graph = dsd.to_graph()
+        restored = DataStructureDefinition.from_graph(graph, EX.dsd)
+        assert restored.dimension_properties() == [EX.time, EX.place]
+        assert restored.measure_properties() == [EX.amount]
+        assert restored.attribute_properties() == [EX.unit]
+        attribute = restored.component_for(EX.unit)
+        assert attribute.required is True
+
+    def test_from_graph_requires_type(self):
+        graph = Graph()
+        with pytest.raises(QBSchemaError):
+            DataStructureDefinition.from_graph(graph, EX.dsd)
+
+    def test_component_order_sorting(self):
+        text = """
+        @prefix qb: <http://purl.org/linked-data/cube#> .
+        @prefix ex: <http://example.org/> .
+        ex:dsd a qb:DataStructureDefinition ;
+            qb:component [ qb:dimension ex:b ; qb:order 2 ] ;
+            qb:component [ qb:dimension ex:a ; qb:order 1 ] ;
+            qb:component [ qb:measure ex:m ] .
+        """
+        dsd = DataStructureDefinition.from_graph(parse_turtle(text), EX.dsd)
+        assert dsd.dimension_properties() == [EX.a, EX.b]
+
+    def test_find_dsds_and_structure_link(self):
+        graph = sample_dsd().to_graph()
+        graph.add(EX.ds, qb.structure, EX.dsd)
+        assert find_dsds(graph) == [EX.dsd]
+        assert dsd_for_dataset(graph, EX.ds) == EX.dsd
+        assert dsd_for_dataset(graph, EX.other) is None

@@ -1,0 +1,109 @@
+"""QB integrity-constraint validator tests with violation injection."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Namespace, RDF
+from repro.qb import DataStructureDefinition, is_well_formed, validate_graph
+from repro.qb import vocabulary as qb
+from repro.qb.validator import (
+    check_ic1_observation_dataset,
+    check_ic2_dataset_structure,
+    check_ic3_dsd_includes_measure,
+    check_ic11_dimensions_required,
+    check_ic12_no_duplicate_observations,
+    check_ic14_measures_present,
+    check_measure_values_are_literals,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def well_formed_graph():
+    graph = Graph()
+    dsd = DataStructureDefinition(EX.dsd)
+    dsd.add_dimension(EX.time)
+    dsd.add_measure(EX.amount)
+    dsd.to_graph(graph)
+    graph.add(EX.ds, RDF.type, qb.DataSet)
+    graph.add(EX.ds, qb.structure, EX.dsd)
+    for i in range(3):
+        obs = EX[f"obs{i}"]
+        graph.add(obs, RDF.type, qb.Observation)
+        graph.add(obs, qb.dataSet, EX.ds)
+        graph.add(obs, EX.time, EX[f"t{i}"])
+        graph.add(obs, EX.amount, Literal(i))
+    return graph
+
+
+class TestWellFormed:
+    def test_clean_graph_passes(self):
+        assert is_well_formed(well_formed_graph())
+
+    def test_validate_graph_empty_list(self):
+        assert validate_graph(well_formed_graph()) == []
+
+
+class TestViolations:
+    def test_ic1_observation_without_dataset(self):
+        graph = well_formed_graph()
+        graph.add(EX.orphan, RDF.type, qb.Observation)
+        violations = check_ic1_observation_dataset(graph)
+        assert any(v.subject == EX.orphan for v in violations)
+
+    def test_ic1_observation_with_two_datasets(self):
+        graph = well_formed_graph()
+        graph.add(EX.obs0, qb.dataSet, EX.other)
+        assert check_ic1_observation_dataset(graph)
+
+    def test_ic2_dataset_without_structure(self):
+        graph = well_formed_graph()
+        graph.remove((EX.ds, qb.structure, None))
+        assert check_ic2_dataset_structure(graph)
+
+    def test_ic3_dsd_without_measure(self):
+        graph = Graph()
+        dsd = DataStructureDefinition(EX.bad)
+        dsd.add_dimension(EX.time)
+        dsd.to_graph(graph)
+        assert check_ic3_dsd_includes_measure(graph)
+
+    def test_ic11_missing_dimension_value(self):
+        graph = well_formed_graph()
+        graph.remove((EX.obs1, EX.time, None))
+        violations = check_ic11_dimensions_required(graph)
+        assert any(v.subject == EX.obs1 for v in violations)
+
+    def test_ic12_duplicate_coordinates(self):
+        graph = well_formed_graph()
+        dup = EX.obsDup
+        graph.add(dup, RDF.type, qb.Observation)
+        graph.add(dup, qb.dataSet, EX.ds)
+        graph.add(dup, EX.time, EX.t0)  # same coordinate as obs0
+        graph.add(dup, EX.amount, Literal(99))
+        assert check_ic12_no_duplicate_observations(graph)
+
+    def test_ic14_missing_measure(self):
+        graph = well_formed_graph()
+        graph.remove((EX.obs2, EX.amount, None))
+        violations = check_ic14_measures_present(graph)
+        assert any(v.subject == EX.obs2 for v in violations)
+
+    def test_measure_value_must_be_literal(self):
+        graph = well_formed_graph()
+        graph.remove((EX.obs0, EX.amount, None))
+        graph.add(EX.obs0, EX.amount, EX.notALiteral)
+        assert check_measure_values_are_literals(graph)
+
+    def test_violation_str_mentions_constraint(self):
+        graph = well_formed_graph()
+        graph.remove((EX.ds, qb.structure, None))
+        violation = validate_graph(graph)[0]
+        assert "IC-" in str(violation)
+
+
+class TestGeneratedDataIsWellFormed:
+    def test_synthetic_eurostat_cube_passes_all_checks(self):
+        from repro.data.eurostat import GeneratorConfig, build_qb_graph
+
+        graph = build_qb_graph(GeneratorConfig(observations=300, seed=3))
+        assert is_well_formed(graph)

@@ -1,0 +1,127 @@
+"""Cube-schema model tests: hierarchies, paths, bottom levels."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import (
+    CubeSchema,
+    Dimension,
+    Hierarchy,
+    HierarchyStep,
+    Measure,
+    SchemaError,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def time_dimension():
+    hierarchy = Hierarchy(EX.timeHier, EX.timeDim,
+                          levels=[EX.month, EX.quarter, EX.year],
+                          steps=[HierarchyStep(EX.month, EX.quarter),
+                                 HierarchyStep(EX.quarter, EX.year)])
+    return Dimension(EX.timeDim, [hierarchy])
+
+
+def schema():
+    s = CubeSchema(dsd=EX.dsd, dataset=EX.ds)
+    s.dimensions.append(time_dimension())
+    s.dimension_levels[EX.timeDim] = EX.month
+    s.measures.append(Measure(EX.amount, qb4o.SUM))
+    s.level_attributes[EX.year] = [EX.yearName]
+    return s
+
+
+class TestHierarchy:
+    def test_parents_children(self):
+        h = time_dimension().hierarchies[0]
+        assert h.parents_of(EX.month) == [EX.quarter]
+        assert h.children_of(EX.year) == [EX.quarter]
+        assert h.parents_of(EX.year) == []
+
+    def test_bottom_top_levels(self):
+        h = time_dimension().hierarchies[0]
+        assert h.bottom_levels() == [EX.month]
+        assert h.top_levels() == [EX.year]
+
+    def test_path_up(self):
+        h = time_dimension().hierarchies[0]
+        assert h.path_up(EX.month, EX.year) == [EX.month, EX.quarter, EX.year]
+        assert h.path_up(EX.month, EX.month) == [EX.month]
+        assert h.path_up(EX.year, EX.month) is None
+
+    def test_step_between(self):
+        h = time_dimension().hierarchies[0]
+        assert h.step_between(EX.month, EX.quarter) is not None
+        assert h.step_between(EX.month, EX.year) is None
+
+    def test_path_with_multiple_parents_prefers_shortest(self):
+        # month -> quarter -> year plus a direct month -> year shortcut
+        h = Hierarchy(EX.h, EX.d,
+                      levels=[EX.month, EX.quarter, EX.year],
+                      steps=[HierarchyStep(EX.month, EX.quarter),
+                             HierarchyStep(EX.quarter, EX.year),
+                             HierarchyStep(EX.month, EX.year)])
+        assert h.path_up(EX.month, EX.year) == [EX.month, EX.year]
+
+
+class TestDimension:
+    def test_levels_deduplicated(self):
+        d = time_dimension()
+        assert d.levels() == [EX.month, EX.quarter, EX.year]
+
+    def test_bottom_level(self):
+        assert time_dimension().bottom_level() == EX.month
+
+    def test_find_path(self):
+        d = time_dimension()
+        hierarchy, path = d.find_path(EX.month, EX.quarter)
+        assert path == [EX.month, EX.quarter]
+        assert d.find_path(EX.month, EX.other) is None
+
+
+class TestCubeSchema:
+    def test_lookups(self):
+        s = schema()
+        assert s.dimension(EX.timeDim) is not None
+        assert s.dimension(EX.nope) is None
+        assert s.measure(EX.amount).aggregate == qb4o.SUM
+        assert s.dimension_of_level(EX.quarter).iri == EX.timeDim
+
+    def test_require_dimension_raises(self):
+        with pytest.raises(SchemaError):
+            schema().require_dimension(EX.nope)
+
+    def test_bottom_level_prefers_dsd_attachment(self):
+        s = schema()
+        assert s.bottom_level(EX.timeDim) == EX.month
+
+    def test_rollup_path(self):
+        s = schema()
+        hierarchy, path = s.rollup_path(EX.timeDim, EX.year)
+        assert path == [EX.month, EX.quarter, EX.year]
+
+    def test_rollup_path_missing_raises(self):
+        with pytest.raises(SchemaError):
+            schema().rollup_path(EX.timeDim, EX.nowhere)
+
+    def test_attributes_of(self):
+        s = schema()
+        assert s.attributes_of(EX.year) == [EX.yearName]
+        assert s.attributes_of(EX.month) == []
+
+    def test_all_levels(self):
+        assert schema().all_levels() == [EX.month, EX.quarter, EX.year]
+
+    def test_measure_sparql_aggregate(self):
+        assert Measure(EX.m, qb4o.AVG).sparql_aggregate() == "AVG"
+        with pytest.raises(SchemaError):
+            Measure(EX.m, EX.weird).sparql_aggregate()
+
+    def test_describe_mentions_everything(self):
+        text = schema().describe()
+        assert "timeDim" in text
+        assert "quarter -> year" in text
+        assert "amount" in text
+        assert "yearName" in text

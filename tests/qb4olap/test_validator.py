@@ -1,0 +1,133 @@
+"""QB4OLAP schema + instance validation tests."""
+
+import pytest
+
+from repro.rdf import Graph, Namespace
+from repro.rdf.namespace import SKOS
+from repro.qb4olap import (
+    validate_instances,
+    validate_schema,
+)
+from repro.qb4olap import vocabulary as qb4o
+from repro.qb4olap.model import (
+    CubeSchema,
+    Dimension,
+    Hierarchy,
+    HierarchyStep,
+    Measure,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def clean_schema():
+    s = CubeSchema(dsd=EX.dsd, dataset=EX.ds)
+    s.dimensions = [Dimension(EX.timeDim, [Hierarchy(
+        EX.timeHier, EX.timeDim,
+        levels=[EX.month, EX.year],
+        steps=[HierarchyStep(EX.month, EX.year, qb4o.MANY_TO_ONE)])])]
+    s.dimension_levels[EX.timeDim] = EX.month
+    s.measures = [Measure(EX.amount, qb4o.SUM)]
+    return s
+
+
+class TestSchemaValidation:
+    def test_clean_schema_passes(self):
+        assert validate_schema(clean_schema()) == []
+
+    def test_no_measures(self):
+        s = clean_schema()
+        s.measures = []
+        assert any(v.code == "Q4-MEASURE" for v in validate_schema(s))
+
+    def test_unknown_aggregate(self):
+        s = clean_schema()
+        s.measures = [Measure(EX.amount, EX.bogus)]
+        assert any(v.code == "Q4-AGG" for v in validate_schema(s))
+
+    def test_no_dimensions(self):
+        s = clean_schema()
+        s.dimensions = []
+        s.dimension_levels = {}
+        assert any(v.code == "Q4-DIM" for v in validate_schema(s))
+
+    def test_dimension_without_hierarchy(self):
+        s = clean_schema()
+        s.dimensions[0].hierarchies = []
+        assert any(v.code == "Q4-HIER" for v in validate_schema(s))
+
+    def test_step_outside_hierarchy_levels(self):
+        s = clean_schema()
+        s.dimensions[0].hierarchies[0].steps.append(
+            HierarchyStep(EX.month, EX.alien))
+        assert any(v.code == "Q4-STEP" for v in validate_schema(s))
+
+    def test_bad_cardinality(self):
+        s = clean_schema()
+        s.dimensions[0].hierarchies[0].steps[0] = HierarchyStep(
+            EX.month, EX.year, EX.sometimes)
+        assert any(v.code == "Q4-CARD" for v in validate_schema(s))
+
+    def test_self_step(self):
+        s = clean_schema()
+        s.dimensions[0].hierarchies[0].steps.append(
+            HierarchyStep(EX.month, EX.month))
+        codes = {v.code for v in validate_schema(s)}
+        assert "Q4-SELF" in codes
+
+    def test_cycle_detection(self):
+        s = clean_schema()
+        s.dimensions[0].hierarchies[0].steps.append(
+            HierarchyStep(EX.year, EX.month))
+        assert any(v.code == "Q4-CYCLE" for v in validate_schema(s))
+
+    def test_dsd_level_outside_dimension(self):
+        s = clean_schema()
+        s.dimension_levels[EX.timeDim] = EX.alien
+        assert any(v.code == "Q4-DSD-LEVEL" for v in validate_schema(s))
+
+
+def instance_graph(noise=False):
+    g = Graph()
+    months = [EX[f"m{i}"] for i in range(4)]
+    years = [EX.y2013, EX.y2014]
+    for i, month in enumerate(months):
+        g.add(month, qb4o.memberOf, EX.month)
+        if noise and i == 0:
+            continue  # missing parent
+        g.add(month, SKOS.broader, years[i % 2])
+    for year in years:
+        g.add(year, qb4o.memberOf, EX.year)
+    return g
+
+
+class TestInstanceValidation:
+    def test_clean_instances_pass(self):
+        report = validate_instances(instance_graph(), clean_schema())
+        assert report.ok
+        assert report.members_per_level[EX.month] == 4
+        assert report.step_error_rates[(EX.month, EX.year)] == 0.0
+
+    def test_missing_parent_detected(self):
+        report = validate_instances(instance_graph(noise=True),
+                                    clean_schema())
+        assert not report.ok
+        assert report.step_error_rates[(EX.month, EX.year)] == 0.25
+
+    def test_tolerance_accepts_quasi_fd(self):
+        report = validate_instances(instance_graph(noise=True),
+                                    clean_schema(),
+                                    functional_tolerance=0.30)
+        assert report.ok  # 25% error within the 30% tolerance
+
+    def test_empty_level_detected(self):
+        g = instance_graph()
+        g.remove((None, qb4o.memberOf, EX.year))
+        report = validate_instances(g, clean_schema())
+        assert any(v.code == "Q4I-EMPTY" for v in report.violations)
+
+    def test_multi_parent_detected(self):
+        g = instance_graph()
+        g.add(EX.m0, SKOS.broader, EX.y2014)  # second parent for m0
+        report = validate_instances(g, clean_schema())
+        assert not report.ok

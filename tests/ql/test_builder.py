@@ -1,0 +1,82 @@
+"""Programmatic QL builder tests."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Namespace
+from repro.ql import (
+    AttributePath,
+    BooleanCondition,
+    Comparison,
+    MeasureRef,
+    NotCondition,
+    QLBuilder,
+    all_of,
+    any_of,
+    attr,
+    measure,
+    negate,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestConditionBuilders:
+    def test_attr_comparisons(self):
+        path = attr(EX.dim, EX.level, EX.name)
+        condition = path == "Africa"
+        assert isinstance(condition, Comparison)
+        assert condition.op == "="
+        assert isinstance(condition.operand, AttributePath)
+        assert condition.value == Literal("Africa")
+
+    def test_measure_comparisons(self):
+        m = measure(EX.amount)
+        assert (m > 5).op == ">"
+        assert (m >= 5).op == ">="
+        assert (m < 5).op == "<"
+        assert (m <= 5).op == "<="
+        assert (m != 5).op == "!="
+        assert isinstance((m > 5).operand, MeasureRef)
+
+    def test_values_coerced_to_literals(self):
+        condition = measure(EX.amount) > 5
+        assert condition.value == Literal(5)
+        condition = attr(EX.d, EX.l, EX.a) == EX.other
+        assert condition.value == EX.other  # IRIs pass through
+
+    def test_boolean_combinators(self):
+        a = measure(EX.m) > 1
+        b = measure(EX.m) < 9
+        both = all_of(a, b)
+        assert isinstance(both, BooleanCondition) and both.op == "AND"
+        either = any_of(a, b)
+        assert either.op == "OR"
+        assert isinstance(negate(a), NotCondition)
+        assert all_of(a) is a
+        assert any_of(b) is b
+
+
+class TestQLBuilder:
+    def test_chained_statements(self):
+        program = (QLBuilder(EX.cube)
+                   .slice(EX.sexDim)
+                   .rollup(EX.timeDim, EX.year)
+                   .drilldown(EX.timeDim, EX.quarter)
+                   .dice(measure(EX.m) > 1)
+                   .build())
+        assert len(program) == 4
+        assert program.cube == EX.cube
+        variables = [s.variable for s in program.statements]
+        assert variables == ["$C1", "$C2", "$C3", "$C4"]
+        # chaining: each statement consumes the previous variable
+        assert program.statements[1].input_ref == "$C1"
+        assert program.operations()  # validates without raising
+
+    def test_custom_variable_prefix(self):
+        program = QLBuilder(EX.cube, variable_prefix="$Q") \
+            .slice(EX.d).build()
+        assert program.statements[0].variable == "$Q1"
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            QLBuilder(EX.cube).build()

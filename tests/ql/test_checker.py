@@ -1,0 +1,153 @@
+"""QL semantic checking against the enriched demo schema."""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
+from repro.rdf.namespace import SDMX_MEASURE
+from repro.demo import CONTINENT_LEVEL, QUARTER_LEVEL, YEAR_LEVEL
+from repro.ql import (
+    QLBuilder,
+    QLSemanticError,
+    attr,
+    check_program,
+    measure,
+    parse_ql,
+)
+
+
+def build(schema):
+    return QLBuilder(schema.dataset)
+
+
+class TestValidPrograms:
+    def test_rollup_chain_state(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        state = check_program(program, schema)
+        assert state.levels[SCHEMA.timeDim] == YEAR_LEVEL
+
+    def test_slice_removes_dimension(self, schema):
+        program = build(schema).slice(SCHEMA.sexDim).build()
+        state = check_program(program, schema)
+        assert SCHEMA.sexDim not in state.levels
+        assert SCHEMA.sexDim in state.sliced_dimensions
+
+    def test_drilldown_after_rollup(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .build())
+        state = check_program(program, schema)
+        assert state.levels[SCHEMA.timeDim] == QUARTER_LEVEL
+
+    def test_dice_on_current_level_attribute(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                              REF_PROP.continentName) == "Africa")
+                   .build())
+        check_program(program, schema)  # must not raise
+
+    def test_dice_on_measure(self, schema):
+        program = (build(schema)
+                   .dice(measure(SDMX_MEASURE.obsValue) > 10)
+                   .build())
+        check_program(program, schema)
+
+
+class TestInvalidPrograms:
+    def test_dice_must_be_last(self, schema):
+        program = (build(schema)
+                   .dice(measure(SDMX_MEASURE.obsValue) > 10)
+                   .slice(SCHEMA.sexDim)
+                   .build())
+        with pytest.raises(QLSemanticError, match="DICE"):
+            check_program(program, schema)
+
+    def test_rollup_unknown_dimension(self, schema):
+        program = build(schema).rollup(SCHEMA.nothing, YEAR_LEVEL).build()
+        with pytest.raises(QLSemanticError):
+            check_program(program, schema)
+
+    def test_rollup_level_outside_dimension(self, schema):
+        program = build(schema).rollup(SCHEMA.timeDim, CONTINENT_LEVEL).build()
+        with pytest.raises(QLSemanticError):
+            check_program(program, schema)
+
+    def test_rollup_below_current_level(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .build())
+        with pytest.raises(QLSemanticError, match="DRILLDOWN"):
+            check_program(program, schema)
+
+    def test_drilldown_above_current_level(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .drilldown(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        with pytest.raises(QLSemanticError, match="ROLLUP"):
+            check_program(program, schema)
+
+    def test_operation_on_sliced_dimension(self, schema):
+        program = (build(schema)
+                   .slice(SCHEMA.timeDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        with pytest.raises(QLSemanticError, match="sliced"):
+            check_program(program, schema)
+
+    def test_double_slice_rejected(self, schema):
+        program = (build(schema)
+                   .slice(SCHEMA.sexDim)
+                   .slice(SCHEMA.sexDim)
+                   .build())
+        with pytest.raises(QLSemanticError):
+            check_program(program, schema)
+
+    def test_slice_unknown_target(self, schema):
+        program = build(schema).slice(SCHEMA.ghostDim).build()
+        with pytest.raises(QLSemanticError):
+            check_program(program, schema)
+
+    def test_cannot_slice_last_measure(self, schema):
+        program = build(schema).slice(SDMX_MEASURE.obsValue).build()
+        with pytest.raises(QLSemanticError, match="measure"):
+            check_program(program, schema)
+
+    def test_dice_attribute_at_wrong_level(self, schema):
+        # continentName lives on the continent level, not on citizen
+        program = (build(schema)
+                   .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                              REF_PROP.continentName) == "Africa")
+                   .build())
+        with pytest.raises(QLSemanticError, match="currently sits"):
+            check_program(program, schema)
+
+    def test_dice_unknown_attribute(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                              REF_PROP.nonexistent) == "x")
+                   .build())
+        with pytest.raises(QLSemanticError, match="attribute"):
+            check_program(program, schema)
+
+    def test_dice_unknown_measure(self, schema):
+        program = (build(schema)
+                   .dice(measure(SCHEMA.fake) > 1)
+                   .build())
+        with pytest.raises(QLSemanticError):
+            check_program(program, schema)
+
+    def test_dice_on_sliced_dimension(self, schema):
+        program = (build(schema)
+                   .slice(SCHEMA.citizenshipDim)
+                   .dice(attr(SCHEMA.citizenshipDim, PROPERTY.citizen,
+                              REF_PROP.countryName) == "Syria")
+                   .build())
+        with pytest.raises(QLSemanticError, match="sliced"):
+            check_program(program, schema)

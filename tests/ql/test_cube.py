@@ -1,0 +1,91 @@
+"""Result-cube representation tests (independent of query execution)."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Namespace
+from repro.sparql.results import ResultTable
+from repro.ql.cube import Axis, ResultCube
+from repro.ql.translator import DimensionBinding, TranslationMetadata
+
+EX = Namespace("http://example.org/")
+
+
+def metadata():
+    md = TranslationMetadata()
+    md.dimensions = [
+        DimensionBinding(EX.geoDim, EX.country, EX.country,
+                         [EX.country], ["geo_0"]),
+        DimensionBinding(EX.timeDim, EX.month, EX.year,
+                         [EX.month, EX.year], ["time_0", "time_1"]),
+    ]
+    md.measure_aliases = {EX.amount: "amount"}
+    md.measure_aggregates = {EX.amount: "SUM"}
+    md.group_variables = ["geo_0", "time_1"]
+    return md
+
+
+def cube():
+    table = ResultTable(
+        ["geo_0", "time_1", "amount"],
+        [
+            (EX.de, EX.y2013, Literal(10)),
+            (EX.de, EX.y2014, Literal(20)),
+            (EX.fr, EX.y2013, Literal(5)),
+        ],
+    )
+    return ResultCube(table, metadata())
+
+
+class TestResultCube:
+    def test_axes(self):
+        c = cube()
+        assert [axis.dimension for axis in c.axes] == [EX.geoDim, EX.timeDim]
+        assert c.axes[1].level == EX.year
+        assert str(c.axes[1]) == "timeDim@year"
+
+    def test_len_and_coordinates(self):
+        c = cube()
+        assert len(c) == 3
+        assert (EX.de, EX.y2013) in c.coordinates()
+
+    def test_cell_and_value(self):
+        c = cube()
+        assert c.value(EX.amount, EX.de, EX.y2014) == 20
+        assert c.cell(EX.fr, EX.y2014) is None
+        assert c.value(EX.amount, EX.fr, EX.y2014) is None
+
+    def test_members_per_axis(self):
+        c = cube()
+        assert c.members(0) == [EX.de, EX.fr]
+        assert c.members(1) == [EX.y2013, EX.y2014]
+
+    def test_totals(self):
+        assert cube().totals()[EX.amount] == 35.0
+
+    def test_pivot(self):
+        text = cube().pivot(row_axis=0, column_axis=1)
+        assert "de" in text and "y2014" in text
+        lines = text.splitlines()
+        de_line = next(line for line in lines if line.startswith("de"))
+        assert "10" in de_line and "20" in de_line
+        fr_line = next(line for line in lines if line.startswith("fr"))
+        assert "5" in fr_line
+
+    def test_pivot_explicit_measure(self):
+        assert cube().pivot(0, 1, measure=EX.amount)
+
+    def test_to_text_header(self):
+        text = cube().to_text()
+        assert "geoDim@country × timeDim@year" in text
+        assert "3 cells" in text
+
+    def test_repr(self):
+        assert "2 cells" not in repr(cube())
+        assert "geoDim@country" in repr(cube())
+
+    def test_unbound_coordinate_label(self):
+        table = ResultTable(["geo_0", "time_1", "amount"],
+                            [(None, EX.y2013, Literal(1))])
+        c = ResultCube(table, metadata())
+        assert c.cell(None, EX.y2013) is not None
+        assert "-" in c.pivot(0, 1)

@@ -1,0 +1,198 @@
+"""Query Simplification Phase tests: the paper's two rules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
+from repro.rdf.namespace import SDMX_MEASURE
+from repro.demo import CONTINENT_LEVEL, QUARTER_LEVEL, YEAR_LEVEL
+from repro.ql import (
+    Dice,
+    QLBuilder,
+    RollUp,
+    Slice,
+    attr,
+    measure,
+    simplify,
+    simplify_with_report,
+)
+
+
+def build(schema):
+    return QLBuilder(schema.dataset)
+
+
+class TestRuleSliceEarly:
+    def test_slices_come_first(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .slice(SCHEMA.sexDim)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .slice(SCHEMA.ageDim)
+                   .build())
+        simplified = simplify(program, schema)
+        operations = simplified.operations()
+        slice_positions = [i for i, op in enumerate(operations)
+                           if isinstance(op, Slice)]
+        rollup_positions = [i for i, op in enumerate(operations)
+                            if isinstance(op, RollUp)]
+        assert max(slice_positions) < min(rollup_positions)
+        assert len(slice_positions) == 2
+
+    def test_rollup_on_sliced_dimension_dropped(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .slice(SCHEMA.timeDim)
+                   .build())
+        simplified = simplify(program, schema)
+        assert SCHEMA.timeDim not in simplified.rollups
+        assert SCHEMA.timeDim in simplified.slices
+        assert simplified.operation_count == 1
+
+
+class TestRuleRollupFusion:
+    def test_chain_collapses_to_final_level(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        simplified = simplify(program, schema)
+        assert simplified.rollups[SCHEMA.timeDim] == YEAR_LEVEL
+        assert simplified.operation_count == 1
+
+    def test_rollup_drilldown_cancel_out(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .drilldown(SCHEMA.timeDim,
+                              schema.bottom_level(SCHEMA.timeDim))
+                   .build())
+        simplified = simplify(program, schema)
+        assert SCHEMA.timeDim not in simplified.rollups
+        assert simplified.operation_count == 0
+
+    def test_net_effect_keeps_intermediate_level(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .build())
+        simplified = simplify(program, schema)
+        assert simplified.rollups[SCHEMA.timeDim] == QUARTER_LEVEL
+
+
+class TestDices:
+    def test_dices_preserved_in_order(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                   .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                              REF_PROP.continentName) == "Africa")
+                   .dice(measure(SDMX_MEASURE.obsValue) > 5)
+                   .build())
+        simplified = simplify(program, schema)
+        assert len(simplified.dices) == 2
+        assert simplified.dices[0].attribute_paths()
+        assert simplified.dices[1].measure_refs()
+
+
+class TestReport:
+    def test_report_counts_removed_operations(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .slice(SCHEMA.sexDim)
+                   .build())
+        simplified, report = simplify_with_report(program, schema)
+        assert report.original_operations == 4
+        assert report.simplified_operations == 2
+        assert report.removed == 2
+
+    def test_describe(self, schema):
+        program = (build(schema)
+                   .slice(SCHEMA.sexDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        text = simplify(program, schema).describe()
+        assert "SLICE sexDim" in text
+        assert "ROLLUP timeDim -> year" in text
+
+
+class TestIdempotence:
+    def test_simplifying_simplified_program_is_stable(self, schema):
+        program = (build(schema)
+                   .rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+                   .slice(SCHEMA.sexDim)
+                   .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                   .build())
+        simplified = simplify(program, schema)
+        # rebuild a program from the canonical operations and re-simplify
+        builder = build(schema)
+        for operation in simplified.operations():
+            if isinstance(operation, Slice):
+                builder.slice(operation.target)
+            elif isinstance(operation, RollUp):
+                builder.rollup(operation.dimension, operation.level)
+            elif isinstance(operation, Dice):
+                builder.dice(operation.condition)
+        again = simplify(builder.build(), schema)
+        assert again.slices == simplified.slices
+        assert again.rollups == simplified.rollups
+        assert again.operation_count == simplified.operation_count
+
+
+# -- property-based: random valid pipelines simplify consistently ----------------
+
+@settings(max_examples=30, deadline=None)
+@given(ops_spec=st.lists(
+    st.sampled_from(["time_q", "time_y", "time_down",
+                     "cit_cont", "slice_sex", "slice_age"]),
+    min_size=1, max_size=8))
+def test_random_pipelines_simplify_without_growing(schema_module, ops_spec):
+    schema = schema_module
+    builder = QLBuilder(schema.dataset)
+    time_level = schema.bottom_level(SCHEMA.timeDim)
+    sliced = set()
+    count = 0
+    for op in ops_spec:
+        if op == "time_q" and SCHEMA.timeDim not in sliced \
+                and time_level == schema.bottom_level(SCHEMA.timeDim):
+            builder.rollup(SCHEMA.timeDim, QUARTER_LEVEL)
+            time_level = QUARTER_LEVEL
+            count += 1
+        elif op == "time_y" and SCHEMA.timeDim not in sliced \
+                and time_level != YEAR_LEVEL:
+            builder.rollup(SCHEMA.timeDim, YEAR_LEVEL)
+            time_level = YEAR_LEVEL
+            count += 1
+        elif op == "time_down" and SCHEMA.timeDim not in sliced \
+                and time_level == YEAR_LEVEL:
+            builder.drilldown(SCHEMA.timeDim, QUARTER_LEVEL)
+            time_level = QUARTER_LEVEL
+            count += 1
+        elif op == "cit_cont" and SCHEMA.citizenshipDim not in sliced:
+            if SCHEMA.citizenshipDim not in getattr(
+                    builder, "_rolled", set()):
+                builder.rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                builder._rolled = getattr(builder, "_rolled", set())
+                builder._rolled.add(SCHEMA.citizenshipDim)
+                count += 1
+        elif op == "slice_sex" and SCHEMA.sexDim not in sliced:
+            builder.slice(SCHEMA.sexDim)
+            sliced.add(SCHEMA.sexDim)
+            count += 1
+        elif op == "slice_age" and SCHEMA.ageDim not in sliced:
+            builder.slice(SCHEMA.ageDim)
+            sliced.add(SCHEMA.ageDim)
+            count += 1
+    if count == 0:
+        return
+    program = builder.build()
+    simplified, report = simplify_with_report(program, schema)
+    assert report.simplified_operations <= report.original_operations
+    # canonical form: at most one rollup per dimension
+    assert len(simplified.rollups) <= 2
+
+
+@pytest.fixture(scope="module")
+def schema_module(schema):
+    return schema

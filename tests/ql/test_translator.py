@@ -1,0 +1,116 @@
+"""QL → SPARQL translation tests: structure of both variants."""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
+from repro.rdf.namespace import SDMX_MEASURE
+from repro.demo import CONTINENT_LEVEL, QUARTER_LEVEL, YEAR_LEVEL
+from repro.ql import (
+    QLBuilder,
+    attr,
+    measure,
+    simplify,
+    translate,
+)
+from repro.sparql import parse_query
+from repro.sparql.algebra import SelectQuery
+
+
+def translated(schema, build_fn):
+    builder = QLBuilder(schema.dataset)
+    build_fn(builder)
+    simplified = simplify(builder.build(), schema)
+    return translate(schema, simplified)
+
+
+class TestDirectTranslation:
+    def test_rollup_produces_navigation_patterns(self, schema):
+        t = translated(schema, lambda b: b.rollup(SCHEMA.timeDim, YEAR_LEVEL))
+        assert "skos:broader" in t.direct
+        assert QUARTER_LEVEL.value in t.direct  # intermediate hop
+        assert YEAR_LEVEL.value in t.direct
+        assert "GROUP BY" in t.direct
+
+    def test_aggregate_function_from_schema(self, schema):
+        t = translated(schema, lambda b: b.slice(SCHEMA.sexDim))
+        assert "SUM(?m0)" in t.direct
+        assert "?obsValue" in t.direct
+
+    def test_sliced_dimension_absent(self, schema):
+        t = translated(schema, lambda b: b.slice(SCHEMA.sexDim))
+        assert PROPERTY.sex.value not in t.direct
+
+    def test_attribute_dice_becomes_filter(self, schema):
+        t = translated(schema, lambda b: b
+                       .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                       .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                                  REF_PROP.continentName) == "Africa"))
+        assert 'FILTER(?att0 = "Africa")' in t.direct
+        assert "HAVING" not in t.direct
+
+    def test_measure_dice_becomes_having(self, schema):
+        t = translated(schema, lambda b: b
+                       .dice(measure(SDMX_MEASURE.obsValue) > 100))
+        assert "HAVING" in t.direct
+        assert "SUM(?m0) > 100" in t.direct
+
+    def test_both_parse_as_valid_sparql(self, schema):
+        t = translated(schema, lambda b: b
+                       .slice(SCHEMA.sexDim)
+                       .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                       .dice(measure(SDMX_MEASURE.obsValue) > 1))
+        assert isinstance(parse_query(t.direct), SelectQuery)
+        assert isinstance(parse_query(t.optimized), SelectQuery)
+
+    def test_deterministic_output(self, schema):
+        make = lambda: translated(schema, lambda b: b
+                                  .rollup(SCHEMA.timeDim, YEAR_LEVEL))
+        assert make().direct == make().direct
+
+
+class TestOptimizedTranslation:
+    def test_uses_subselect(self, schema):
+        t = translated(schema, lambda b: b
+                       .rollup(SCHEMA.timeDim, YEAR_LEVEL))
+        assert "{ SELECT" in t.optimized
+
+    def test_measure_dice_becomes_outer_filter(self, schema):
+        t = translated(schema, lambda b: b
+                       .dice(measure(SDMX_MEASURE.obsValue) > 100))
+        assert "HAVING" not in t.optimized
+        assert "FILTER(?obsValue > 100)" in t.optimized
+
+    def test_attribute_filter_pushed_into_subquery(self, schema):
+        t = translated(schema, lambda b: b
+                       .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                       .dice(attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                                  REF_PROP.continentName) == "Africa"))
+        inner = t.optimized.split("{ SELECT", 1)[1]
+        assert 'FILTER(?att0 = "Africa")' in inner
+        # the constrained member pattern comes before the observation star
+        assert inner.index("continentName") < inner.index("qb:dataSet")
+
+
+class TestMetadata:
+    def test_dimension_bindings(self, schema):
+        t = translated(schema, lambda b: b
+                       .slice(SCHEMA.sexDim)
+                       .rollup(SCHEMA.timeDim, YEAR_LEVEL))
+        dims = {b.dimension: b for b in t.metadata.dimensions}
+        assert SCHEMA.sexDim not in dims
+        time_binding = dims[SCHEMA.timeDim]
+        assert time_binding.final_level == YEAR_LEVEL
+        assert len(time_binding.levels) == 3  # month, quarter, year
+        assert time_binding.group_variable == time_binding.variables[-1]
+
+    def test_measure_aliases(self, schema):
+        t = translated(schema, lambda b: b.slice(SCHEMA.sexDim))
+        assert t.metadata.measure_aliases[SDMX_MEASURE.obsValue] == "obsValue"
+        assert t.metadata.measure_aggregates[SDMX_MEASURE.obsValue] == "SUM"
+
+    def test_line_counts(self, schema):
+        t = translated(schema, lambda b: b
+                       .rollup(SCHEMA.timeDim, YEAR_LEVEL))
+        assert t.direct_lines == len(
+            [l for l in t.direct.splitlines() if l.strip()])
+        assert t.optimized_lines >= t.direct_lines

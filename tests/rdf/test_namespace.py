@@ -1,0 +1,106 @@
+"""Unit tests for namespaces and prefix management."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    Namespace,
+    NamespaceManager,
+    QB,
+    QB4O,
+    RDF,
+    SDMX_DIMENSION,
+    XSD,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ex = Namespace("http://example.org/")
+        assert ex.thing == IRI("http://example.org/thing")
+
+    def test_item_access_for_odd_names(self):
+        ex = Namespace("http://example.org/")
+        assert ex["strange-name"] == IRI("http://example.org/strange-name")
+        assert ex["2013M01"] == IRI("http://example.org/2013M01")
+
+    def test_contains(self):
+        ex = Namespace("http://example.org/")
+        assert ex.thing in ex
+        assert IRI("http://other.org/x") not in ex
+
+    def test_equality(self):
+        assert Namespace("http://e/") == Namespace("http://e/")
+        assert Namespace("http://e/") != Namespace("http://f/")
+
+    def test_dunder_not_hijacked(self):
+        ex = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ex.__does_not_exist__
+
+    def test_wellknown_vocabularies(self):
+        assert QB.DataSet.value == "http://purl.org/linked-data/cube#DataSet"
+        assert QB4O.memberOf.value == \
+            "http://purl.org/qb4olap/cubes#memberOf"
+        assert RDF.type.value.endswith("#type")
+        assert SDMX_DIMENSION.refPeriod.value.endswith("#refPeriod")
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        manager = NamespaceManager()
+        assert "qb" in manager
+        assert manager.expand("qb:DataSet") == QB.DataSet
+
+    def test_bind_and_expand(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:a") == IRI("http://example.org/a")
+
+    def test_expand_unknown_prefix_raises(self):
+        manager = NamespaceManager(bind_defaults=False)
+        with pytest.raises(KeyError):
+            manager.expand("nope:a")
+
+    def test_compact(self):
+        manager = NamespaceManager()
+        assert manager.compact(QB.DataSet) == "qb:DataSet"
+        assert manager.compact(IRI("http://unknown.org/x")) is None
+
+    def test_compact_refuses_unsafe_local_parts(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://example.org/")
+        assert manager.compact(IRI("http://example.org/a/b")) is None
+        assert manager.compact(IRI("http://example.org/")) is None
+
+    def test_longest_match_wins(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("base", "http://example.org/")
+        manager.bind("deep", "http://example.org/deep/")
+        assert manager.compact(IRI("http://example.org/deep/x")) == "deep:x"
+
+    def test_rebind_replaces(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.org/")
+        manager.bind("ex", "http://two.org/")
+        assert manager.expand("ex:a") == IRI("http://two.org/a")
+        assert manager.compact(IRI("http://one.org/a")) is None
+
+    def test_bind_no_replace_keeps_existing(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.org/")
+        manager.bind("ex", "http://two.org/", replace=False)
+        assert manager.expand("ex:a") == IRI("http://one.org/a")
+
+    def test_copy_is_independent(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one.org/")
+        clone = manager.copy()
+        clone.bind("ex", "http://two.org/")
+        assert manager.expand("ex:a") == IRI("http://one.org/a")
+
+    def test_bindings_sorted(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("zz", "http://z.org/")
+        manager.bind("aa", "http://a.org/")
+        assert [prefix for prefix, _ in manager.bindings()] == ["aa", "zz"]

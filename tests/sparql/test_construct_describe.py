@@ -1,0 +1,156 @@
+"""CONSTRUCT and DESCRIBE query form tests."""
+
+import pytest
+
+from repro.rdf.graph import Dataset, Graph
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.sparql.endpoint import LocalEndpoint
+from repro.sparql.errors import EndpointError, QuerySyntaxError
+from repro.sparql.evaluator import evaluate_query
+from repro.sparql.parser import parse_query
+
+EX = "http://example.org/"
+
+
+def iri(local: str) -> IRI:
+    return IRI(EX + local)
+
+
+@pytest.fixture()
+def endpoint() -> LocalEndpoint:
+    endpoint = LocalEndpoint()
+    g = endpoint.dataset.default
+    g.add(iri("nigeria"), iri("continent"), iri("africa"))
+    g.add(iri("syria"), iri("continent"), iri("asia"))
+    g.add(iri("nigeria"), iri("name"), Literal("Nigeria"))
+    g.add(iri("syria"), iri("name"), Literal("Syria"))
+    bnode = BNode("b1")
+    g.add(iri("africa"), iri("stats"), bnode)
+    g.add(bnode, iri("population"), Literal("1.2B"))
+    return endpoint
+
+
+class TestConstruct:
+    def test_basic_template(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?c <{EX}locatedIn> ?cont }}
+            WHERE {{ ?c <{EX}continent> ?cont }}
+        """)
+        assert len(graph) == 2
+        assert (iri("nigeria"), iri("locatedIn"), iri("africa")) in graph
+
+    def test_construct_where_short_form(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT WHERE {{ ?c <{EX}continent> ?cont }}
+        """)
+        assert len(graph) == 2
+        assert (iri("syria"), iri("continent"), iri("asia")) in graph
+
+    def test_unbound_template_var_skips_triple(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?c <{EX}label> ?missing }}
+            WHERE {{ ?c <{EX}continent> ?cont }}
+        """)
+        assert len(graph) == 0
+
+    def test_template_bnodes_fresh_per_solution(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?c <{EX}entry> [ <{EX}about> ?cont ] }}
+            WHERE {{ ?c <{EX}continent> ?cont }}
+        """)
+        # two solutions, each minting its own blank node: 4 triples
+        assert len(graph) == 4
+        bnodes = {t.object for t in graph.triples((None, iri("entry"), None))}
+        assert len(bnodes) == 2
+
+    def test_literal_subject_skipped_not_error(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?name <{EX}of> ?c }}
+            WHERE {{ ?c <{EX}name> ?name }}
+        """)
+        assert len(graph) == 0
+
+    def test_construct_limit(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?c <{EX}locatedIn> ?cont }}
+            WHERE {{ ?c <{EX}continent> ?cont }} LIMIT 1
+        """)
+        assert len(graph) == 1
+
+    def test_construct_is_set_semantics(self, endpoint):
+        graph = endpoint.construct(f"""
+            CONSTRUCT {{ ?cont a <{EX}Continent> }}
+            WHERE {{ ?c <{EX}continent> ?cont }}
+        """)
+        # two continents, each constructed once even with dup solutions
+        assert len(graph) == 2
+
+    def test_prefixes_carried_to_result_graph(self, endpoint):
+        graph = endpoint.construct(f"""
+            PREFIX ex: <{EX}>
+            CONSTRUCT {{ ?c ex:locatedIn ?cont }}
+            WHERE {{ ?c ex:continent ?cont }}
+        """)
+        assert "ex:locatedIn" in graph.serialize("turtle")
+
+    def test_select_on_construct_endpoint_method_rejected(self, endpoint):
+        with pytest.raises(EndpointError):
+            endpoint.construct("SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_path_in_template_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(f"""
+                CONSTRUCT {{ ?s <{EX}p>+ ?o }} WHERE {{ ?s <{EX}p> ?o }}
+            """)
+
+
+class TestDescribe:
+    def test_describe_iri_outgoing_triples(self, endpoint):
+        graph = endpoint.describe(f"DESCRIBE <{EX}nigeria>")
+        assert len(graph) == 2
+        assert (iri("nigeria"), iri("name"), Literal("Nigeria")) in graph
+
+    def test_describe_follows_bnodes(self, endpoint):
+        graph = endpoint.describe(f"DESCRIBE <{EX}africa>")
+        # africa → bnode → population: CBD pulls the bnode's triples in
+        assert len(graph) == 2
+        assert any(t.predicate == iri("population") for t in graph)
+
+    def test_describe_var_with_where(self, endpoint):
+        graph = endpoint.describe(f"""
+            DESCRIBE ?c WHERE {{ ?c <{EX}continent> <{EX}africa> }}
+        """)
+        assert (iri("nigeria"), iri("name"), Literal("Nigeria")) in graph
+        assert (iri("syria"), iri("name"), Literal("Syria")) not in graph
+
+    def test_describe_unknown_resource_empty(self, endpoint):
+        graph = endpoint.describe(f"DESCRIBE <{EX}atlantis>")
+        assert len(graph) == 0
+
+    def test_describe_needs_target(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("DESCRIBE WHERE { ?s ?p ?o }")
+
+
+class TestGenericQueryDispatch:
+    def test_dispatch_select(self, endpoint):
+        result = endpoint.query(f"SELECT ?s WHERE {{ ?s <{EX}name> ?n }}")
+        assert len(result) == 2
+
+    def test_dispatch_ask(self, endpoint):
+        assert endpoint.query(
+            f"ASK {{ <{EX}nigeria> <{EX}continent> ?c }}") is True
+
+    def test_dispatch_construct(self, endpoint):
+        result = endpoint.query(
+            f"CONSTRUCT WHERE {{ ?s <{EX}continent> ?c }}")
+        assert isinstance(result, Graph)
+
+    def test_dispatch_describe(self, endpoint):
+        result = endpoint.query(f"DESCRIBE <{EX}nigeria>")
+        assert isinstance(result, Graph)
+
+    def test_evaluate_query_module_level(self, endpoint):
+        query = parse_query(f"CONSTRUCT WHERE {{ ?s <{EX}continent> ?c }}")
+        graph = evaluate_query(query, endpoint.dataset)
+        assert len(graph) == 2

@@ -1,0 +1,349 @@
+"""Query evaluation tests over a small in-memory dataset."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, IRI, Literal, Namespace
+from repro.sparql import LocalEndpoint
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def endpoint():
+    ep = LocalEndpoint()
+    ep.update("""
+    PREFIX ex: <http://example.org/>
+    INSERT DATA {
+      ex:alice a ex:Person ; ex:age 30 ; ex:knows ex:bob, ex:carol ;
+               ex:city ex:paris .
+      ex:bob   a ex:Person ; ex:age 25 ; ex:knows ex:carol ;
+               ex:city ex:lyon .
+      ex:carol a ex:Person ; ex:age 35 .
+      ex:dave  a ex:Robot ; ex:age 5 .
+      ex:paris ex:name "Paris" .
+      ex:lyon  ex:name "Lyon" .
+    }
+    """)
+    return ep
+
+
+def names(table, var):
+    return sorted(
+        value.local_name() for value in table.column(var) if value is not None)
+
+
+class TestBGP:
+    def test_single_pattern(self, endpoint):
+        t = endpoint.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?p WHERE { ?p a ex:Person }")
+        assert names(t, "p") == ["alice", "bob", "carol"]
+
+    def test_join_two_patterns(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?n WHERE { ?p ex:city ?c . ?c ex:name ?n }
+        """)
+        rows = {r["p"].local_name(): r["n"].lexical for r in t}
+        assert rows == {"alice": "Paris", "bob": "Lyon"}
+
+    def test_repeated_variable_consistency(self, endpoint):
+        endpoint.update(
+            "PREFIX ex: <http://example.org/> "
+            "INSERT DATA { ex:selfie ex:knows ex:selfie }")
+        t = endpoint.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x WHERE { ?x ex:knows ?x }")
+        assert names(t, "x") == ["selfie"]
+
+    def test_no_match(self, endpoint):
+        t = endpoint.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?x WHERE { ?x a ex:Unicorn }")
+        assert len(t) == 0
+
+    def test_empty_group(self, endpoint):
+        t = endpoint.select("SELECT * WHERE { }")
+        assert len(t) == 1  # one empty solution
+
+
+class TestFilter:
+    def test_numeric_filter(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p WHERE { ?p a ex:Person ; ex:age ?a FILTER(?a > 28) }
+        """)
+        assert names(t, "p") == ["alice", "carol"]
+
+    def test_filter_error_eliminates_row(self, endpoint):
+        # comparing a string age would error; those rows must vanish
+        endpoint.update(
+            "PREFIX ex: <http://example.org/> "
+            'INSERT DATA { ex:weird a ex:Person ; ex:age "old" }')
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p WHERE { ?p a ex:Person ; ex:age ?a FILTER(?a > 0) }
+        """)
+        assert "weird" not in names(t, "p")
+
+    def test_regex_filter(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?c WHERE { ?c ex:name ?n FILTER REGEX(?n, "^P") }
+        """)
+        assert names(t, "c") == ["paris"]
+
+    def test_exists(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p WHERE {
+          ?p a ex:Person
+          FILTER EXISTS { ?p ex:knows ?someone }
+        }
+        """)
+        assert names(t, "p") == ["alice", "bob"]
+
+    def test_not_exists(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p WHERE {
+          ?p a ex:Person
+          FILTER NOT EXISTS { ?p ex:knows ?someone }
+        }
+        """)
+        assert names(t, "p") == ["carol"]
+
+
+class TestOptional:
+    def test_left_rows_survive(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?c WHERE {
+          ?p a ex:Person
+          OPTIONAL { ?p ex:city ?c }
+        }
+        """)
+        rows = {r["p"].local_name(): r.get("c") for r in t}
+        assert rows["carol"] is None
+        assert rows["alice"].local_name() == "paris"
+
+    def test_optional_filter_is_conditional(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?a WHERE {
+          ?p a ex:Person
+          OPTIONAL { ?p ex:age ?a FILTER(?a > 28) }
+        }
+        """)
+        rows = {r["p"].local_name(): r.get("a") for r in t}
+        assert rows["bob"] is None          # 25 fails the filter, row kept
+        assert rows["alice"].value == 30
+
+
+class TestUnionMinus:
+    def test_union(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Robot } }
+        """)
+        assert len(t) == 4
+
+    def test_minus(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE {
+          ?x ex:age ?a
+          MINUS { ?x a ex:Robot }
+        }
+        """)
+        assert names(t, "x") == ["alice", "bob", "carol"]
+
+    def test_minus_disjoint_domains_keeps_rows(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE {
+          ?x a ex:Person
+          MINUS { ?y a ex:Robot }
+        }
+        """)
+        assert len(t) == 3  # no shared variables → nothing removed
+
+
+class TestBindValues:
+    def test_bind(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?double WHERE {
+          ?p ex:age ?a
+          BIND(?a * 2 AS ?double)
+        }
+        """)
+        doubles = {r["p"].local_name(): r["double"].value for r in t}
+        assert doubles["alice"] == 60
+
+    def test_bind_error_leaves_unbound(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?bad WHERE {
+          ?p a ex:Person
+          BIND(?nope + 1 AS ?bad)
+        }
+        """)
+        assert all(r.get("bad") is None for r in t)
+
+    def test_values_join(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?a WHERE {
+          VALUES ?p { ex:alice ex:bob }
+          ?p ex:age ?a
+        }
+        """)
+        assert names(t, "p") == ["alice", "bob"]
+
+
+class TestAggregation:
+    def test_group_by_with_count_sum(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?type (COUNT(?x) AS ?n) (SUM(?a) AS ?total)
+        WHERE { ?x a ?type ; ex:age ?a }
+        GROUP BY ?type ORDER BY DESC(?n)
+        """)
+        rows = t.to_python()
+        assert rows[0]["n"] == 3 and rows[0]["total"] == 90
+        assert rows[1]["n"] == 1 and rows[1]["total"] == 5
+
+    def test_implicit_group_over_empty(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT (COUNT(?x) AS ?n) WHERE { ?x a ex:Unicorn }
+        """)
+        assert t.to_python() == [{"n": 0}]
+
+    def test_having(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?type (COUNT(?x) AS ?n)
+        WHERE { ?x a ?type }
+        GROUP BY ?type
+        HAVING(COUNT(?x) > 1)
+        """)
+        assert len(t) == 1
+
+    def test_avg_min_max(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT (AVG(?a) AS ?avg) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi)
+        WHERE { ?x a ex:Person ; ex:age ?a }
+        """)
+        row = t.to_python()[0]
+        assert float(row["avg"]) == 30.0
+        assert row["lo"] == 25 and row["hi"] == 35
+
+    def test_arithmetic_over_aggregates(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ((SUM(?a) / COUNT(?a)) AS ?mean)
+        WHERE { ?x a ex:Person ; ex:age ?a }
+        """)
+        assert float(t.to_python()[0]["mean"]) == 30.0
+
+
+class TestSolutionModifiers:
+    def test_order_by_limit_offset(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p WHERE { ?p ex:age ?a } ORDER BY ?a LIMIT 2 OFFSET 1
+        """)
+        assert [v.local_name() for v in t.column("p")] == ["bob", "alice"]
+
+    def test_distinct(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT DISTINCT ?type WHERE { ?x a ?type }
+        """)
+        assert len(t) == 2
+
+    def test_order_by_descending_strings(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?n WHERE { ?c ex:name ?n } ORDER BY DESC(?n)
+        """)
+        assert [v.lexical for v in t.column("n")] == ["Paris", "Lyon"]
+
+
+class TestSubSelect:
+    def test_subquery_join(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?p ?n WHERE {
+          { SELECT ?p (COUNT(?f) AS ?n) WHERE { ?p ex:knows ?f }
+            GROUP BY ?p }
+          FILTER(?n >= 2)
+        }
+        """)
+        rows = t.to_python()
+        assert len(rows) == 1
+        assert rows[0]["n"] == 2
+
+
+class TestNamedGraphs:
+    def test_graph_scoping(self):
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA {
+          GRAPH ex:g1 { ex:a ex:p 1 }
+          GRAPH ex:g2 { ex:a ex:p 2 }
+        }
+        """)
+        t = ep.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?v WHERE { GRAPH ex:g1 { ex:a ex:p ?v } }
+        """)
+        assert t.to_python() == [{"v": 1}]
+
+    def test_graph_variable_binds_names(self):
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA {
+          GRAPH ex:g1 { ex:a ex:p 1 }
+          GRAPH ex:g2 { ex:a ex:p 2 }
+        }
+        """)
+        t = ep.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?g WHERE { GRAPH ?g { ex:a ex:p ?v } }
+        """)
+        assert names(t, "g") == ["g1", "g2"]
+
+    def test_default_union_semantics(self):
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA { GRAPH ex:g1 { ex:a ex:p 1 } }
+        """)
+        assert len(ep.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ex:a ex:p ?v }")) == 1
+        strict = LocalEndpoint(ep.dataset, default_as_union=False)
+        assert len(strict.select(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ex:a ex:p ?v }")) == 0
+
+    def test_from_clause_restricts(self):
+        ep = LocalEndpoint()
+        ep.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA {
+          GRAPH ex:g1 { ex:a ex:p 1 }
+          GRAPH ex:g2 { ex:a ex:p 2 }
+        }
+        """)
+        t = ep.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?v FROM ex:g1 WHERE { ex:a ex:p ?v }
+        """)
+        assert t.to_python() == [{"v": 1}]

@@ -1,0 +1,154 @@
+"""Additional evaluator edge cases: nesting, ordering, distinct aggregates."""
+
+import pytest
+
+from repro.rdf import Namespace
+from repro.sparql import LocalEndpoint
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def endpoint():
+    ep = LocalEndpoint()
+    ep.update("""
+    PREFIX ex: <http://example.org/>
+    INSERT DATA {
+      ex:a ex:v 1 ; ex:tag "x" ; ex:link ex:b .
+      ex:b ex:v 2 ; ex:tag "x" .
+      ex:c ex:v 2 ; ex:tag "y" ; ex:link ex:a .
+      ex:d ex:v 3 .
+    }
+    """)
+    return ep
+
+
+class TestNestedPatterns:
+    def test_nested_optionals(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?t ?lv WHERE {
+          ?s ex:v ?v
+          OPTIONAL {
+            ?s ex:tag ?t
+            OPTIONAL { ?s ex:link ?l . ?l ex:v ?lv }
+          }
+        } ORDER BY ?s
+        """)
+        rows = {r["s"].local_name(): r for r in t}
+        assert rows["a"]["lv"].value == 2
+        assert "lv" not in rows["b"]
+        assert "t" not in rows["d"]
+
+    def test_union_inside_optional(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?w WHERE {
+          ?s ex:v 2
+          OPTIONAL {
+            { ?s ex:tag ?w } UNION { ?s ex:link ?w }
+          }
+        }
+        """)
+        # ex:b has tag only; ex:c has both tag and link → 3 rows
+        assert len(t) == 3
+
+    def test_filter_scopes_to_group(self, endpoint):
+        # a FILTER before the pattern it constrains still applies
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s WHERE { FILTER(?v > 2) ?s ex:v ?v }
+        """)
+        assert [r["s"].local_name() for r in t] == ["d"]
+
+
+class TestOrderingEdgeCases:
+    def test_multiple_sort_keys(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s WHERE { ?s ex:v ?v . ?s ex:tag ?t }
+        ORDER BY DESC(?v) ?s
+        """)
+        assert [r["s"].local_name() for r in t] == ["b", "c", "a"]
+
+    def test_unbound_sorts_first(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?t WHERE { ?s ex:v ?v OPTIONAL { ?s ex:tag ?t } }
+        ORDER BY ?t ?s
+        """)
+        assert t.rows[0][0].local_name() == "d"  # no tag → first
+
+    def test_offset_beyond_result(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s WHERE { ?s ex:v ?v } OFFSET 100
+        """)
+        assert len(t) == 0
+
+    def test_limit_zero(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s WHERE { ?s ex:v ?v } LIMIT 0
+        """)
+        assert len(t) == 0
+
+
+class TestAggregateEdgeCases:
+    def test_sum_distinct(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT (SUM(DISTINCT ?v) AS ?total) WHERE { ?s ex:v ?v }
+        """)
+        assert t.to_python()[0]["total"] == 6  # 1+2+3, the 2 deduped
+
+    def test_group_concat_with_separator(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT (GROUP_CONCAT(?t ; SEPARATOR=", ") AS ?tags)
+        WHERE { ?s ex:tag ?t }
+        """)
+        tags = t.to_python()[0]["tags"]
+        assert set(tags.split(", ")) == {"x", "x", "y"} or \
+            tags.count(",") == 2
+
+    def test_group_key_expression(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?parity (COUNT(?s) AS ?n) WHERE { ?s ex:v ?v }
+        GROUP BY (?v / 2 AS ?parity)
+        ORDER BY ?parity
+        """)
+        assert len(t) >= 2
+
+    def test_having_on_alias_expression(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?t (SUM(?v) AS ?total) WHERE { ?s ex:tag ?t ; ex:v ?v }
+        GROUP BY ?t
+        HAVING(SUM(?v) >= 3)
+        """)
+        assert t.to_python() == [{"t": "x", "total": 3}] or len(t) == 1
+
+    def test_count_inside_arithmetic_having(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?t WHERE { ?s ex:tag ?t ; ex:v ?v }
+        GROUP BY ?t
+        HAVING(COUNT(?s) * 2 > 2)
+        """)
+        assert [r["t"].lexical for r in t] == ["x"]
+
+
+class TestBindChaining:
+    def test_bind_feeds_later_patterns(self, endpoint):
+        t = endpoint.select("""
+        PREFIX ex: <http://example.org/>
+        SELECT ?s ?double ?quad WHERE {
+          ?s ex:v ?v
+          BIND(?v * 2 AS ?double)
+          BIND(?double * 2 AS ?quad)
+        } ORDER BY ?s
+        """)
+        first = t.to_python()[0]
+        assert first["quad"] == first["double"] * 2

@@ -1,0 +1,151 @@
+"""W3C result-format serialization tests (JSON/XML/CSV/TSV)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.terms import BNode, IRI, Literal
+from repro.sparql.errors import EndpointError
+from repro.sparql.results import ResultTable
+from repro.sparql.serializers import (
+    ASK_SERIALIZERS,
+    SELECT_SERIALIZERS,
+    boolean_from_json,
+    boolean_to_json,
+    boolean_to_xml,
+    results_from_json,
+    results_to_csv,
+    results_to_json,
+    results_to_tsv,
+    results_to_xml,
+)
+
+
+@pytest.fixture()
+def table() -> ResultTable:
+    return ResultTable(
+        ["s", "v"],
+        [
+            (IRI("http://example.org/nigeria"), Literal(42)),
+            (BNode("b0"), Literal("hola", language="es")),
+            (IRI("http://example.org/syria"), None),
+        ],
+    )
+
+
+class TestJson:
+    def test_shape(self, table):
+        document = json.loads(results_to_json(table))
+        assert document["head"]["vars"] == ["s", "v"]
+        assert len(document["results"]["bindings"]) == 3
+
+    def test_typed_literal_has_datatype(self, table):
+        document = json.loads(results_to_json(table))
+        first = document["results"]["bindings"][0]["v"]
+        assert first["type"] == "literal"
+        assert first["datatype"].endswith("integer")
+
+    def test_language_literal_has_lang(self, table):
+        document = json.loads(results_to_json(table))
+        second = document["results"]["bindings"][1]["v"]
+        assert second["xml:lang"] == "es"
+        assert "datatype" not in second
+
+    def test_unbound_cell_omitted(self, table):
+        document = json.loads(results_to_json(table))
+        third = document["results"]["bindings"][2]
+        assert "v" not in third
+
+    def test_round_trip(self, table):
+        parsed = results_from_json(results_to_json(table))
+        assert parsed.vars == table.vars
+        assert parsed.rows == table.rows
+
+    def test_plain_string_literal_round_trip(self):
+        table = ResultTable(["x"], [(Literal("plain"),)])
+        parsed = results_from_json(results_to_json(table))
+        assert parsed.rows == table.rows
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(EndpointError):
+            results_from_json("{not json")
+
+    def test_missing_head_raises(self):
+        with pytest.raises(EndpointError):
+            results_from_json('{"results": {"bindings": []}}')
+
+    def test_boolean_round_trip(self):
+        assert boolean_from_json(boolean_to_json(True)) is True
+        assert boolean_from_json(boolean_to_json(False)) is False
+
+    @given(st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                    min_size=0, max_size=20))
+    def test_round_trip_integers_property(self, values):
+        table = ResultTable(["n"], [(Literal(v),) for v in values])
+        parsed = results_from_json(results_to_json(table))
+        assert [row[0].value for row in parsed.rows] == values
+
+    @given(st.lists(
+        st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+                max_size=30),
+        min_size=0, max_size=10))
+    def test_round_trip_strings_property(self, values):
+        table = ResultTable(["t"], [(Literal(v),) for v in values])
+        parsed = results_from_json(results_to_json(table))
+        assert [row[0].lexical for row in parsed.rows] == values
+
+
+class TestXml:
+    def test_shape(self, table):
+        text = results_to_xml(table)
+        assert text.startswith('<?xml version="1.0"?>')
+        assert '<variable name="s"/>' in text
+        assert text.count("<result>") == 3
+
+    def test_escaping(self):
+        table = ResultTable(["x"], [(Literal("a<b&c"),)])
+        text = results_to_xml(table)
+        assert "a&lt;b&amp;c" in text
+
+    def test_language_attribute(self, table):
+        text = results_to_xml(table)
+        assert 'xml:lang="es"' in text
+
+    def test_boolean(self):
+        assert "<boolean>true</boolean>" in boolean_to_xml(True)
+        assert "<boolean>false</boolean>" in boolean_to_xml(False)
+
+
+class TestCsvTsv:
+    def test_csv_plain_lexical_forms(self, table):
+        text = results_to_csv(table)
+        lines = text.split("\r\n")
+        assert lines[0] == "s,v"
+        assert lines[1] == "http://example.org/nigeria,42"
+
+    def test_csv_unbound_is_empty(self, table):
+        text = results_to_csv(table)
+        assert text.split("\r\n")[3] == "http://example.org/syria,"
+
+    def test_tsv_uses_n3_terms(self, table):
+        text = results_to_tsv(table)
+        lines = text.split("\n")
+        assert lines[0] == "?s\t?v"
+        assert lines[1].startswith("<http://example.org/nigeria>")
+        assert "^^<http://www.w3.org/2001/XMLSchema#integer>" in lines[1]
+
+    def test_tsv_language_literal(self, table):
+        text = results_to_tsv(table)
+        assert '"hola"@es' in text
+
+
+class TestRegistry:
+    def test_media_types_registered(self):
+        assert "application/sparql-results+json" in SELECT_SERIALIZERS
+        assert "text/csv" in SELECT_SERIALIZERS
+        assert "application/sparql-results+xml" in ASK_SERIALIZERS
+
+    def test_registry_callables_work(self, table):
+        for serializer in SELECT_SERIALIZERS.values():
+            assert isinstance(serializer(table), str)

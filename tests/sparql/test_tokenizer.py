@@ -1,0 +1,71 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.sparql.errors import QuerySyntaxError
+from repro.sparql.tokenizer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+        assert all(t.upper == "SELECT" for t in tokens[:-1])
+
+    def test_vars_both_sigils(self):
+        assert kinds("?x $y") == ["VAR", "VAR"]
+
+    def test_iriref(self):
+        assert kinds("<http://example.org/a>") == ["IRIREF"]
+
+    def test_pname_not_split_at_keyword(self):
+        # 'data:migr' must be one PNAME even though DATA is a keyword
+        tokens = tokenize("data:migr_asyappctzm")
+        assert tokens[0].kind == "PNAME"
+        assert tokens[0].text == "data:migr_asyappctzm"
+
+    def test_keyword_with_dash_prefix_name(self):
+        tokens = tokenize("sdmx-measure:obsValue")
+        assert tokens[0].kind == "PNAME"
+
+    def test_numbers(self):
+        assert kinds("1 -2 3.5 1e3 -2.5e-1") == \
+            ["INTEGER", "INTEGER", "DECIMAL", "DOUBLE_NUM", "DOUBLE_NUM"]
+
+    def test_strings(self):
+        assert kinds('"hi" \'single\' """long\nstring"""') == \
+            ["STRING", "STRING", "LONG_STRING"]
+
+    def test_langtag_and_hathat(self):
+        assert kinds('"x"@en "5"^^xsd:integer') == \
+            ["STRING", "LANGTAG", "STRING", "HATHAT", "PNAME"]
+
+    def test_operators(self):
+        assert texts("<= >= != && || = < > ! * / + -") == \
+            ["<=", ">=", "!=", "&&", "||", "=", "<", ">", "!", "*", "/",
+             "+", "-"]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) . , ; [ ]") == ["PUNCT"] * 9
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT # comment\n ?x") == ["KEYWORD", "VAR"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\n\n?x")
+        assert tokens[1].line == 3
+
+    def test_bnode_label(self):
+        assert kinds("_:b1") == ["BNODE"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT @@@x")

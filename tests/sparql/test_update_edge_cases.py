@@ -1,0 +1,89 @@
+"""Additional update-path edge cases."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Namespace
+from repro.sparql import LocalEndpoint, UpdateError
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def endpoint():
+    return LocalEndpoint()
+
+
+class TestUpdateSequences:
+    def test_multiple_operations_one_request(self, endpoint):
+        endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA { ex:a ex:p 1 } ;
+        INSERT DATA { ex:a ex:q 2 } ;
+        DELETE DATA { ex:a ex:p 1 }
+        """)
+        assert not endpoint.ask(
+            "PREFIX ex: <http://example.org/> ASK { ex:a ex:p 1 }")
+        assert endpoint.ask(
+            "PREFIX ex: <http://example.org/> ASK { ex:a ex:q 2 }")
+
+    def test_prefixes_shared_across_operations(self, endpoint):
+        endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA { ex:a ex:p 1 } ;
+        INSERT DATA { ex:b ex:p 2 }
+        """)
+        assert len(endpoint.dataset) == 2
+
+    def test_delete_nonexistent_is_noop(self, endpoint):
+        n = endpoint.update(
+            "DELETE DATA { <http://e/x> <http://e/p> 1 }")
+        assert n == 0
+
+    def test_modify_where_no_solutions(self, endpoint):
+        n = endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT { ?x ex:flag true } WHERE { ?x a ex:Ghost }
+        """)
+        assert n == 0
+
+    def test_modify_unbound_template_var_skipped(self, endpoint):
+        endpoint.update(
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:a ex:p 1 }")
+        # ?missing never binds: the quad is skipped, not an error
+        n = endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT { ?x ex:copy ?missing } WHERE { ?x ex:p ?v }
+        """)
+        assert n == 0
+
+    def test_insert_across_named_graphs(self, endpoint):
+        endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA { GRAPH ex:g { ex:a ex:p 1 } }
+        """)
+        endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT { GRAPH ex:h { ?s ex:copied ?v } }
+        WHERE { GRAPH ex:g { ?s ex:p ?v } }
+        """)
+        h = endpoint.graph(IRI("http://example.org/h"))
+        assert (EX.a, EX.copied, Literal(1)) in h
+
+    def test_delete_from_all_graphs_when_unscoped(self, endpoint):
+        endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        INSERT DATA {
+          ex:a ex:p 1
+          GRAPH ex:g { ex:a ex:p 1 }
+        }
+        """)
+        n = endpoint.update("""
+        PREFIX ex: <http://example.org/>
+        DELETE { ?s ex:p ?v } WHERE { ?s ex:p ?v }
+        """)
+        assert n == 2
+        assert len(endpoint.dataset) == 0
+
+    def test_create_then_clear_empty_graph(self, endpoint):
+        endpoint.update("CREATE GRAPH <http://e/g>")
+        assert endpoint.update("CLEAR GRAPH <http://e/g>") == 0

@@ -1,0 +1,171 @@
+"""CLI tests (small observation counts keep them fast)."""
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--observations", "400"]
+
+
+class TestCLI:
+    def test_enrich(self, capsys):
+        assert main(["enrich", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "citizenshipDim" in out
+        assert "generated:" in out
+        assert "[redefine]" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "cube:" in out
+        assert "clustered by" in out
+        assert "Members per level" in out
+
+    def test_query_default_mary(self, capsys):
+        assert main(["query", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Cube [" in out
+        assert "rows in" in out
+
+    def test_query_show_sparql(self, capsys):
+        assert main(["query", "--show-sparql", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "direct translation" in out
+        assert "GROUP BY" in out
+
+    def test_query_from_file(self, tmp_path, capsys):
+        ql = tmp_path / "program.ql"
+        ql.write_text("""
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:sexDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:destinationDim);
+$C5 := SLICE ($C4, schema:citizenshipDim);
+$C6 := ROLLUP ($C5, schema:timeDim, schema:year);
+""")
+        assert main(["query", "--ql", str(ql), "--variant", "direct",
+                     *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "timeDim@year" in out
+
+    def test_sparql_subcommand(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("""
+        PREFIX qb: <http://purl.org/linked-data/cube#>
+        SELECT (COUNT(?o) AS ?n) WHERE { ?o a qb:Observation }
+        """)
+        assert main(["sparql", "--query", str(query), *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "400" in out
+
+    def test_validate_clean(self, capsys):
+        assert main(["validate", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+
+    def test_validate_noisy_fails(self, capsys):
+        # discovery accepts the quasi-FD (threshold 0.3) but strict
+        # instance validation (tolerance 0) must flag the step
+        code = main(["validate", "--observations", "400",
+                     "--noise", "0.25", "--threshold", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Q4I" in out
+
+    def test_validate_noisy_passes_with_tolerance(self, capsys):
+        code = main(["validate", "--observations", "400",
+                     "--noise", "0.25", "--threshold", "0.3",
+                     "--tolerance", "0.3"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_demo(self, capsys):
+        assert main(["demo", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Mary's query" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestNewSubcommands:
+    def test_sparql_json_format(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("""
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            SELECT (COUNT(?o) AS ?n) WHERE { ?o a qb:Observation }
+        """)
+        assert main(["sparql", "--query", str(query),
+                     "--format", "json", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert '"bindings"' in out
+        assert '"400"' in out
+
+    def test_sparql_csv_format(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("""
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            SELECT (COUNT(?o) AS ?n) WHERE { ?o a qb:Observation }
+        """)
+        assert main(["sparql", "--query", str(query),
+                     "--format", "csv", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("n")
+
+    def test_sparql_ask(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("""
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            ASK { ?o a qb:Observation }
+        """)
+        assert main(["sparql", "--query", str(query), *ARGS]) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_sparql_construct_prints_turtle(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("""
+            PREFIX qb: <http://purl.org/linked-data/cube#>
+            CONSTRUCT { ?ds a qb:DataSet } WHERE { ?ds a qb:DataSet }
+        """)
+        assert main(["sparql", "--query", str(query), *ARGS]) == 0
+        assert "qb:DataSet" in capsys.readouterr().out
+
+    def test_sparql_explain(self, tmp_path, capsys):
+        query = tmp_path / "q.rq"
+        query.write_text("SELECT ?s WHERE { ?s ?p ?o }")
+        assert main(["sparql", "--query", str(query),
+                     "--explain", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "BGP" in out
+
+    def test_validate_ic_suite_reports(self, capsys):
+        # IC-4 fires: like the real Eurostat dump, the raw cube declares
+        # no rdfs:range on dimension properties
+        code = main(["validate", "--ic-suite", *ARGS])
+        out = capsys.readouterr().out
+        assert "W3C IC suite" in out
+        assert "IC-4: VIOLATED" in out
+        assert code == 1
+
+    def test_drillacross(self, capsys):
+        assert main(["drillacross", "--observations", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "First instance decisions" in out
+        assert "Cube [" in out
+
+    def test_render_schema_dot(self, capsys):
+        assert main(["render", "--view", "schema", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph schema {")
+
+    def test_render_instances_dot(self, capsys):
+        assert main(["render", "--view", "instances",
+                     "--max-members", "3", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph instances {")
+        assert "cluster_0" in out

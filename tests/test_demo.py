@@ -1,0 +1,55 @@
+"""Tests for the packaged demo scenario (repro.demo)."""
+
+import pytest
+
+from repro.data.namespaces import PROPERTY, SCHEMA
+from repro.demo import (
+    CONTINENT_LEVEL,
+    MARY_QL,
+    PAPER_DIMENSION_NAMES,
+    POLITICAL_LEVEL,
+    POLITICAL_QL,
+    QUARTER_LEVEL,
+    YEAR_LEVEL,
+)
+from repro.ql import parse_ql
+
+
+class TestConstants:
+    def test_dimension_names_cover_all_six(self):
+        assert len(PAPER_DIMENSION_NAMES) == 6
+        assert PAPER_DIMENSION_NAMES[PROPERTY.citizen] == "citizenshipDim"
+
+    def test_mary_ql_parses(self):
+        program = parse_ql(MARY_QL)
+        assert program.cube.local_name() == "migr_asyappctzm"
+
+    def test_political_ql_parses(self):
+        program = parse_ql(POLITICAL_QL)
+        operations = program.operations()
+        assert len(operations) == 6
+
+
+class TestEnrichedDemo:
+    def test_levels_minted_as_expected(self, enriched):
+        schema = enriched.schema
+        citizenship = schema.dimension(SCHEMA.citizenshipDim)
+        assert CONTINENT_LEVEL in citizenship.levels()
+        time = schema.dimension(SCHEMA.timeDim)
+        assert QUARTER_LEVEL in time.levels()
+        assert YEAR_LEVEL in time.levels()
+        destination = schema.dimension(SCHEMA.destinationDim)
+        assert POLITICAL_LEVEL in destination.levels()
+
+    def test_engine_is_wired_to_endpoint(self, enriched):
+        assert enriched.engine.endpoint is enriched.endpoint
+        assert enriched.engine.schema is enriched.schema
+
+    def test_generation_report_nonempty(self, enriched):
+        assert enriched.generation.schema_triples > 50
+        assert enriched.generation.instance_triples > 50
+
+    def test_negative_dimensions_stay_flat(self, enriched):
+        for flat in (SCHEMA.sexDim, SCHEMA.ageDim, SCHEMA.asylappDim):
+            dimension = enriched.schema.dimension(flat)
+            assert len(dimension.levels()) == 1
