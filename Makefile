@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-baseline
+
+## Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full paper-scale benchmark suite (slow; REPRO_BENCH_OBS=80000 for
+## the paper's complete demo subset).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Fast regression gate over the querying hot path: runs the E3/E6
+## workload at a small scale and fails on >20% slowdown vs the
+## committed baseline (benchmarks/baseline.json).
+bench-smoke:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py
+
+## Refresh the committed smoke baseline after an intentional change.
+bench-baseline:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py --update

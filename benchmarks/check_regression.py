@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Guard the querying hot path against performance regressions.
+
+Runs the E3/E6 query workload (the same executions
+``bench_e3_querying.py`` and ``bench_e6_demo_query.py`` time) at the
+scale given by ``REPRO_BENCH_OBS`` and compares wall-clock numbers
+against a committed baseline JSON.  Exits non-zero when any metric
+regresses more than the allowed factor (default +20%).
+
+Usage::
+
+    PYTHONPATH=src REPRO_BENCH_OBS=2000 python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-baseline
+
+The committed baseline (``benchmarks/baseline.json``) keys metrics by
+observation count, so smoke runs at 2000 observations and full runs at
+20000 use their own reference numbers.  Tiny timings (< 50 ms) are
+ignored: at that scale the noise floor, not the engine, is measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
+OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBS", "2000"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+ALLOWED_FACTOR = float(os.environ.get("REPRO_BENCH_TOLERANCE", "1.20"))
+NOISE_FLOOR_SECONDS = 0.05
+
+
+def measure() -> dict:
+    """One fresh run of the E3/E6 query executions, in seconds."""
+    from repro.demo import MARY_QL, prepare_enriched_demo
+    from benchmarks.bench_e3_querying import PREDEFINED
+
+    started = time.perf_counter()
+    demo = prepare_enriched_demo(observations=OBSERVATIONS, seed=SEED)
+    build_seconds = time.perf_counter() - started
+
+    metrics = {"prepare_demo": round(build_seconds, 4)}
+    for name in sorted(PREDEFINED):
+        result = demo.engine.execute(PREDEFINED[name], variant="optimized")
+        metrics[f"e3/{name}"] = round(result.report.execute_seconds, 4)
+    result = demo.engine.execute(MARY_QL, variant="direct")
+    metrics["e6/mary_direct"] = round(result.report.execute_seconds, 4)
+    return metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE_PATH)
+    parser.add_argument("--update", action="store_true",
+                        help="write the fresh numbers as the new baseline")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+    fresh = measure()
+    scale_key = str(OBSERVATIONS)
+
+    stored = {}
+    if args.baseline.exists():
+        stored = json.loads(args.baseline.read_text())
+
+    if args.update:
+        stored[scale_key] = fresh
+        args.baseline.write_text(json.dumps(stored, indent=2) + "\n")
+        print(f"baseline updated for obs={OBSERVATIONS}: "
+              f"{args.baseline}")
+        return 0
+
+    baseline = stored.get(scale_key)
+    if baseline is None:
+        print(f"no baseline for obs={OBSERVATIONS} in {args.baseline}; "
+              f"run with --update first", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'metric':24s} {'baseline':>10s} {'fresh':>10s} {'ratio':>7s}")
+    for metric, reference in sorted(baseline.items()):
+        current = fresh.get(metric)
+        if current is None:
+            continue
+        ratio = current / reference if reference else float("inf")
+        flag = ""
+        if (current > reference * ALLOWED_FACTOR
+                and max(current, reference) >= NOISE_FLOOR_SECONDS):
+            flag = "  REGRESSION"
+            failures.append(metric)
+        print(f"{metric:24s} {reference:9.3f}s {current:9.3f}s "
+              f"{ratio:6.2f}x{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed more than "
+              f"{(ALLOWED_FACTOR - 1) * 100:.0f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("\nno regression beyond "
+          f"{(ALLOWED_FACTOR - 1) * 100:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

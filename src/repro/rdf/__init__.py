@@ -15,8 +15,9 @@ Quick tour:
 True
 """
 
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.errors import ParseError, RDFError, SerializationError, TermError
-from repro.rdf.graph import Dataset, Graph, TriplePattern
+from repro.rdf.graph import Dataset, Graph, TriplePattern, UnionView
 from repro.rdf.namespace import (
     DCT,
     DEFAULT_PREFIXES,
@@ -76,9 +77,11 @@ __all__ = [
     "SKOS",
     "SerializationError",
     "Term",
+    "TermDictionary",
     "TermError",
     "Triple",
     "TriplePattern",
+    "UnionView",
     "XSD",
     "make_triple",
     "parse_ntriples",

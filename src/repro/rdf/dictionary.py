@@ -1,0 +1,68 @@
+"""Term interning: a dictionary mapping RDF terms to dense integer ids.
+
+Production triple stores (including Virtuoso, the paper's endpoint)
+never join on lexical values: terms are interned once into integer ids
+and every index, join key and intermediate result is a machine word.
+:class:`TermDictionary` brings the same design to the in-memory engine:
+
+* :meth:`encode` interns a term, assigning the next dense id;
+* :meth:`lookup` resolves a term *without* interning (query constants
+  that were never loaded simply have no id — and therefore no matches);
+* :meth:`decode` is a plain list index, so materializing results back
+  into terms costs one indexing operation per cell.
+
+A :class:`repro.rdf.graph.Dataset` owns one shared dictionary for all
+its graphs, which makes ids comparable across named graphs — the
+property the SPARQL evaluator's columnar join pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.rdf.terms import Term
+
+__all__ = ["TermDictionary"]
+
+
+class TermDictionary:
+    """An append-only intern table: term ↔ dense integer id."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+
+    def encode(self, term: Term) -> int:
+        """The id for ``term``, interning it on first sight."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The id for ``term`` or ``None`` — never interns."""
+        return self._ids.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """The term interned under ``term_id``."""
+        return self._terms[term_id]
+
+    def decode_row(self, ids: Iterable[Optional[int]]
+                   ) -> Tuple[Optional[Term], ...]:
+        """Decode a row of optional ids (``None`` stays ``None``)."""
+        terms = self._terms
+        return tuple(
+            None if term_id is None else terms[term_id] for term_id in ids)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def __repr__(self) -> str:
+        return f"<TermDictionary {len(self._terms)} terms>"

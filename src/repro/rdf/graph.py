@@ -1,9 +1,13 @@
 """An indexed, in-memory RDF graph and a named-graph dataset.
 
-:class:`Graph` keeps three hash indexes (SPO, POS, OSP) so that any triple
-pattern with at least one bound position is answered by dictionary lookups
-rather than scans.  This is the storage layer underneath the local SPARQL
-endpoint that stands in for the Virtuoso instance used in the paper.
+:class:`Graph` interns every term through a :class:`TermDictionary`
+(see :mod:`repro.rdf.dictionary`) and keeps three hash indexes (SPO,
+POS, OSP) **keyed on dense integer ids**, so that any triple pattern
+with at least one bound position is answered by dictionary lookups
+rather than scans, and joins downstream compare machine integers
+instead of re-hashing terms.  This is the storage layer underneath the
+local SPARQL endpoint that stands in for the Virtuoso instance used in
+the paper.
 
 Pattern positions use ``None`` as the wildcard:
 
@@ -12,26 +16,35 @@ Pattern positions use ``None`` as the wildcard:
 >>> _ = g.add(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o"))
 >>> len(list(g.triples((None, IRI("http://e/p"), None))))
 1
+
+Raw id-level iteration (:meth:`Graph.triples_ids`) is the fast path the
+SPARQL evaluator's columnar join pipeline uses: it yields plain
+``(s, p, o)`` integer tuples with no :class:`Triple` allocation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.errors import TermError
 from repro.rdf.namespace import NamespaceManager
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, make_triple
 
 TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
+IdTriple = Tuple[int, int, int]
 
-_Index = Dict[Term, Dict[Term, Set[Term]]]
+_Index = Dict[int, Dict[int, Set[int]]]
+
+_WILD: IdPattern = (None, None, None)
 
 
-def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_add(index: _Index, a: int, b: int, c: int) -> None:
     index.setdefault(a, {}).setdefault(b, set()).add(c)
 
 
-def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
     try:
         level2 = index[a]
         level3 = level2[b]
@@ -44,160 +57,10 @@ def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
         pass
 
 
-class Graph:
-    """A mutable set of RDF triples with SPO/POS/OSP indexes."""
-
-    def __init__(self, identifier: Optional[IRI] = None,
-                 namespace_manager: Optional[NamespaceManager] = None) -> None:
-        self.identifier = identifier
-        self.namespace_manager = namespace_manager or NamespaceManager()
-        self._spo: _Index = {}
-        self._pos: _Index = {}
-        self._osp: _Index = {}
-        self._size = 0
-
-    # -- mutation ------------------------------------------------------------
-
-    def add(self, subject_or_triple: Union[Term, Triple, Tuple],
-            predicate: Optional[Term] = None,
-            obj: Optional[Term] = None) -> "Graph":
-        """Add one triple; accepts ``add(triple)`` or ``add(s, p, o)``.
-
-        Returns the graph so calls can be chained.
-        """
-        if predicate is None and obj is None:
-            triple = subject_or_triple
-            if not isinstance(triple, tuple) or len(triple) != 3:
-                raise TermError(f"expected a triple, got {triple!r}")
-            s, p, o = triple
-        else:
-            s, p, o = subject_or_triple, predicate, obj
-        validated = make_triple(s, p, o)
-        s, p, o = validated
-        if o in self._spo.get(s, {}).get(p, ()):  # already present
-            return self
-        _index_add(self._spo, s, p, o)
-        _index_add(self._pos, p, o, s)
-        _index_add(self._osp, o, s, p)
-        self._size += 1
-        return self
-
-    def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> "Graph":
-        for triple in triples:
-            self.add(triple)
-        return self
-
-    def remove(self, pattern: TriplePattern) -> int:
-        """Remove all triples matching ``pattern``; return how many."""
-        victims = list(self.triples(pattern))
-        for s, p, o in victims:
-            _index_remove(self._spo, s, p, o)
-            _index_remove(self._pos, p, o, s)
-            _index_remove(self._osp, o, s, p)
-        self._size -= len(victims)
-        return len(victims)
-
-    def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
-
-    # -- query ---------------------------------------------------------------
-
-    def triples(self, pattern: TriplePattern = (None, None, None)
-                ) -> Iterator[Triple]:
-        """Yield all triples matching a pattern with ``None`` wildcards."""
-        s, p, o = pattern
-        if s is not None:
-            by_predicate = self._spo.get(s)
-            if by_predicate is None:
-                return
-            if p is not None:
-                objects = by_predicate.get(p)
-                if objects is None:
-                    return
-                if o is not None:
-                    if o in objects:
-                        yield Triple(s, p, o)
-                    return
-                for obj in objects:
-                    yield Triple(s, p, obj)
-                return
-            for predicate, objects in by_predicate.items():
-                if o is not None:
-                    if o in objects:
-                        yield Triple(s, predicate, o)
-                    continue
-                for obj in objects:
-                    yield Triple(s, predicate, obj)
-            return
-        if p is not None:
-            by_object = self._pos.get(p)
-            if by_object is None:
-                return
-            if o is not None:
-                for subject in by_object.get(o, ()):
-                    yield Triple(subject, p, o)
-                return
-            for obj, subjects in by_object.items():
-                for subject in subjects:
-                    yield Triple(subject, p, obj)
-            return
-        if o is not None:
-            by_subject = self._osp.get(o)
-            if by_subject is None:
-                return
-            for subject, predicates in by_subject.items():
-                for predicate in predicates:
-                    yield Triple(subject, predicate, o)
-            return
-        for subject, by_predicate in self._spo.items():
-            for predicate, objects in by_predicate.items():
-                for obj in objects:
-                    yield Triple(subject, predicate, obj)
-
-    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
-        """Number of triples matching ``pattern`` (cheap for (None,)*3)."""
-        if pattern == (None, None, None):
-            return self._size
-        return sum(1 for _ in self.triples(pattern))
-
-    def estimate(self, pattern: TriplePattern) -> int:
-        """Cheap cardinality estimate for ``pattern`` (join ordering).
-
-        Exact for fully bound and (s,p,·)/(·,p,o) shapes; an index-size
-        proxy otherwise.  Never iterates matches.
-        """
-        s, p, o = pattern
-        if s is not None and p is not None:
-            objects = self._spo.get(s, {}).get(p)
-            if objects is None:
-                return 0
-            if o is not None:
-                return 1 if o in objects else 0
-            return len(objects)
-        if p is not None and o is not None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        if s is not None:
-            by_predicate = self._spo.get(s)
-            if by_predicate is None:
-                return 0
-            if o is not None:
-                return len(self._osp.get(o, {}).get(s, ()))
-            return sum(len(objs) for objs in by_predicate.values())
-        if p is not None:
-            by_object = self._pos.get(p)
-            if by_object is None:
-                return 0
-            # distinct objects is a lower bound; good enough for ordering
-            return sum(len(subjects) for subjects in by_object.values())
-        if o is not None:
-            by_subject = self._osp.get(o)
-            if by_subject is None:
-                return 0
-            return sum(len(preds) for preds in by_subject.values())
-        return self._size
+class _GraphReadMixin:
+    """Derived read operations shared by :class:`Graph` and the
+    read-only :class:`UnionView` — everything here is expressed in
+    terms of ``triples`` / ``count``."""
 
     def subjects(self, predicate: Optional[Term] = None,
                  obj: Optional[Term] = None) -> Iterator[Term]:
@@ -244,18 +107,259 @@ class Graph:
             return triple.object
         return default
 
-    # -- convenience ---------------------------------------------------------
-
-    def subject_predicates(self, subject: Term) -> Dict[Term, Set[Term]]:
-        """All (predicate → objects) for one subject, as plain dicts."""
-        return {
-            predicate: set(objects)
-            for predicate, objects in self._spo.get(subject, {}).items()
-        }
-
     def __contains__(self, triple: Tuple) -> bool:
         s, p, o = triple
         return next(iter(self.triples((s, p, o))), None) is not None
+
+    def qname(self, iri: IRI) -> str:
+        """Compact form when possible, else the ``<...>`` N-Triples form."""
+        compact = self.namespace_manager.compact(iri)
+        return compact if compact is not None else iri.n3()
+
+
+class Graph(_GraphReadMixin):
+    """A mutable set of RDF triples with id-keyed SPO/POS/OSP indexes."""
+
+    def __init__(self, identifier: Optional[IRI] = None,
+                 namespace_manager: Optional[NamespaceManager] = None,
+                 dictionary: Optional[TermDictionary] = None) -> None:
+        self.identifier = identifier
+        self.namespace_manager = namespace_manager or NamespaceManager()
+        #: term ↔ id intern table; shared across a Dataset's graphs.
+        self.dictionary = dictionary if dictionary is not None \
+            else TermDictionary()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        #: mutation counter; bumped on every add/remove/clear.  Query
+        #: plan caches key on it so stale statistics age out.
+        self.epoch = 0
+        #: optional hook ``(graph, s_id, p_id, o_id) -> None`` installed
+        #: by :class:`Dataset` to track cross-graph disjointness.
+        self._on_add = None
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, subject_or_triple: Union[Term, Triple, Tuple],
+            predicate: Optional[Term] = None,
+            obj: Optional[Term] = None) -> "Graph":
+        """Add one triple; accepts ``add(triple)`` or ``add(s, p, o)``.
+
+        Returns the graph so calls can be chained.
+        """
+        if predicate is None and obj is None:
+            triple = subject_or_triple
+            if not isinstance(triple, tuple) or len(triple) != 3:
+                raise TermError(f"expected a triple, got {triple!r}")
+            s, p, o = triple
+        else:
+            s, p, o = subject_or_triple, predicate, obj
+        s, p, o = make_triple(s, p, o)
+        encode = self.dictionary.encode
+        si, pi, oi = encode(s), encode(p), encode(o)
+        by_predicate = self._spo.get(si)
+        if by_predicate is not None and oi in by_predicate.get(pi, ()):
+            return self  # already present
+        _index_add(self._spo, si, pi, oi)
+        _index_add(self._pos, pi, oi, si)
+        _index_add(self._osp, oi, si, pi)
+        self._size += 1
+        self.epoch += 1
+        if self._on_add is not None:
+            self._on_add(self, si, pi, oi)
+        return self
+
+    def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> "Graph":
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> int:
+        """Remove all triples matching ``pattern``; return how many."""
+        ids = self._encode_pattern(pattern)
+        if ids is None:
+            return 0
+        victims = list(self.triples_ids(ids))
+        for si, pi, oi in victims:
+            _index_remove(self._spo, si, pi, oi)
+            _index_remove(self._pos, pi, oi, si)
+            _index_remove(self._osp, oi, si, pi)
+        if victims:
+            self._size -= len(victims)
+            self.epoch += 1
+        return len(victims)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+        self.epoch += 1
+
+    # -- id-level fast paths -------------------------------------------------
+
+    def _encode_pattern(self, pattern: TriplePattern) -> Optional[IdPattern]:
+        """Translate a term pattern to ids; ``None`` when a bound term
+        was never interned (and therefore cannot match anything)."""
+        s, p, o = pattern
+        lookup = self.dictionary.lookup
+        if s is not None:
+            s = lookup(s)
+            if s is None:
+                return None
+        if p is not None:
+            p = lookup(p)
+            if p is None:
+                return None
+        if o is not None:
+            o = lookup(o)
+            if o is None:
+                return None
+        return (s, p, o)
+
+    def triples_ids(self, pattern: IdPattern = _WILD) -> Iterator[IdTriple]:
+        """Yield raw ``(s, p, o)`` id tuples matching an id pattern.
+
+        This is the allocation-free iteration path: no :class:`Triple`
+        objects are built and no terms are decoded.
+        """
+        s, p, o = pattern
+        if s is not None:
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return
+            if p is not None:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    return
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                    return
+                for obj in objects:
+                    yield (s, p, obj)
+                return
+            for predicate, objects in by_predicate.items():
+                if o is not None:
+                    if o in objects:
+                        yield (s, predicate, o)
+                    continue
+                for obj in objects:
+                    yield (s, predicate, obj)
+            return
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return
+            if o is not None:
+                for subject in by_object.get(o, ()):
+                    yield (subject, p, o)
+                return
+            for obj, subjects in by_object.items():
+                for subject in subjects:
+                    yield (subject, p, obj)
+            return
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return
+            for subject, predicates in by_subject.items():
+                for predicate in predicates:
+                    yield (subject, predicate, o)
+            return
+        for subject, by_predicate in self._spo.items():
+            for predicate, objects in by_predicate.items():
+                for obj in objects:
+                    yield (subject, predicate, obj)
+
+    def count_ids(self, pattern: IdPattern) -> int:
+        """Exact match count for an id pattern, from index sizes alone."""
+        s, p, o = pattern
+        if s is not None:
+            if p is not None:
+                objects = self._spo.get(s, {}).get(p)
+                if objects is None:
+                    return 0
+                if o is not None:
+                    return 1 if o in objects else 0
+                return len(objects)
+            if o is not None:
+                return len(self._osp.get(o, {}).get(s, ()))
+            by_predicate = self._spo.get(s)
+            if by_predicate is None:
+                return 0
+            return sum(map(len, by_predicate.values()))
+        if p is not None:
+            by_object = self._pos.get(p)
+            if by_object is None:
+                return 0
+            if o is not None:
+                return len(by_object.get(o, ()))
+            return sum(map(len, by_object.values()))
+        if o is not None:
+            by_subject = self._osp.get(o)
+            if by_subject is None:
+                return 0
+            return sum(map(len, by_subject.values()))
+        return self._size
+
+    # -- query ---------------------------------------------------------------
+
+    def triples(self, pattern: TriplePattern = (None, None, None)
+                ) -> Iterator[Triple]:
+        """Yield all triples matching a pattern with ``None`` wildcards."""
+        ids = self._encode_pattern(pattern)
+        if ids is None:
+            return
+        decode = self.dictionary.decode
+        for si, pi, oi in self.triples_ids(ids):
+            yield Triple(decode(si), decode(pi), decode(oi))
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """Number of triples matching ``pattern``.
+
+        Answered from index sizes for every pattern shape — bound
+        subject, predicate, object or any combination — without ever
+        iterating the matches.
+        """
+        ids = self._encode_pattern(pattern)
+        if ids is None:
+            return 0
+        return self.count_ids(ids)
+
+    def estimate(self, pattern: TriplePattern) -> int:
+        """Cardinality estimate for ``pattern`` (join ordering).
+
+        With id-keyed indexes every shape is answered exactly from
+        index sizes; this never iterates matches.
+        """
+        return self.count(pattern)
+
+    # -- convenience ---------------------------------------------------------
+
+    def objects(self, subject: Optional[Term] = None,
+                predicate: Optional[Term] = None) -> Iterator[Term]:
+        if subject is not None and predicate is not None:
+            ids = self._encode_pattern((subject, predicate, None))
+            if ids is None:
+                return
+            decode = self.dictionary.decode
+            for oi in self._spo.get(ids[0], {}).get(ids[1], ()):
+                yield decode(oi)
+            return
+        yield from _GraphReadMixin.objects(self, subject, predicate)
+
+    def subject_predicates(self, subject: Term) -> Dict[Term, Set[Term]]:
+        """All (predicate → objects) for one subject, as plain dicts."""
+        si = self.dictionary.lookup(subject)
+        if si is None:
+            return {}
+        decode = self.dictionary.decode
+        return {
+            decode(pi): {decode(oi) for oi in objects}
+            for pi, objects in self._spo.get(si, {}).items()
+        }
 
     def __len__(self) -> int:
         return self._size
@@ -278,17 +382,20 @@ class Graph:
         return id(self)
 
     def copy(self) -> "Graph":
-        clone = Graph(self.identifier, self.namespace_manager.copy())
-        clone.add_all(self)
+        """A mutable clone sharing this graph's term dictionary."""
+        clone = Graph(self.identifier, self.namespace_manager.copy(),
+                      dictionary=self.dictionary)
+        clone._spo = {a: {b: set(c) for b, c in level.items()}
+                      for a, level in self._spo.items()}
+        clone._pos = {a: {b: set(c) for b, c in level.items()}
+                      for a, level in self._pos.items()}
+        clone._osp = {a: {b: set(c) for b, c in level.items()}
+                      for a, level in self._osp.items()}
+        clone._size = self._size
         return clone
 
     def bind(self, prefix: str, namespace) -> None:
         self.namespace_manager.bind(prefix, namespace)
-
-    def qname(self, iri: IRI) -> str:
-        """Compact form when possible, else the ``<...>`` N-Triples form."""
-        compact = self.namespace_manager.compact(iri)
-        return compact if compact is not None else iri.n3()
 
     def __repr__(self) -> str:
         name = self.identifier.value if self.identifier else "default"
@@ -319,6 +426,114 @@ class Graph:
         raise TermError(f"unknown parse format: {format!r}")
 
 
+class UnionView(_GraphReadMixin):
+    """A **read-only** merged view of a dataset's default + named graphs.
+
+    Replaces the full-copy merge :meth:`Dataset.union` used to build:
+    reads delegate to the member graphs' id indexes (deduplicating only
+    when the dataset's graphs are known to overlap), so constructing the
+    view is O(1).  Callers that need a mutable merge call :meth:`copy`.
+    """
+
+    def __init__(self, dataset: "Dataset") -> None:
+        self._dataset = dataset
+        self.identifier: Optional[IRI] = None
+
+    @property
+    def namespace_manager(self) -> NamespaceManager:
+        return self._dataset.namespace_manager
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dataset.dictionary
+
+    def _graphs(self) -> List[Graph]:
+        return [self._dataset.default, *self._dataset._named.values()]
+
+    # -- reads ---------------------------------------------------------------
+
+    def triples_ids(self, pattern: IdPattern = _WILD) -> Iterator[IdTriple]:
+        graphs = self._graphs()
+        if len(graphs) == 1 or self._dataset.graphs_disjoint:
+            for graph in graphs:
+                yield from graph.triples_ids(pattern)
+            return
+        seen: Set[IdTriple] = set()
+        for graph in graphs:
+            for ids in graph.triples_ids(pattern):
+                if ids not in seen:
+                    seen.add(ids)
+                    yield ids
+
+    def triples(self, pattern: TriplePattern = (None, None, None)
+                ) -> Iterator[Triple]:
+        ids = self._dataset.default._encode_pattern(pattern)
+        if ids is None:
+            return
+        decode = self._dataset.dictionary.decode
+        for si, pi, oi in self.triples_ids(ids):
+            yield Triple(decode(si), decode(pi), decode(oi))
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        ids = self._dataset.default._encode_pattern(pattern)
+        if ids is None:
+            return 0
+        if self._dataset.graphs_disjoint:
+            return sum(g.count_ids(ids) for g in self._graphs())
+        return sum(1 for _ in self.triples_ids(ids))
+
+    def estimate(self, pattern: TriplePattern) -> int:
+        ids = self._dataset.default._encode_pattern(pattern)
+        if ids is None:
+            return 0
+        return sum(g.count_ids(ids) for g in self._graphs())
+
+    def subject_predicates(self, subject: Term) -> Dict[Term, Set[Term]]:
+        merged: Dict[Term, Set[Term]] = {}
+        for graph in self._graphs():
+            for predicate, objects in graph.subject_predicates(subject).items():
+                merged.setdefault(predicate, set()).update(objects)
+        return merged
+
+    def __len__(self) -> int:
+        if self._dataset.graphs_disjoint:
+            return sum(len(g) for g in self._graphs())
+        return sum(1 for _ in self.triples_ids(_WILD))
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return any(len(g) for g in self._graphs())
+
+    def copy(self) -> Graph:
+        """Materialize the union as a mutable :class:`Graph`."""
+        merged = Graph(namespace_manager=self.namespace_manager.copy(),
+                       dictionary=self._dataset.dictionary)
+        merged.add_all(self)
+        return merged
+
+    def serialize(self, format: str = "turtle") -> str:
+        return self.copy().serialize(format)
+
+    def __repr__(self) -> str:
+        return f"<UnionView of {len(self._graphs())} graphs ({len(self)} triples)>"
+
+    # -- writes are rejected -------------------------------------------------
+
+    def _read_only(self, *_args, **_kwargs):
+        raise TermError(
+            "Dataset.union() returns a read-only view; call .copy() for a "
+            "mutable merged graph")
+
+    add = _read_only
+    add_all = _read_only
+    remove = _read_only
+    clear = _read_only
+    parse = _read_only
+    bind = _read_only
+
+
 class Dataset:
     """A collection of named graphs plus a default graph.
 
@@ -327,21 +542,58 @@ class Dataset:
     stores the original QB data, the generated QB4OLAP schema, and level
     instances in separate named graphs, as the paper's tool does with
     Virtuoso.
+
+    All member graphs share one :class:`TermDictionary`, so term ids are
+    comparable across graphs — the evaluator's columnar joins and the
+    O(1) :meth:`union` view depend on this.  The dataset also tracks
+    whether its graphs are pairwise **disjoint** (no triple stored in
+    two graphs); while they are, union reads skip duplicate suppression.
     """
 
     def __init__(self) -> None:
         self.namespace_manager = NamespaceManager()
-        self.default = Graph(namespace_manager=self.namespace_manager)
+        self.dictionary = TermDictionary()
         self._named: Dict[IRI, Graph] = {}
+        self._disjoint = True
+        self.default = Graph(namespace_manager=self.namespace_manager,
+                             dictionary=self.dictionary)
+
+    @property
+    def default(self) -> Graph:
+        return self._default
+
+    @default.setter
+    def default(self, graph: Graph) -> None:
+        """Install ``graph`` as the default graph, adopting its term
+        dictionary (several modules wrap a standalone graph in a fresh
+        dataset to run SPARQL updates against it in place)."""
+        if self._named:
+            raise TermError(
+                "cannot replace the default graph of a dataset that "
+                "already has named graphs (their term ids would no "
+                "longer be comparable)")
+        self._default = graph
+        self.dictionary = graph.dictionary
+        if graph._on_add is None:
+            graph._on_add = self._track_add
+        else:
+            # the graph reports adds to another dataset's tracker, so
+            # overlaps here would go unseen — stay conservative and
+            # keep duplicate suppression on
+            self._disjoint = False
 
     def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
         """Fetch (creating on demand) the graph with ``identifier``."""
         if identifier is None:
             return self.default
         iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
-        if iri not in self._named:
-            self._named[iri] = Graph(iri, self.namespace_manager)
-        return self._named[iri]
+        graph = self._named.get(iri)
+        if graph is None:
+            graph = Graph(iri, self.namespace_manager,
+                          dictionary=self.dictionary)
+            graph._on_add = self._track_add
+            self._named[iri] = graph
+        return graph
 
     def drop(self, identifier: Union[IRI, str]) -> bool:
         iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
@@ -351,13 +603,37 @@ class Dataset:
         """All named graphs (the default graph is not included)."""
         return iter(self._named.values())
 
-    def union(self) -> Graph:
-        """A merged copy of the default plus all named graphs."""
-        merged = Graph(namespace_manager=self.namespace_manager.copy())
-        merged.add_all(self.default)
-        for graph in self._named.values():
-            merged.add_all(graph)
-        return merged
+    @property
+    def graphs_disjoint(self) -> bool:
+        """True while no triple has been added to two member graphs.
+
+        Maintained incrementally on every add (a handful of dict probes
+        against the sibling graphs); once an overlap appears the flag
+        stays conservative-False.
+        """
+        return self._disjoint
+
+    def _track_add(self, graph: Graph, si: int, pi: int, oi: int) -> None:
+        if not self._disjoint:
+            return
+        if graph is not self.default \
+                and oi in self.default._spo.get(si, {}).get(pi, ()):
+            self._disjoint = False
+            return
+        for other in self._named.values():
+            if other is graph:
+                continue
+            if oi in other._spo.get(si, {}).get(pi, ()):
+                self._disjoint = False
+                return
+
+    def union(self) -> UnionView:
+        """A read-only merged view of the default plus all named graphs.
+
+        The view is O(1) to build and always reflects the current
+        dataset state; call ``.copy()`` on it for a mutable merge.
+        """
+        return UnionView(self)
 
     def __len__(self) -> int:
         return len(self.default) + sum(len(g) for g in self._named.values())

@@ -97,7 +97,7 @@ class IRI(Term):
     '<http://example.org/a>'
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: Union[str, "IRI"]) -> None:
         if isinstance(value, IRI):
@@ -110,6 +110,7 @@ class IRI(Term):
                 ord(ch) <= 0x20 for ch in value):
             raise TermError(f"IRI contains illegal characters: {value!r}")
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("IRI", value)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise TermError("IRI objects are immutable")
@@ -139,7 +140,7 @@ class IRI(Term):
         return isinstance(other, IRI) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("IRI", self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IRI({self.value!r})"
@@ -164,7 +165,7 @@ class BNode(Term):
     obtain a fresh, process-unique label.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     def __init__(self, label: Optional[str] = None) -> None:
         if label is None:
@@ -173,6 +174,7 @@ class BNode(Term):
         if not isinstance(label, str) or not label:
             raise TermError("BNode label must be a non-empty string")
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("BNode", label)))
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise TermError("BNode objects are immutable")
@@ -184,7 +186,7 @@ class BNode(Term):
         return isinstance(other, BNode) and self.label == other.label
 
     def __hash__(self) -> int:
-        return hash(("BNode", self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BNode({self.label!r})"
@@ -232,7 +234,7 @@ class Literal(Term):
     '"hola"@es'
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     def __init__(self, value: Any, datatype: Union[str, IRI, None] = None,
                  language: Optional[str] = None) -> None:
@@ -252,6 +254,9 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", IRI(datatype_value))
         object.__setattr__(self, "language", language)
+        object.__setattr__(
+            self, "_hash",
+            hash(("Literal", lexical, datatype_value, language)))
 
     @staticmethod
     def _lexical_of(value: Any) -> str:
@@ -341,7 +346,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash(("Literal", self.lexical, self.datatype.value, self.language))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.language is not None:

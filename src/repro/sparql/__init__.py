@@ -45,8 +45,10 @@ from repro.sparql.errors import (
     SPARQLError,
     UpdateError,
 )
+from repro.sparql.bindings import BindingTable
 from repro.sparql.evaluator import DatasetContext, evaluate_query
-from repro.sparql.explain import explain
+from repro.sparql.explain import explain, plan_cache_statistics
+from repro.sparql.optimizer import PLAN_CACHE, PlanCache
 from repro.sparql.parser import parse_query, parse_update
 from repro.sparql.results import ResultTable
 from repro.sparql.serializers import (
@@ -60,6 +62,7 @@ from repro.sparql.serializers import (
 )
 
 __all__ = [
+    "BindingTable",
     "DatasetContext",
     "EndpointError",
     "EndpointLimits",
@@ -67,6 +70,8 @@ __all__ = [
     "EvaluationError",
     "ExpressionError",
     "LocalEndpoint",
+    "PLAN_CACHE",
+    "PlanCache",
     "QueryLogEntry",
     "QuerySyntaxError",
     "ResultTable",
@@ -78,6 +83,7 @@ __all__ = [
     "explain",
     "parse_query",
     "parse_update",
+    "plan_cache_statistics",
     "results_from_json",
     "results_to_csv",
     "results_to_json",

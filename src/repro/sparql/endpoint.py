@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -91,6 +92,8 @@ class EndpointStatistics:
     triples_inserted: int = 0
     triples_deleted: int = 0
     total_seconds: float = 0.0
+    parse_cache_hits: int = 0
+    parse_cache_misses: int = 0
 
     def reset(self) -> None:
         self.selects = 0
@@ -99,6 +102,8 @@ class EndpointStatistics:
         self.triples_inserted = 0
         self.triples_deleted = 0
         self.total_seconds = 0.0
+        self.parse_cache_hits = 0
+        self.parse_cache_misses = 0
 
 
 class LocalEndpoint:
@@ -115,6 +120,33 @@ class LocalEndpoint:
         self.query_log: List[QueryLogEntry] = []
         self.statistics = EndpointStatistics()
         self._fresh = itertools.count(1)
+        #: per-query-text LRU of parsed queries; repeated query texts
+        #: (the common OLAP workload) skip the parser entirely, and the
+        #: parsed tree's BGP nodes keep their cached plan signatures.
+        self._parse_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._parse_cache_size = 256
+        self._suppress_parse_count = False
+
+    def _parsed(self, query_text: str):
+        """Parse ``query_text`` through the endpoint's LRU parse cache.
+
+        Hit/miss statistics count once per request: :meth:`query`'s
+        dispatch suppresses the inner re-read it causes.
+        """
+        count = not self._suppress_parse_count
+        cached = self._parse_cache.get(query_text)
+        if cached is not None:
+            self._parse_cache.move_to_end(query_text)
+            if count:
+                self.statistics.parse_cache_hits += 1
+            return cached
+        query = parse_query(query_text)
+        if count:
+            self.statistics.parse_cache_misses += 1
+        self._parse_cache[query_text] = query
+        while len(self._parse_cache) > self._parse_cache_size:
+            self._parse_cache.popitem(last=False)
+        return query
 
     # -- read path -------------------------------------------------------------
 
@@ -126,7 +158,7 @@ class LocalEndpoint:
             raise EndpointError(
                 "this endpoint does not support HAVING clauses")
         started = time.perf_counter()
-        query = parse_query(query_text)
+        query = self._parsed(query_text)
         if not isinstance(query, SelectQuery):
             raise EndpointError("select() requires a SELECT query")
         context = DatasetContext(self.dataset, self.default_as_union)
@@ -145,7 +177,7 @@ class LocalEndpoint:
     def ask(self, query_text: str) -> bool:
         """Run an ASK query."""
         started = time.perf_counter()
-        query = parse_query(query_text)
+        query = self._parsed(query_text)
         if not isinstance(query, AskQuery):
             raise EndpointError("ask() requires an ASK query")
         context = DatasetContext(self.dataset, self.default_as_union)
@@ -159,7 +191,7 @@ class LocalEndpoint:
     def construct(self, query_text: str) -> Graph:
         """Run a CONSTRUCT query and return the built graph."""
         started = time.perf_counter()
-        query = parse_query(query_text)
+        query = self._parsed(query_text)
         if not isinstance(query, ConstructQuery):
             raise EndpointError("construct() requires a CONSTRUCT query")
         context = DatasetContext(self.dataset, self.default_as_union)
@@ -173,7 +205,7 @@ class LocalEndpoint:
     def describe(self, query_text: str) -> Graph:
         """Run a DESCRIBE query and return the description graph."""
         started = time.perf_counter()
-        query = parse_query(query_text)
+        query = self._parsed(query_text)
         if not isinstance(query, DescribeQuery):
             raise EndpointError("describe() requires a DESCRIBE query")
         context = DatasetContext(self.dataset, self.default_as_union)
@@ -191,14 +223,18 @@ class LocalEndpoint:
         a :class:`Graph` for CONSTRUCT/DESCRIBE — mirroring what a
         protocol client gets back from a real endpoint.
         """
-        query = parse_query(query_text)
-        if isinstance(query, SelectQuery):
-            return self.select(query_text)
-        if isinstance(query, AskQuery):
-            return self.ask(query_text)
-        if isinstance(query, ConstructQuery):
-            return self.construct(query_text)
-        return self.describe(query_text)
+        query = self._parsed(query_text)
+        self._suppress_parse_count = True
+        try:
+            if isinstance(query, SelectQuery):
+                return self.select(query_text)
+            if isinstance(query, AskQuery):
+                return self.ask(query_text)
+            if isinstance(query, ConstructQuery):
+                return self.construct(query_text)
+            return self.describe(query_text)
+        finally:
+            self._suppress_parse_count = False
 
     # -- write path --------------------------------------------------------------
 
@@ -269,7 +305,7 @@ class LocalEndpoint:
             source = context.named_source(operation.with_graph)
         else:
             source = context.default_source()
-        solutions = list(evaluator.evaluate(operation.pattern, source, {}))
+        solutions = evaluator.solutions(operation.pattern, source)
         touched = 0
         for solution in solutions:
             touched += self._delete_quads(
@@ -363,9 +399,10 @@ class LocalEndpoint:
     # -- introspection ---------------------------------------------------------
 
     def explain(self, query_text: str) -> str:
-        """Render the evaluation plan for ``query_text`` with estimates."""
+        """Render the evaluation plan for ``query_text`` with estimates
+        and the shared plan cache's hit/miss statistics."""
         from repro.sparql.explain import explain
-        return explain(query_text, self.dataset)
+        return explain(query_text, self.dataset, cache_stats=True)
 
     def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
         """Direct access to a stored graph (tests and tooling)."""

@@ -1,15 +1,25 @@
 """SPARQL query evaluation over in-memory graphs.
 
 The evaluator interprets :mod:`repro.sparql.algebra` trees with a
-*seeded* pipeline: every pattern operator is evaluated under an input
-binding, so joins and OPTIONALs push their bindings down into index
-lookups instead of materializing cross products.  Basic graph patterns
-re-plan greedily per binding via :mod:`repro.sparql.optimizer`.
+**batch columnar pipeline**: solutions flow between operators as
+:class:`~repro.sparql.bindings.BindingTable`\\ s of interned term ids,
+basic graph patterns execute as a sequence of join steps planned *once
+per bound-variable signature* (through the LRU plan cache in
+:mod:`repro.sparql.optimizer`), and each step joins via either a hash
+join over a single index scan or memoized index probes keyed on the
+distinct join values — never a fresh plan or a fresh Python dict per
+input row.  Terms are only decoded at expression boundaries (FILTER,
+BIND, aggregation) and at final projection.
+
+Existence checks (ASK, EXISTS) use a separate *lazy* seeded pipeline
+that stops at the first solution; it shares the cached join orders.
 
 Dataset semantics follow Virtuoso's convenient default (and the paper's
 setup): with no ``FROM`` clause the default graph is the *union* of the
 dataset's default and named graphs; ``GRAPH <g>`` scopes matching to one
-named graph.
+named graph.  Union sources skip duplicate suppression while the
+dataset's graphs are disjoint (which the QB2OLAP endpoint's layout
+guarantees by construction).
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from repro.sparql.algebra import (
     ValuesNode,
     Var,
 )
+from repro.sparql.bindings import BindingTable, concat as table_concat
 from repro.sparql.errors import EvaluationError, ExpressionError
 from repro.sparql.expressions import (
     Aggregate,
@@ -58,7 +69,7 @@ from repro.sparql.expressions import (
     order_key,
 )
 from repro.sparql.optimizer import (
-    choose_next,
+    get_plan,
     substituted,
     substituted_endpoints,
 )
@@ -67,6 +78,9 @@ from repro.sparql.results import ResultTable
 
 Binding = Dict[str, Term]
 
+IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
+IdTriple = Tuple[int, int, int]
+
 
 # ---------------------------------------------------------------------------
 # Graph sources
@@ -74,36 +88,73 @@ Binding = Dict[str, Term]
 
 
 class GraphSource:
-    """A matchable view over one or more graphs."""
+    """A matchable view over one or more graphs.
+
+    Sources expose both a term-level API (``match`` / ``estimate``,
+    used by property paths and the lazy existence pipeline) and an
+    id-level API (``match_ids`` / ``estimate_ids``, the batch joins'
+    allocation-free fast path).
+    """
 
     def match(self, pattern) -> Iterator[Triple]:
+        raise NotImplementedError
+
+    def match_ids(self, pattern: IdPattern) -> Iterator[IdTriple]:
         raise NotImplementedError
 
     def estimate(self, pattern) -> int:
         raise NotImplementedError
 
+    def estimate_ids(self, pattern: IdPattern) -> int:
+        raise NotImplementedError
+
+    def cache_key(self) -> tuple:
+        """Identity + mutation epochs, for the plan cache."""
+        raise NotImplementedError
+
 
 class SingleGraphSource(GraphSource):
     """A matchable view over exactly one graph."""
+
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
 
     def match(self, pattern) -> Iterator[Triple]:
         return self.graph.triples(pattern)
 
+    def match_ids(self, pattern: IdPattern) -> Iterator[IdTriple]:
+        return self.graph.triples_ids(pattern)
+
     def estimate(self, pattern) -> int:
         return self.graph.estimate(pattern)
 
+    def estimate_ids(self, pattern: IdPattern) -> int:
+        return self.graph.count_ids(pattern)
+
+    def cache_key(self) -> tuple:
+        return ((id(self.graph), self.graph.epoch),)
+
 
 class UnionGraphSource(GraphSource):
-    """The union of several graphs, with duplicate suppression."""
+    """The union of several graphs.
 
-    def __init__(self, graphs: Iterable[Graph]) -> None:
+    Duplicate suppression is skipped when the member graphs are known
+    to be disjoint (``disjoint=True``) — the dataset tracks this by
+    construction, so the common endpoint layout pays no dedup cost.
+    """
+
+    def __init__(self, graphs: Iterable[Graph],
+                 disjoint: bool = False) -> None:
         self.graphs = [g for g in graphs]
+        self.disjoint = disjoint
 
     def match(self, pattern) -> Iterator[Triple]:
         if len(self.graphs) == 1:
             yield from self.graphs[0].triples(pattern)
+            return
+        if self.disjoint:
+            for graph in self.graphs:
+                yield from graph.triples(pattern)
             return
         seen: set = set()
         for graph in self.graphs:
@@ -112,8 +163,29 @@ class UnionGraphSource(GraphSource):
                     seen.add(triple)
                     yield triple
 
+    def match_ids(self, pattern: IdPattern) -> Iterator[IdTriple]:
+        if len(self.graphs) == 1:
+            yield from self.graphs[0].triples_ids(pattern)
+            return
+        if self.disjoint:
+            for graph in self.graphs:
+                yield from graph.triples_ids(pattern)
+            return
+        seen: set = set()
+        for graph in self.graphs:
+            for ids in graph.triples_ids(pattern):
+                if ids not in seen:
+                    seen.add(ids)
+                    yield ids
+
     def estimate(self, pattern) -> int:
         return sum(graph.estimate(pattern) for graph in self.graphs)
+
+    def estimate_ids(self, pattern: IdPattern) -> int:
+        return sum(graph.count_ids(pattern) for graph in self.graphs)
+
+    def cache_key(self) -> tuple:
+        return tuple((id(graph), graph.epoch) for graph in self.graphs)
 
 
 class DatasetContext:
@@ -150,15 +222,25 @@ class DatasetContext:
     def default_source(self, from_graphs: Optional[List[IRI]] = None
                        ) -> GraphSource:
         active = from_graphs or self.from_graphs
+        disjoint = self.dataset.graphs_disjoint
         if active:
+            # FROM clauses merge a *set* of graphs: repeating an IRI
+            # must not repeat its triples
+            distinct: List[IRI] = []
+            seen = set()
+            for iri in active:
+                if iri not in seen:
+                    seen.add(iri)
+                    distinct.append(iri)
             return UnionGraphSource(
-                [self.dataset.graph(iri) for iri in active])
+                [self.dataset.graph(iri) for iri in distinct],
+                disjoint=disjoint)
         if self.from_named:
             # FROM NAMED without FROM: the default graph is empty
             return UnionGraphSource([])
         if self.default_as_union:
             graphs = [self.dataset.default] + list(self.dataset.graphs())
-            return UnionGraphSource(graphs)
+            return UnionGraphSource(graphs, disjoint=disjoint)
         return SingleGraphSource(self.dataset.default)
 
     def named_source(self, iri: IRI) -> GraphSource:
@@ -176,7 +258,7 @@ class DatasetContext:
 
 
 # ---------------------------------------------------------------------------
-# Pattern evaluation
+# Lazy-path helpers (existence checks)
 # ---------------------------------------------------------------------------
 
 
@@ -216,39 +298,669 @@ def _compatible(left: Binding, right: Binding) -> bool:
 
 
 class PatternEvaluator:
-    """Evaluates pattern nodes against a dataset context."""
+    """Evaluates pattern nodes against a dataset context.
+
+    Two pipelines share the cached join plans:
+
+    * :meth:`solve` — the batch columnar pipeline; tables in, tables
+      out.  This is what SELECT / CONSTRUCT / DESCRIBE / updates use.
+    * :meth:`evaluate` — the lazy seeded generator, which stops work at
+      the first solution; ASK and EXISTS use it.
+    """
 
     def __init__(self, context: DatasetContext,
                  eval_context: Optional[EvalContext] = None) -> None:
         self.context = context
         self.eval_context = eval_context or EvalContext()
-        self._subselect_cache: Dict[int, List[Binding]] = {}
+        self._dict = context.dataset.dictionary
+        self._subselect_tables: Dict[tuple, Tuple[Tuple[str, ...], list]] = {}
+        self._subselect_rows: Dict[tuple, List[Binding]] = {}
+        self._marker_count = 0
+
+    # ==================================================================
+    # Batch columnar pipeline
+    # ==================================================================
+
+    def solve(self, node: PatternNode, source: GraphSource,
+              table: Optional[BindingTable] = None) -> BindingTable:
+        """Evaluate ``node`` over every row of ``table`` at once."""
+        if table is None:
+            table = BindingTable.unit()
+        if isinstance(node, BGP):
+            return self._solve_bgp(node, source, table)
+        if isinstance(node, Join):
+            return self.solve(node.right, source,
+                              self.solve(node.left, source, table))
+        if isinstance(node, LeftJoin):
+            return self._solve_left_join(node, source, table)
+        if isinstance(node, UnionNode):
+            return table_concat([self.solve(node.left, source, table),
+                                 self.solve(node.right, source, table)])
+        if isinstance(node, Minus):
+            return self._solve_minus(node, source, table)
+        if isinstance(node, Filter):
+            return self._solve_filter(node, source, table)
+        if isinstance(node, Extend):
+            return self._solve_extend(node, source, table)
+        if isinstance(node, ValuesNode):
+            return self._solve_values(node, table)
+        if isinstance(node, GraphNode):
+            return self._solve_graph(node, source, table)
+        if isinstance(node, SubSelectNode):
+            return self._solve_subselect(node, source, table)
+        if isinstance(node, Empty):
+            return table
+        raise EvaluationError(f"unknown pattern node {node!r}")
+
+    def solutions(self, node: PatternNode, source: GraphSource,
+                  seed: Optional[Binding] = None) -> List[Binding]:
+        """Batch-evaluate and decode into {var: term} dict bindings."""
+        table = BindingTable.unit()
+        if seed:
+            names = tuple(seed.keys())
+            encode = self._dict.encode
+            table = BindingTable(
+                names, [tuple(encode(seed[name]) for name in names)])
+        result = self.solve(node, source, table)
+        decode = self._dict.decode
+        out: List[Binding] = []
+        visible = [(slot, name) for slot, name in enumerate(result.names)
+                   if not name.startswith("#")]
+        for row in result.rows:
+            out.append({name: decode(row[slot]) for slot, name in visible
+                        if row[slot] is not None})
+        return out
+
+    # -- BGP join steps ------------------------------------------------------
+
+    def _solve_bgp(self, node: BGP, source: GraphSource,
+                   table: BindingTable) -> BindingTable:
+        patterns = node.patterns
+        if not patterns:
+            return table
+        bound = frozenset(
+            name for name in table.names if not name.startswith("#"))
+        order = get_plan(node, bound, source)
+        for index in order:
+            if not table.rows:
+                break
+            pattern = patterns[index]
+            if isinstance(pattern, PathPatternNode):
+                table = self._step_path(pattern, source, table)
+            else:
+                table = self._step_triple(pattern, source, table)
+        return table
+
+    @staticmethod
+    def _emit(row, matches, spec, out_rows) -> None:
+        """Apply pattern ``matches`` to one input ``row``.
+
+        ``spec`` positions: ``("c", _)`` constants are pre-constrained;
+        ``("v", slot)`` may capture into a still-``None`` cell;
+        ``("n", _)`` appends a fresh column value; ``("d", first)``
+        enforces repeated-variable equality against spec position
+        ``first``.
+        """
+        for match in matches:
+            updates = None
+            ext = []
+            ok = True
+            for position, (kind, value) in enumerate(spec):
+                if kind == "v":
+                    if row[value] is None:
+                        captured = match[position]
+                        if updates is None:
+                            updates = {value: captured}
+                        else:
+                            previous = updates.get(value)
+                            if previous is None:
+                                updates[value] = captured
+                            elif previous != captured:
+                                ok = False
+                                break
+                elif kind == "n":
+                    ext.append(match[position])
+                elif kind == "d":
+                    if match[position] != match[value]:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            if updates:
+                cells = list(row)
+                for slot, captured in updates.items():
+                    cells[slot] = captured
+                out_rows.append(tuple(cells) + tuple(ext))
+            else:
+                out_rows.append(row + tuple(ext))
+
+    def _compile_positions(self, positions, table: BindingTable):
+        """Shared step compilation: classify each pattern position.
+
+        Returns ``(spec, new_names, probe_slots, dead)``; ``dead`` is
+        True when a constant term is not interned (no matches possible).
+        """
+        lookup = self._dict.lookup
+        spec = []
+        new_names: List[str] = []
+        first_new: Dict[str, int] = {}
+        probe_slots: List[int] = []
+        dead = False
+        for position in positions:
+            if isinstance(position, Var):
+                name = position.name
+                slot = table.slots.get(name)
+                if slot is not None:
+                    spec.append(("v", slot))
+                    probe_slots.append(slot)
+                elif name in first_new:
+                    spec.append(("d", first_new[name]))
+                else:
+                    first_new[name] = len(spec)
+                    spec.append(("n", None))
+                    new_names.append(name)
+            else:
+                term_id = lookup(position)
+                if term_id is None:
+                    dead = True
+                    term_id = -1  # matches nothing; step short-circuits
+                spec.append(("c", term_id))
+        return spec, new_names, probe_slots, dead
+
+    def _step_triple(self, pattern: TriplePatternNode, source: GraphSource,
+                     table: BindingTable) -> BindingTable:
+        spec, new_names, probe_slots, dead = self._compile_positions(
+            pattern.positions(), table)
+        out_names = table.names + tuple(new_names)
+        rows = table.rows
+        if dead or not rows:
+            return BindingTable(out_names, [])
+        base: IdPattern = tuple(
+            value if kind == "c" else None for kind, value in spec)  # type: ignore[assignment]
+        out_rows: List[tuple] = []
+
+        if not probe_slots:
+            # no shared variables: one scan, applied to every row
+            exts = []
+            for match in source.match_ids(base):
+                ok = True
+                ext = []
+                for position, (kind, value) in enumerate(spec):
+                    if kind == "n":
+                        ext.append(match[position])
+                    elif kind == "d" and match[position] != match[value]:
+                        ok = False
+                        break
+                if ok:
+                    exts.append(tuple(ext))
+            out_rows = [row + ext for row in rows for ext in exts]
+            return BindingTable(out_names, out_rows)
+
+        # shared-variable join.  Rows whose join-key cells are all bound
+        # take the fast path: per distinct key, the matching *extension
+        # tuples* (new-variable values) are computed once — either from
+        # one bucketed index scan (hash join) or from a memoized index
+        # probe — and appended to each row with no per-match rechecking.
+        # Rows with an unbound (None) join cell fall back to the general
+        # capture-aware application.
+        v_positions = [position for position, (kind, _) in enumerate(spec)
+                       if kind == "v"]
+        n_positions = [position for position, (kind, _) in enumerate(spec)
+                       if kind == "n"]
+        d_checks = [(position, value) for position, (kind, value)
+                    in enumerate(spec) if kind == "d"]
+        single = len(probe_slots) == 1
+        slot0 = probe_slots[0]
+        v_pos0 = v_positions[0]
+        n_count = len(n_positions)
+        np0 = n_positions[0] if n_count > 0 else -1
+        np1 = n_positions[1] if n_count > 1 else -1
+        template = [value if kind == "c" else None for kind, value in spec]
+
+        def extensions(matches) -> list:
+            exts = []
+            for match in matches:
+                if d_checks and any(match[a] != match[b]
+                                    for a, b in d_checks):
+                    continue
+                if n_count == 1:
+                    exts.append((match[np0],))
+                elif n_count == 2:
+                    exts.append((match[np0], match[np1]))
+                elif n_count == 0:
+                    exts.append(())
+                else:
+                    exts.append(tuple(match[position]
+                                      for position in n_positions))
+            return exts
+
+        def concrete_for(key) -> IdPattern:
+            pattern_ids = list(template)
+            if single:
+                pattern_ids[v_pos0] = key
+            else:
+                for position, cell in zip(v_positions, key):
+                    pattern_ids[position] = cell
+            return (pattern_ids[0], pattern_ids[1], pattern_ids[2])
+
+        use_hash = (len(rows) >= 64
+                    and source.estimate_ids(base) <= 4 * len(rows))
+        ext_memo: Dict = {}
+        if use_hash:
+            # bucket extension tuples directly off one index scan
+            for match in source.match_ids(base):
+                if d_checks and any(match[a] != match[b]
+                                    for a, b in d_checks):
+                    continue
+                if single:
+                    key = match[v_pos0]
+                else:
+                    key = tuple(match[position] for position in v_positions)
+                if n_count == 1:
+                    ext = (match[np0],)
+                elif n_count == 2:
+                    ext = (match[np0], match[np1])
+                elif n_count == 0:
+                    ext = ()
+                else:
+                    ext = tuple(match[position] for position in n_positions)
+                got = ext_memo.get(key)
+                if got is None:
+                    ext_memo[key] = [ext]
+                else:
+                    got.append(ext)
+
+        raw_memo: Dict = {}  # distinct key -> raw matches (capture rows)
+        match_ids = source.match_ids
+        emit = self._emit
+        for row in rows:
+            if single:
+                key = row[slot0]
+                unbound_key = key is None
+            else:
+                key = tuple(row[slot] for slot in probe_slots)
+                unbound_key = None in key
+            if not unbound_key:
+                exts = ext_memo.get(key)
+                if exts is None:
+                    if use_hash:  # complete hash table: no matches
+                        continue
+                    exts = extensions(match_ids(concrete_for(key)))
+                    ext_memo[key] = exts
+                if exts:
+                    for ext in exts:
+                        out_rows.append(row + ext)
+                continue
+            got = raw_memo.get(key)
+            if got is None:
+                got = list(match_ids(concrete_for(key)))
+                raw_memo[key] = got
+            if got:
+                emit(row, got, spec, out_rows)
+        return BindingTable(out_names, out_rows)
+
+    def _step_path(self, pattern: PathPatternNode, source: GraphSource,
+                   table: BindingTable) -> BindingTable:
+        decode = self._dict.decode
+        encode = self._dict.encode
+        spec = []
+        new_names: List[str] = []
+        first_new: Dict[str, int] = {}
+        probe_slots: List[int] = []
+        for position in pattern.endpoints():
+            if isinstance(position, Var):
+                name = position.name
+                slot = table.slots.get(name)
+                if slot is not None:
+                    spec.append(("v", slot))
+                    probe_slots.append(slot)
+                elif name in first_new:
+                    spec.append(("d", first_new[name]))
+                else:
+                    first_new[name] = len(spec)
+                    spec.append(("n", None))
+                    new_names.append(name)
+            else:
+                spec.append(("c", position))  # paths match at term level
+        out_names = table.names + tuple(new_names)
+        rows = table.rows
+        if not rows:
+            return BindingTable(out_names, [])
+        out_rows: List[tuple] = []
+        memo: Dict[tuple, list] = {}
+        emit = self._emit
+        for row in rows:
+            key = tuple(row[slot] for slot in probe_slots)
+            got = memo.get(key)
+            if got is None:
+                endpoints = []
+                cursor = 0
+                for kind, value in spec:
+                    if kind == "c":
+                        endpoints.append(value)
+                    elif kind == "v":
+                        bound_id = key[cursor]
+                        cursor += 1
+                        endpoints.append(
+                            None if bound_id is None else decode(bound_id))
+                    else:
+                        endpoints.append(None)
+                got = [(encode(start), encode(end)) for start, end in
+                       evaluate_path(source, pattern.path,
+                                     endpoints[0], endpoints[1])]
+                memo[key] = got
+            if got:
+                emit(row, got, spec, out_rows)
+        return BindingTable(out_names, out_rows)
+
+    # -- non-BGP operators ---------------------------------------------------
+
+    def _solve_left_join(self, node: LeftJoin, source: GraphSource,
+                         table: BindingTable) -> BindingTable:
+        left = self.solve(node.left, source, table)
+        if not left.rows:
+            return left
+        self._marker_count += 1
+        marker = f"#lj{self._marker_count}"
+        seeded = BindingTable(
+            left.names + (marker,),
+            [row + (index,) for index, row in enumerate(left.rows)])
+        right = self.solve(node.right, source, seeded)
+        right_rows = right.rows
+        if node.condition is not None and right_rows:
+            eval_context = self._context_for(source)
+            kept = []
+            for row in right_rows:
+                binding = self._decode_row(right.names, row)
+                try:
+                    if effective_boolean_value(node.condition.evaluate(
+                            binding, eval_context)):
+                        kept.append(row)
+                except ExpressionError:
+                    continue
+            right_rows = kept
+        marker_slot = right.slots[marker]
+        matched: Dict[int, list] = {}
+        for row in right_rows:
+            matched.setdefault(row[marker_slot], []).append(row)
+        out_names = tuple(name for name in right.names if name != marker)
+        right_picks = [right.slots[name] for name in out_names]
+        pad = (None,) * (len(out_names) - len(left.names))
+        out_rows: List[tuple] = []
+        for index, left_row in enumerate(left.rows):
+            hits = matched.get(index)
+            if hits:
+                for row in hits:
+                    out_rows.append(tuple(row[pick] for pick in right_picks))
+            else:
+                out_rows.append(left_row + pad)
+        return BindingTable(out_names, out_rows)
+
+    def _solve_minus(self, node: Minus, source: GraphSource,
+                     table: BindingTable) -> BindingTable:
+        left = self.solve(node.left, source, table)
+        if not left.rows:
+            return left
+        # the right side is NOT correlated with the left in SPARQL MINUS
+        removals = self.solve(node.right, source, BindingTable.unit())
+        if not removals.rows:
+            return left
+        shared = [(left.slots[name], removals.slots[name])
+                  for name in left.names
+                  if name in removals.slots and not name.startswith("#")]
+        if not shared:
+            return left
+        out_rows = []
+        for left_row in left.rows:
+            excluded = False
+            for removal in removals.rows:
+                overlap = False
+                compatible = True
+                for left_slot, removal_slot in shared:
+                    left_value = left_row[left_slot]
+                    removal_value = removal[removal_slot]
+                    if left_value is None or removal_value is None:
+                        continue
+                    if left_value != removal_value:
+                        compatible = False
+                        break
+                    overlap = True
+                if compatible and overlap:
+                    excluded = True
+                    break
+            if not excluded:
+                out_rows.append(left_row)
+        return BindingTable(left.names, out_rows)
+
+    def _solve_filter(self, node: Filter, source: GraphSource,
+                      table: BindingTable) -> BindingTable:
+        child = self.solve(node.child, source, table)
+        if not child.rows:
+            return child
+        eval_context = self._context_for(source)
+        condition = node.condition
+        out_rows = []
+        for row in child.rows:
+            binding = self._decode_row(child.names, row)
+            try:
+                if effective_boolean_value(
+                        condition.evaluate(binding, eval_context)):
+                    out_rows.append(row)
+            except ExpressionError:
+                continue
+        return BindingTable(child.names, out_rows)
+
+    def _solve_extend(self, node: Extend, source: GraphSource,
+                      table: BindingTable) -> BindingTable:
+        child = self.solve(node.child, source, table)
+        eval_context = self._context_for(source)
+        encode = self._dict.encode
+        name = node.var
+        slot = child.slots.get(name)
+        out_rows = []
+        for row in child.rows:
+            if slot is not None and row[slot] is not None:
+                raise EvaluationError(
+                    f"BIND would rebind already-bound variable ?{name}")
+            binding = self._decode_row(child.names, row)
+            try:
+                value = encode(node.expression.evaluate(
+                    binding, eval_context))
+            except ExpressionError:
+                value = None  # leave unbound per SPARQL error semantics
+            if slot is not None:
+                cells = list(row)
+                cells[slot] = value
+                out_rows.append(tuple(cells))
+            else:
+                out_rows.append(row + (value,))
+        names = child.names if slot is not None else child.names + (name,)
+        return BindingTable(names, out_rows)
+
+    def _solve_values(self, node: ValuesNode,
+                      table: BindingTable) -> BindingTable:
+        encode = self._dict.encode
+        value_rows = [
+            tuple(None if value is None else encode(value) for value in row)
+            for row in node.rows]
+        shared = [(table.slots[name], index)
+                  for index, name in enumerate(node.vars)
+                  if name in table.slots]
+        new_indices = [index for index, name in enumerate(node.vars)
+                       if name not in table.slots]
+        names = table.names + tuple(
+            node.vars[index] for index in new_indices)
+        out_rows = []
+        for table_row in table.rows:
+            for value_row in value_rows:
+                updates = None
+                ok = True
+                for slot, index in shared:
+                    value = value_row[index]
+                    if value is None:  # UNDEF constrains nothing
+                        continue
+                    current = table_row[slot]
+                    if current is None:
+                        if updates is None:
+                            updates = {}
+                        updates[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if updates:
+                    cells = list(table_row)
+                    for slot, value in updates.items():
+                        cells[slot] = value
+                    base = tuple(cells)
+                else:
+                    base = table_row
+                out_rows.append(base + tuple(
+                    value_row[index] for index in new_indices))
+        return BindingTable(names, out_rows)
+
+    def _solve_graph(self, node: GraphNode, source: GraphSource,
+                     table: BindingTable) -> BindingTable:
+        if not isinstance(node.name, Var):
+            return self.solve(node.child,
+                              self.context.named_source(node.name), table)
+        name = node.name.name
+        slot = table.slots.get(name)
+        results = []
+        for iri, graph in self.context.named_graphs():
+            graph_id = self._dict.encode(iri)
+            if slot is not None:
+                rows = []
+                for row in table.rows:
+                    current = row[slot]
+                    if current is None:
+                        cells = list(row)
+                        cells[slot] = graph_id
+                        rows.append(tuple(cells))
+                    elif current == graph_id:
+                        rows.append(row)
+                seeded = BindingTable(table.names, rows)
+            else:
+                seeded = BindingTable(
+                    table.names + (name,),
+                    [row + (graph_id,) for row in table.rows])
+            results.append(self.solve(
+                node.child, SingleGraphSource(graph), seeded))
+        if not results:
+            extra = () if slot is not None else (name,)
+            return BindingTable(table.names + extra, [])
+        return table_concat(results)
+
+    def _solve_subselect(self, node: SubSelectNode, source: GraphSource,
+                         table: BindingTable) -> BindingTable:
+        # keyed by node *and* source: under GRAPH ?g the same subselect
+        # evaluates once per named graph, not once globally
+        cache_key = (id(node), source.cache_key())
+        cached = self._subselect_tables.get(cache_key)
+        if cached is None:
+            result = evaluate_select(node.query, self.context, source=source)
+            encode = self._dict.encode
+            sub_rows = [
+                tuple(None if value is None else encode(value)
+                      for value in row)
+                for row in result.rows]
+            cached = (tuple(result.vars), sub_rows)
+            self._subselect_tables[cache_key] = cached
+        sub_names, sub_rows = cached
+        shared = [(table.slots[name], index)
+                  for index, name in enumerate(sub_names)
+                  if name in table.slots]
+        new_indices = [index for index, name in enumerate(sub_names)
+                       if name not in table.slots]
+        names = table.names + tuple(
+            sub_names[index] for index in new_indices)
+        out_rows: List[tuple] = []
+        clean = bool(shared) and all(
+            row[index] is not None for _, index in shared
+            for row in sub_rows) and all(
+            row[slot] is not None for slot, _ in shared
+            for row in table.rows)
+        if clean:
+            buckets: Dict[tuple, list] = {}
+            for sub_row in sub_rows:
+                key = tuple(sub_row[index] for _, index in shared)
+                buckets.setdefault(key, []).append(sub_row)
+            for table_row in table.rows:
+                got = buckets.get(
+                    tuple(table_row[slot] for slot, _ in shared))
+                if not got:
+                    continue
+                for sub_row in got:
+                    out_rows.append(table_row + tuple(
+                        sub_row[index] for index in new_indices))
+            return BindingTable(names, out_rows)
+        for table_row in table.rows:
+            for sub_row in sub_rows:
+                updates = None
+                ok = True
+                for slot, index in shared:
+                    value = sub_row[index]
+                    if value is None:
+                        continue
+                    current = table_row[slot]
+                    if current is None:
+                        if updates is None:
+                            updates = {}
+                        updates[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if updates:
+                    cells = list(table_row)
+                    for slot, value in updates.items():
+                        cells[slot] = value
+                    base = tuple(cells)
+                else:
+                    base = table_row
+                out_rows.append(base + tuple(
+                    sub_row[index] for index in new_indices))
+        return BindingTable(names, out_rows)
+
+    def _decode_row(self, names, row) -> Binding:
+        decode = self._dict.decode
+        return {
+            name: decode(value)
+            for name, value in zip(names, row)
+            if value is not None and not name.startswith("#")
+        }
+
+    # ==================================================================
+    # Lazy seeded pipeline (ASK / EXISTS: stop at the first solution)
+    # ==================================================================
 
     def evaluate(self, node: PatternNode, source: GraphSource,
                  seed: Optional[Binding] = None) -> Iterator[Binding]:
         binding = seed or {}
         if isinstance(node, BGP):
-            yield from self._eval_bgp(node.patterns, source, binding)
+            yield from self._iter_bgp(node, source, binding)
         elif isinstance(node, Join):
             for left in self.evaluate(node.left, source, binding):
                 yield from self.evaluate(node.right, source, left)
         elif isinstance(node, LeftJoin):
-            yield from self._eval_left_join(node, source, binding)
+            yield from self._iter_left_join(node, source, binding)
         elif isinstance(node, UnionNode):
             yield from self.evaluate(node.left, source, binding)
             yield from self.evaluate(node.right, source, binding)
         elif isinstance(node, Minus):
-            yield from self._eval_minus(node, source, binding)
+            yield from self._iter_minus(node, source, binding)
         elif isinstance(node, Filter):
-            yield from self._eval_filter(node, source, binding)
+            yield from self._iter_filter(node, source, binding)
         elif isinstance(node, Extend):
-            yield from self._eval_extend(node, source, binding)
+            yield from self._iter_extend(node, source, binding)
         elif isinstance(node, ValuesNode):
-            yield from self._eval_values(node, binding)
+            yield from self._iter_values(node, binding)
         elif isinstance(node, GraphNode):
-            yield from self._eval_graph(node, source, binding)
+            yield from self._iter_graph(node, source, binding)
         elif isinstance(node, SubSelectNode):
-            yield from self._eval_subselect(node, source, binding)
+            yield from self._iter_subselect(node, source, binding)
         elif isinstance(node, Empty):
             yield dict(binding)
         else:
@@ -256,33 +968,40 @@ class PatternEvaluator:
 
     # -- node implementations ------------------------------------------------
 
-    def _eval_bgp(self, patterns: List,
-                  source: GraphSource, binding: Binding
-                  ) -> Iterator[Binding]:
+    def _iter_bgp(self, node: BGP, source: GraphSource,
+                  binding: Binding) -> Iterator[Binding]:
+        patterns = node.patterns
         if not patterns:
             yield dict(binding)
             return
-        index = choose_next(patterns, binding, source)
-        pattern = patterns[index]
-        rest = patterns[:index] + patterns[index + 1:]
+        order = get_plan(node, frozenset(binding), source)
+        yield from self._iter_bgp_step(patterns, order, 0, source, binding)
+
+    def _iter_bgp_step(self, patterns, order: List[int], step: int,
+                       source: GraphSource, binding: Binding
+                       ) -> Iterator[Binding]:
+        pattern = patterns[order[step]]
+        last = step == len(order) - 1
         if isinstance(pattern, PathPatternNode):
-            for extended in self._eval_path_pattern(pattern, source, binding):
-                if rest:
-                    yield from self._eval_bgp(rest, source, extended)
-                else:
+            for extended in self._iter_path_pattern(pattern, source, binding):
+                if last:
                     yield extended
+                else:
+                    yield from self._iter_bgp_step(
+                        patterns, order, step + 1, source, extended)
             return
         concrete = substituted(pattern, binding)
         for triple in source.match(concrete):
             extended = _try_extend(binding, pattern, triple)
             if extended is None:
                 continue
-            if rest:
-                yield from self._eval_bgp(rest, source, extended)
-            else:
+            if last:
                 yield extended
+            else:
+                yield from self._iter_bgp_step(
+                    patterns, order, step + 1, source, extended)
 
-    def _eval_path_pattern(self, pattern: PathPatternNode,
+    def _iter_path_pattern(self, pattern: PathPatternNode,
                            source: GraphSource, binding: Binding
                            ) -> Iterator[Binding]:
         start, end = substituted_endpoints(pattern, binding)
@@ -305,7 +1024,7 @@ class PatternEvaluator:
             if consistent:
                 yield extended
 
-    def _eval_left_join(self, node: LeftJoin, source: GraphSource,
+    def _iter_left_join(self, node: LeftJoin, source: GraphSource,
                         binding: Binding) -> Iterator[Binding]:
         for left in self.evaluate(node.left, source, binding):
             produced = False
@@ -323,7 +1042,7 @@ class PatternEvaluator:
             if not produced:
                 yield left
 
-    def _eval_minus(self, node: Minus, source: GraphSource,
+    def _iter_minus(self, node: Minus, source: GraphSource,
                     binding: Binding) -> Iterator[Binding]:
         # the right side is NOT correlated with the left in SPARQL MINUS
         removals = list(self.evaluate(node.right, source, {}))
@@ -337,7 +1056,7 @@ class PatternEvaluator:
             if not excluded:
                 yield left
 
-    def _eval_filter(self, node: Filter, source: GraphSource,
+    def _iter_filter(self, node: Filter, source: GraphSource,
                      binding: Binding) -> Iterator[Binding]:
         eval_context = self._context_for(source)
         for row in self.evaluate(node.child, source, binding):
@@ -348,7 +1067,7 @@ class PatternEvaluator:
             except ExpressionError:
                 continue
 
-    def _eval_extend(self, node: Extend, source: GraphSource,
+    def _iter_extend(self, node: Extend, source: GraphSource,
                      binding: Binding) -> Iterator[Binding]:
         eval_context = self._context_for(source)
         for row in self.evaluate(node.child, source, binding):
@@ -363,7 +1082,7 @@ class PatternEvaluator:
                 pass  # leave unbound per SPARQL error semantics
             yield extended
 
-    def _eval_values(self, node: ValuesNode, binding: Binding
+    def _iter_values(self, node: ValuesNode, binding: Binding
                      ) -> Iterator[Binding]:
         for row in node.rows:
             candidate = dict(binding)
@@ -380,7 +1099,7 @@ class PatternEvaluator:
             if ok:
                 yield candidate
 
-    def _eval_graph(self, node: GraphNode, source: GraphSource,
+    def _iter_graph(self, node: GraphNode, source: GraphSource,
                     binding: Binding) -> Iterator[Binding]:
         if isinstance(node.name, Var):
             bound = binding.get(node.name.name)
@@ -395,20 +1114,20 @@ class PatternEvaluator:
         yield from self.evaluate(
             node.child, self.context.named_source(node.name), binding)
 
-    def _eval_subselect(self, node: SubSelectNode, source: GraphSource,
+    def _iter_subselect(self, node: SubSelectNode, source: GraphSource,
                         binding: Binding) -> Iterator[Binding]:
-        cache_key = id(node)
-        if cache_key not in self._subselect_cache:
-            table = evaluate_select(node.query, self.context, source=source)
+        cache_key = (id(node), source.cache_key())
+        if cache_key not in self._subselect_rows:
+            result = evaluate_select(node.query, self.context, source=source)
             materialized: List[Binding] = []
-            for row in table.rows:
+            for row in result.rows:
                 materialized.append({
                     name: value
-                    for name, value in zip(table.vars, row)
+                    for name, value in zip(result.vars, row)
                     if value is not None
                 })
-            self._subselect_cache[cache_key] = materialized
-        for sub_binding in self._subselect_cache[cache_key]:
+            self._subselect_rows[cache_key] = materialized
+        for sub_binding in self._subselect_rows[cache_key]:
             if _compatible(binding, sub_binding):
                 merged = dict(binding)
                 merged.update(sub_binding)
@@ -504,7 +1223,7 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
         source = context.default_source()
     evaluator = PatternEvaluator(context)
     eval_context = evaluator._context_for(source)
-    solutions = list(evaluator.evaluate(query.pattern, source, {}))
+    solutions = evaluator.solutions(query.pattern, source)
 
     if query.is_aggregate_query:
         result_bindings = _aggregate_rows(
@@ -635,7 +1354,7 @@ def _aggregate_rows(query: SelectQuery, solutions: List[Binding],
 
 
 def evaluate_ask(query: AskQuery, context: DatasetContext) -> bool:
-    """Evaluate an ASK query."""
+    """Evaluate an ASK query (lazily: stops at the first solution)."""
     context = context.scoped(getattr(query, "from_graphs", None),
                              getattr(query, "from_named", None))
     source = context.default_source()
@@ -659,7 +1378,7 @@ def evaluate_construct(query, context: DatasetContext) -> Graph:
                              getattr(query, "from_named", None))
     source = context.default_source()
     evaluator = PatternEvaluator(context)
-    solutions = list(evaluator.evaluate(query.pattern, source, {}))
+    solutions = evaluator.solutions(query.pattern, source)
     if query.offset:
         solutions = solutions[query.offset:]
     if query.limit is not None:
@@ -709,7 +1428,7 @@ def evaluate_describe(query, context: DatasetContext) -> Graph:
     resources: List[Term] = list(query.resources)
     if query.pattern is not None:
         names = query.variables
-        for binding in evaluator.evaluate(query.pattern, source, {}):
+        for binding in evaluator.solutions(query.pattern, source):
             if query.star:
                 wanted = list(binding.values())
             else:

@@ -43,7 +43,7 @@ from repro.sparql.algebra import (
     Var,
 )
 from repro.sparql.evaluator import DatasetContext, GraphSource
-from repro.sparql.optimizer import static_order
+from repro.sparql.optimizer import PLAN_CACHE, static_order
 from repro.sparql.parser import parse_query
 
 
@@ -143,9 +143,23 @@ class _PlanPrinter:
         self.walk(query.pattern, depth + 1)
 
 
-def explain_query(query: Query, dataset: Optional[Dataset] = None) -> str:
+def plan_cache_statistics() -> dict:
+    """Hit/miss/size counters of the shared BGP plan cache."""
+    return PLAN_CACHE.statistics()
+
+
+def _cache_stats_lines() -> List[str]:
+    stats = PLAN_CACHE.statistics()
+    return [
+        f"plan cache: entries={stats['entries']} hits={stats['hits']} "
+        f"misses={stats['misses']} evictions={stats['evictions']}"
+    ]
+
+
+def explain_query(query: Query, dataset: Optional[Dataset] = None,
+                  cache_stats: bool = False) -> str:
     """Render a parsed query's plan; includes estimates when a dataset
-    is supplied."""
+    is supplied and plan-cache statistics when ``cache_stats`` is set."""
     source: Optional[GraphSource] = None
     if dataset is not None:
         source = DatasetContext(dataset).default_source()
@@ -167,9 +181,14 @@ def explain_query(query: Query, dataset: Optional[Dataset] = None) -> str:
             printer.walk(query.pattern, 1)
     else:
         raise TypeError(f"cannot explain {type(query).__name__}")
-    return "\n".join(printer.lines)
+    lines = printer.lines
+    if cache_stats:
+        lines = lines + _cache_stats_lines()
+    return "\n".join(lines)
 
 
-def explain(query_text: str, dataset: Optional[Dataset] = None) -> str:
+def explain(query_text: str, dataset: Optional[Dataset] = None,
+            cache_stats: bool = False) -> str:
     """Parse ``query_text`` and render its plan."""
-    return explain_query(parse_query(query_text), dataset)
+    return explain_query(parse_query(query_text), dataset,
+                         cache_stats=cache_stats)

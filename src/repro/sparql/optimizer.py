@@ -1,22 +1,28 @@
-"""Join-order optimization for basic graph patterns.
+"""Join-order optimization and plan caching for basic graph patterns.
 
-The engine evaluates a BGP by index-nested-loop joins: each step picks
-the remaining triple pattern with the smallest estimated cardinality
-*under the bindings accumulated so far* (a greedy selectivity order).
-This mirrors what production stores (including Virtuoso, the paper's
-endpoint) do for star-shaped observation queries, and keeps the 80k-fact
-benchmark workloads tractable in pure Python.
+The engine evaluates a BGP as a pipeline of batch join steps (see
+:mod:`repro.sparql.evaluator`).  The join *order* is planned **once per
+distinct bound-variable signature** with the classic greedy heuristic
+(fewest unbound positions first, ties broken by index cardinality) and
+memoized in a process-wide LRU :class:`PlanCache`.  Cache keys include
+the source graphs' mutation epochs, so a graph update naturally retires
+the plans computed against its old statistics — entries for stale
+epochs simply age out of the LRU.
 
-The estimate comes from :meth:`repro.rdf.graph.Graph.estimate`, which is
-exact for the bound shapes the QB2OLAP queries produce.
+The estimate comes from :meth:`repro.rdf.graph.Graph.estimate`, which
+is exact for every pattern shape now that the indexes are id-keyed.
+
+The per-binding helpers (:func:`choose_next`, :func:`pattern_cost`)
+remain for the lazy existence-check path (ASK / EXISTS) and tooling.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rdf.terms import Term
-from repro.sparql.algebra import PathPatternNode, TriplePatternNode, Var
+from repro.sparql.algebra import BGP, PathPatternNode, TriplePatternNode, Var
 from repro.sparql.paths import estimate_path
 
 Binding = Dict[str, Term]
@@ -77,41 +83,182 @@ def choose_next(patterns: Sequence[TriplePatternNode], binding: Binding,
     return best_index
 
 
+# ---------------------------------------------------------------------------
+# Static planning (one greedy ordering per bound-variable signature)
+# ---------------------------------------------------------------------------
+
+
+def _static_rank(pattern, bound: set, source) -> Tuple[int, int, int]:
+    """Greedy rank under the assumption that ``bound`` vars are bound:
+    (disconnected?, number of effectively-unbound positions, estimate).
+
+    The leading component prefers patterns *connected* to the already
+    bound variables — a disconnected pattern multiplies the running
+    binding table by its match count (a Cartesian product), so it only
+    joins when nothing connected remains.
+    """
+    if isinstance(pattern, PathPatternNode):
+        names = [position.name for position in pattern.endpoints()
+                 if isinstance(position, Var)]
+        connected = not names or any(name in bound for name in names)
+        unbound = sum(1 for name in names if name not in bound)
+        return (0 if connected else 1, unbound + 1, 4096)
+    wildcards = 0
+    shares_bound = False
+    has_vars = False
+    concrete: List[Optional[Term]] = []
+    for position in pattern.positions():
+        if isinstance(position, Var):
+            has_vars = True
+            if position.name in bound:
+                shares_bound = True
+            else:
+                wildcards += 1
+            concrete.append(None)
+        else:
+            concrete.append(position)
+    connected = shares_bound or not has_vars or not bound
+    return (0 if connected else 1, wildcards, source.estimate(
+        (concrete[0], concrete[1], concrete[2])))
+
+
+def plan_order(patterns: Sequence, source,
+               bound_vars: Optional[set] = None) -> List[int]:
+    """A full greedy join ordering, as pattern indices.
+
+    Assumes every variable seen in an earlier pattern is bound — the
+    classic textbook heuristic.  The batch evaluator executes each
+    step with the accumulated binding table, so only the *order* needs
+    to be decided up front.
+    """
+    bound: set = set(bound_vars or ())
+    remaining = list(range(len(patterns)))
+    order: List[int] = []
+    while remaining:
+        best = remaining[0]
+        best_rank = _static_rank(patterns[best], bound, source)
+        for index in remaining[1:]:
+            rank = _static_rank(patterns[index], bound, source)
+            if rank < best_rank:
+                best, best_rank = index, rank
+        remaining.remove(best)
+        order.append(best)
+        bound |= patterns[best].variables()
+    return order
+
+
 def static_order(patterns: Sequence[TriplePatternNode], source,
                  bound_vars: Optional[set] = None) -> List[TriplePatternNode]:
-    """A full greedy ordering computed once (used for EXPLAIN output).
+    """A full greedy ordering computed once (used for EXPLAIN output)."""
+    return [patterns[index]
+            for index in plan_order(patterns, source, bound_vars)]
 
-    Unlike :func:`choose_next` (which re-plans per binding), this assumes
-    every variable seen in an earlier pattern is bound, which is how the
-    classic textbook heuristic works.
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """A process-wide LRU cache of BGP join orders.
+
+    Keys combine the BGP's structural signature, the bound-variable
+    signature it is planned under, and the source graphs' identity +
+    mutation epochs.  A stale plan can never produce wrong results
+    (execution always applies the *actual* patterns); caching merely
+    skips recomputing the greedy order and its cardinality estimates.
     """
-    remaining = list(patterns)
-    bound: set = set(bound_vars or ())
-    ordered: List[TriplePatternNode] = []
-    while remaining:
-        def rank(pattern) -> Tuple[int, int]:
-            if isinstance(pattern, PathPatternNode):
-                unbound = sum(
-                    1 for position in pattern.endpoints()
-                    if isinstance(position, Var)
-                    and position.name not in bound)
-                return (unbound + 1, 4096)
-            concrete = []
-            for position in pattern.positions():
-                if isinstance(position, Var):
-                    concrete.append(
-                        object() if position.name in bound else None)
-                else:
-                    concrete.append(position)
-            # count wildcards: fewer wildcards first, then raw estimate
-            wildcards = sum(1 for term in concrete if term is None)
-            estimate_pattern = tuple(
-                None if not isinstance(term, Term) else term
-                for term in concrete)
-            return (wildcards, source.estimate(estimate_pattern))
 
-        remaining.sort(key=rank)
-        chosen = remaining.pop(0)
-        ordered.append(chosen)
-        bound |= chosen.variables()
-    return ordered
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[List[int]]:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: tuple, plan: List[int]) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<PlanCache {len(self._entries)}/{self.maxsize} entries, "
+                f"{self.hits} hits, {self.misses} misses>")
+
+
+#: The shared plan cache used by the evaluator.
+PLAN_CACHE = PlanCache()
+
+
+def _position_signature(position) -> tuple:
+    if isinstance(position, Var):
+        return ("v", position.name)
+    return ("c", position.n3())
+
+
+def bgp_signature(node: BGP) -> tuple:
+    """A structural key for a BGP, independent of node identity.
+
+    Two parses of the same query text share plans through this key
+    (the endpoint's parse cache makes that the common case anyway).
+    """
+    cached = getattr(node, "_plan_signature", None)
+    if cached is not None:
+        return cached
+    parts = []
+    for pattern in node.patterns:
+        if isinstance(pattern, PathPatternNode):
+            parts.append(("p", _position_signature(pattern.subject),
+                          pattern.path.to_sparql(),
+                          _position_signature(pattern.object)))
+        else:
+            parts.append(("t", _position_signature(pattern.subject),
+                          _position_signature(pattern.predicate),
+                          _position_signature(pattern.object)))
+    signature = tuple(parts)
+    node._plan_signature = signature
+    return signature
+
+
+def get_plan(node: BGP, bound_names: frozenset, source) -> List[int]:
+    """The cached (or freshly computed) join order for ``node`` when
+    the variables in ``bound_names`` are already bound."""
+    relevant = frozenset(bound_names & node.variables())
+    source_key = getattr(source, "cache_key", None)
+    source_key = source_key() if callable(source_key) else (id(source),)
+    key = (bgp_signature(node), relevant, source_key)
+    plan = PLAN_CACHE.get(key)
+    if plan is None:
+        plan = plan_order(node.patterns, source, relevant)
+        PLAN_CACHE.put(key, plan)
+    return plan

@@ -1,0 +1,137 @@
+"""Term interning, exact counts, and the read-only union view."""
+
+import pytest
+
+from repro.rdf import (
+    Dataset,
+    Graph,
+    IRI,
+    Literal,
+    Namespace,
+    TermDictionary,
+    TermError,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestTermDictionary:
+    def test_encode_is_stable_and_dense(self):
+        d = TermDictionary()
+        a = d.encode(EX.a)
+        b = d.encode(EX.b)
+        assert (a, b) == (0, 1)
+        assert d.encode(EX.a) == a
+        assert len(d) == 2
+
+    def test_lookup_never_interns(self):
+        d = TermDictionary()
+        assert d.lookup(EX.ghost) is None
+        assert len(d) == 0
+
+    def test_decode_round_trip(self):
+        d = TermDictionary()
+        term = Literal("42", datatype=str(EX.num))
+        assert d.decode(d.encode(term)) == term
+
+    def test_equal_terms_share_one_id(self):
+        d = TermDictionary()
+        assert d.encode(IRI("http://e/x")) == d.encode(IRI("http://e/x"))
+        # term equality, not value equality: distinct lexical forms differ
+        assert d.encode(Literal(1)) != d.encode(
+            Literal("01", datatype=Literal(1).datatype))
+
+    def test_dataset_graphs_share_a_dictionary(self):
+        ds = Dataset()
+        g1 = ds.graph("http://e/g1")
+        g2 = ds.graph("http://e/g2")
+        assert g1.dictionary is ds.dictionary
+        assert g2.dictionary is ds.dictionary
+        assert ds.default.dictionary is ds.dictionary
+
+
+class TestCountFromIndexes:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        for i in range(5):
+            g.add(EX.s, EX.p, EX[f"o{i}"])
+            g.add(EX[f"s{i}"], EX.q, EX.o)
+        g.add(EX.s, EX.r, EX.o)
+        return g
+
+    @pytest.mark.parametrize("pattern,expected", [
+        ((None, None, None), 11),
+        (("s", "p", None), 5),       # (s,p,·)
+        ((None, "q", "o"), 5),       # (·,p,o)
+        (("s", None, None), 6),      # (s,·,·)
+        ((None, None, "o"), 6),      # (·,·,o)
+        (("s", None, "o"), 1),       # (s,·,o)
+        ((None, "p", None), 5),      # (·,p,·)
+        (("s", "p", "o0"), 1),       # fully bound
+        (("s", "p", "nope"), 0),
+    ])
+    def test_count_matches_iteration(self, graph, pattern, expected):
+        terms = tuple(None if part is None else EX[part]
+                      for part in pattern)
+        assert graph.count(terms) == expected
+        assert graph.count(terms) == len(list(graph.triples(terms)))
+        assert graph.estimate(terms) == expected
+
+    def test_unknown_term_counts_zero(self, graph):
+        assert graph.count((EX.never_seen, None, None)) == 0
+
+
+class TestUnionView:
+    @pytest.fixture
+    def dataset(self):
+        ds = Dataset()
+        ds.default.add(EX.a, EX.p, EX.b)
+        ds.graph("http://e/g1").add(EX.b, EX.p, EX.c)
+        ds.graph("http://e/g2").add(EX.c, EX.p, EX.d)
+        return ds
+
+    def test_view_is_live(self, dataset):
+        view = dataset.union()
+        assert len(view) == 3
+        dataset.graph("http://e/g1").add(EX.x, EX.p, EX.y)
+        assert len(view) == 4
+
+    def test_view_rejects_mutation(self, dataset):
+        view = dataset.union()
+        with pytest.raises(TermError):
+            view.add(EX.x, EX.p, EX.y)
+        with pytest.raises(TermError):
+            view.remove((None, None, None))
+        with pytest.raises(TermError):
+            view.clear()
+
+    def test_copy_gives_mutable_merge(self, dataset):
+        merged = dataset.union().copy()
+        merged.add(EX.x, EX.p, EX.y)
+        assert len(merged) == 4
+        assert len(dataset) == 3  # the dataset is untouched
+
+    def test_read_api(self, dataset):
+        view = dataset.union()
+        assert (EX.a, EX.p, EX.b) in view
+        assert set(view.objects(EX.b, EX.p)) == {EX.c}
+        assert view.value(EX.c, EX.p, None) == EX.d
+        assert view.count((None, EX.p, None)) == 3
+
+    def test_disjoint_tracking(self, dataset):
+        assert dataset.graphs_disjoint
+        # duplicate a default-graph triple into a named graph
+        dataset.graph("http://e/g1").add(EX.a, EX.p, EX.b)
+        assert not dataset.graphs_disjoint
+        # the union view deduplicates: still 3 distinct triples
+        assert len(dataset.union()) == 3
+
+    def test_union_query_results_stay_distinct(self, dataset):
+        from repro.sparql import LocalEndpoint
+        dataset.graph("http://e/g1").add(EX.a, EX.p, EX.b)  # overlap
+        endpoint = LocalEndpoint(dataset)
+        table = endpoint.select(
+            "SELECT ?s ?o WHERE { ?s <http://example.org/p> ?o }")
+        rows = [tuple(map(str, row)) for row in table.rows]
+        assert len(rows) == len(set(rows)) == 3
