@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline
+.PHONY: test bench bench-smoke bench-baseline bench-plan bench-plan-baseline
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
@@ -21,3 +21,12 @@ bench-smoke:
 ## Refresh the committed smoke baseline after an intentional change.
 bench-baseline:
 	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py --update
+
+## Plan-quality gate: estimated plan cost of every E3/E6 query must
+## stay within 2x of the committed baseline (benchmarks/plan_baseline.json).
+bench-plan:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_plans.py
+
+## Refresh the committed plan baseline after an intentional change.
+bench-plan-baseline:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_plans.py --update

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Guard the cost-based planner against plan-quality regressions.
+
+Translates the E3/E6 query workload to SPARQL, plans every BGP with
+the cost-based optimizer, and compares each query's **estimated plan
+cost** (Σ of estimated intermediate rows across its BGPs) against a
+committed baseline.  A plan whose estimated cost grows by more than
+the allowed factor (default 2×) means the planner started choosing a
+worse join order for that shape — the build fails before the slowdown
+ever reaches a wall clock.
+
+Usage::
+
+    PYTHONPATH=src REPRO_BENCH_OBS=2000 python benchmarks/check_plans.py
+    PYTHONPATH=src python benchmarks/check_plans.py --update  # re-baseline
+    PYTHONPATH=src python benchmarks/check_plans.py --sharing-report
+
+``--sharing-report`` additionally measures what parameterized plan
+sharing is worth during cube materialization: it replays the
+per-member-IRI query workload of the enrichment phase with the plan
+cache keyed on exact constants vs. constant-lifted signatures, and
+writes the miss counts to ``benchmarks/results/plan_sharing.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "plan_baseline.json"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBS", "2000"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+ALLOWED_FACTOR = float(os.environ.get("REPRO_PLAN_TOLERANCE", "2.0"))
+#: costs below this are planner noise, not plan shape
+COST_FLOOR = 100.0
+
+
+def _collect_bgps(node):
+    from repro.sparql.algebra import (
+        BGP, Extend, Filter, GraphNode, Join, LeftJoin, Minus,
+        SubSelectNode, Union)
+
+    result = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, BGP):
+            result.append(current)
+        elif isinstance(current, (Join, LeftJoin, Union, Minus)):
+            stack.extend((current.left, current.right))
+        elif isinstance(current, (Filter, Extend, GraphNode)):
+            stack.append(current.child)
+        elif isinstance(current, SubSelectNode):
+            stack.append(current.query.pattern)
+    return result
+
+
+def query_plan_cost(sparql_text: str, dataset) -> float:
+    """Σ estimated plan cost over every BGP of one SPARQL query."""
+    from repro.sparql.evaluator import DatasetContext
+    from repro.sparql.optimizer import plan_physical
+    from repro.sparql.parser import parse_query
+
+    query = parse_query(sparql_text)
+    source = DatasetContext(dataset).default_source()
+    total = 0.0
+    for bgp in _collect_bgps(query.pattern):
+        total += plan_physical(bgp.patterns, source).cost
+    return total
+
+
+def measure(demo) -> dict:
+    """Estimated plan cost per E3/E6 workload query."""
+    from repro.demo import MARY_QL
+    from benchmarks.bench_e3_querying import PREDEFINED
+
+    dataset = demo.endpoint.dataset
+    costs = {}
+    workload = dict(PREDEFINED)
+    for name in sorted(workload):
+        translation = demo.engine.prepare(workload[name])[3]
+        costs[f"e3/{name}/direct"] = round(
+            query_plan_cost(translation.direct, dataset), 1)
+        costs[f"e3/{name}/optimized"] = round(
+            query_plan_cost(translation.optimized, dataset), 1)
+    translation = demo.engine.prepare(MARY_QL)[3]
+    costs["e6/mary/direct"] = round(
+        query_plan_cost(translation.direct, dataset), 1)
+    return costs
+
+
+def sharing_report(demo) -> int:
+    """Measure plan-cache misses of the materialization workload with
+    and without parameterized plan sharing; write the committed report."""
+    from repro.enrichment.instances import (
+        collect_bottom_members, member_properties)
+    from repro.sparql.optimizer import PLAN_CACHE
+
+    # the enrichment phase's member-at-a-time property walk — the
+    # workload the paper describes as "a query is run for each level
+    # instance" — replayed over every dimension of the demo cube
+    members = []
+    for dimension in demo.schema.dimensions:
+        bottom = demo.schema.bottom_level(dimension.iri)
+        members.extend(collect_bottom_members(
+            demo.endpoint, demo.schema.dataset, bottom))
+
+    def run(parameterized: bool) -> dict:
+        PLAN_CACHE.clear()
+        PLAN_CACHE.parameterized = parameterized
+        for member in members:
+            member_properties(demo.endpoint, member)
+        stats = PLAN_CACHE.statistics()
+        PLAN_CACHE.parameterized = True
+        return stats
+
+    exact = run(parameterized=False)
+    shared = run(parameterized=True)
+    improvement = exact["misses"] / max(1, shared["misses"])
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"# plan_sharing — observations={OBSERVATIONS}",
+        "cube-materialization member walk: plan-cache misses",
+        f"{'member queries issued':34s} {len(members):8d}",
+        f"{'misses, exact-constant plans':34s} {exact['misses']:8d}",
+        f"{'misses, parameterized plans':34s} {shared['misses']:8d}",
+        f"{'parameterized hits':34s} "
+        f"{shared['hits_parameterized']:8d}",
+        f"{'miss reduction':34s} {improvement:7.1f}x",
+    ]
+    path = RESULTS_DIR / "plan_sharing.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print("\n".join(lines))
+    print(f"\nwritten to {path}")
+    if improvement < 10.0:
+        print("FAIL: parameterized sharing below the 10x target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=BASELINE_PATH)
+    parser.add_argument("--update", action="store_true",
+                        help="write the fresh costs as the new baseline")
+    parser.add_argument("--sharing-report", action="store_true",
+                        help="write benchmarks/results/plan_sharing.txt")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+    from repro.demo import prepare_enriched_demo
+
+    demo = prepare_enriched_demo(observations=OBSERVATIONS, seed=SEED)
+
+    if args.sharing_report:
+        return sharing_report(demo)
+
+    fresh = measure(demo)
+    scale_key = str(OBSERVATIONS)
+    stored = {}
+    if args.baseline.exists():
+        stored = json.loads(args.baseline.read_text())
+
+    if args.update:
+        stored[scale_key] = fresh
+        args.baseline.write_text(json.dumps(stored, indent=2) + "\n")
+        print(f"plan baseline updated for obs={OBSERVATIONS}: "
+              f"{args.baseline}")
+        return 0
+
+    baseline = stored.get(scale_key)
+    if baseline is None:
+        print(f"no plan baseline for obs={OBSERVATIONS} in "
+              f"{args.baseline}; run with --update first", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'query':32s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
+    for metric, reference in sorted(baseline.items()):
+        current = fresh.get(metric)
+        if current is None:
+            continue
+        ratio = current / reference if reference else float("inf")
+        flag = ""
+        if (current > reference * ALLOWED_FACTOR
+                and max(current, reference) >= COST_FLOOR):
+            flag = "  REGRESSION"
+            failures.append(metric)
+        print(f"{metric:32s} {reference:12.1f} {current:12.1f} "
+              f"{ratio:6.2f}x{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} plan(s) regressed estimated cost by "
+              f"more than {ALLOWED_FACTOR:.0f}x: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nno plan cost regression beyond {ALLOWED_FACTOR:.0f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Guard the querying hot path against performance regressions.
+"""Guard the experiment hot paths against performance regressions.
 
 Runs the E3/E6 query workload (the same executions
-``bench_e3_querying.py`` and ``bench_e6_demo_query.py`` time) at the
-scale given by ``REPRO_BENCH_OBS`` and compares wall-clock numbers
-against a committed baseline JSON.  Exits non-zero when any metric
-regresses more than the allowed factor (default +20%).
+``bench_e3_querying.py`` and ``bench_e6_demo_query.py`` time), the
+E2 enrichment phases and the E5 exploration operations at the scale
+given by ``REPRO_BENCH_OBS`` and compares wall-clock numbers against a
+committed baseline JSON.  Exits non-zero when any metric regresses
+more than the allowed factor (default +20%).
 
 Usage::
 
@@ -35,8 +36,13 @@ NOISE_FLOOR_SECONDS = 0.05
 
 
 def measure() -> dict:
-    """One fresh run of the E3/E6 query executions, in seconds."""
-    from repro.demo import MARY_QL, prepare_enriched_demo
+    """One fresh run of the guarded experiment workloads, in seconds."""
+    from repro.demo import (
+        MARY_PREFERENCES,
+        MARY_QL,
+        PAPER_DIMENSION_NAMES,
+        prepare_enriched_demo,
+    )
     from benchmarks.bench_e3_querying import PREDEFINED
 
     started = time.perf_counter()
@@ -49,6 +55,41 @@ def measure() -> dict:
         metrics[f"e3/{name}"] = round(result.report.execute_seconds, 4)
     result = demo.engine.execute(MARY_QL, variant="direct")
     metrics["e6/mary_direct"] = round(result.report.execute_seconds, 4)
+
+    # E2 — enrichment phases, on a pristine (un-enriched) endpoint
+    from repro.data import small_demo
+    from repro.enrichment import EnrichmentSession
+
+    data = small_demo(observations=OBSERVATIONS)
+    session = EnrichmentSession(data.endpoint, data.dataset, data.dsd,
+                                dimension_names=PAPER_DIMENSION_NAMES)
+    started = time.perf_counter()
+    session.redefine()
+    metrics["e2/redefinition"] = round(time.perf_counter() - started, 4)
+    started = time.perf_counter()
+    session.auto_enrich(max_depth=3, prefer=list(MARY_PREFERENCES))
+    metrics["e2/enrichment"] = round(time.perf_counter() - started, 4)
+    started = time.perf_counter()
+    session.generate()
+    metrics["e2/generation"] = round(time.perf_counter() - started, 4)
+
+    # E5 — exploration operations over the enriched demo
+    from repro.data.namespaces import PROPERTY, SCHEMA
+    from repro.demo import CONTINENT_LEVEL
+    from repro.exploration import CubeExplorer, InstanceBrowser
+
+    explorer = CubeExplorer(demo.endpoint, demo.data.dataset)
+    browser = InstanceBrowser(demo.endpoint, explorer.schema)
+    started = time.perf_counter()
+    browser.cluster_by_level(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+    metrics["e5/cluster_by_continent"] = round(
+        time.perf_counter() - started, 4)
+    started = time.perf_counter()
+    browser.rollup_edges(PROPERTY.citizen, CONTINENT_LEVEL)
+    metrics["e5/rollup_edges"] = round(time.perf_counter() - started, 4)
+    started = time.perf_counter()
+    browser.members(PROPERTY.citizen)
+    metrics["e5/member_listing"] = round(time.perf_counter() - started, 4)
     return metrics
 
 

@@ -32,11 +32,18 @@ class ETLReport:
     seconds: float
     facts: int
     dimension_rows: int
+    #: SPARQL plan-cache misses observed while materializing.  The
+    #: member-at-a-time walks underneath share parameterized plans, so
+    #: this should stay near the number of distinct query *shapes*, not
+    #: the number of members (see docs/performance.md).
+    plan_cache_misses: int = 0
 
 
 def extract_star_schema(endpoint: LocalEndpoint, schema: CubeSchema
                         ) -> Tuple[StarSchema, ETLReport]:
     """Materialize the star schema for ``schema`` from ``endpoint``."""
+    from repro.sparql.optimizer import PLAN_CACHE
+    misses_before = PLAN_CACHE.misses
     started = time.perf_counter()
     graph = endpoint.dataset.union()
     star = StarSchema(dataset=schema.dataset)
@@ -55,7 +62,9 @@ def extract_star_schema(endpoint: LocalEndpoint, schema: CubeSchema
     _extract_facts(graph, schema, star)
     elapsed = time.perf_counter() - started
     return star, ETLReport(seconds=elapsed, facts=star.facts.size,
-                           dimension_rows=dimension_rows)
+                           dimension_rows=dimension_rows,
+                           plan_cache_misses=PLAN_CACHE.misses
+                           - misses_before)
 
 
 def _extract_dimension(graph: Graph, schema: CubeSchema,

@@ -45,6 +45,11 @@ class ExecutionReport:
     rows: int = 0
     sparql_lines: int = 0
     simplification: Optional[SimplificationReport] = None
+    #: SPARQL plan-cache activity during execution: a repeated OLAP
+    #: session should show hits (exact or parameterized), not misses
+    plan_cache_hits: int = 0
+    plan_cache_parameterized_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -102,6 +107,8 @@ class QLEngine:
             raise ValueError(f"unknown variant {variant!r}")
         (_, simplified, _, translation, report) = self.prepare(program)
 
+        from repro.sparql.optimizer import PLAN_CACHE
+        cache_before = PLAN_CACHE.statistics()
         started = time.perf_counter()
         if variant == "direct":
             table = self.endpoint.select(translation.direct)
@@ -122,6 +129,13 @@ class QLEngine:
                 report.sparql_lines = translation.optimized_lines
         report.execute_seconds = time.perf_counter() - started
         report.rows = len(table)
+        cache_after = PLAN_CACHE.statistics()
+        report.plan_cache_hits = cache_after["hits"] - cache_before["hits"]
+        report.plan_cache_parameterized_hits = (
+            cache_after["hits_parameterized"]
+            - cache_before["hits_parameterized"])
+        report.plan_cache_misses = (
+            cache_after["misses"] - cache_before["misses"])
 
         cube = ResultCube(table, translation.metadata)
         return QLResult(cube=cube, table=table, translation=translation,

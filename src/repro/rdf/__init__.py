@@ -15,7 +15,7 @@ Quick tour:
 True
 """
 
-from repro.rdf.dictionary import TermDictionary
+from repro.rdf.dictionary import DictionaryOverlay, TermDictionary
 from repro.rdf.errors import ParseError, RDFError, SerializationError, TermError
 from repro.rdf.graph import Dataset, Graph, TriplePattern, UnionView
 from repro.rdf.namespace import (
@@ -38,6 +38,7 @@ from repro.rdf.namespace import (
     XSD,
 )
 from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.stats import GraphStats, StatisticsView
 from repro.rdf.terms import (
     BNode,
     IRI,
@@ -56,8 +57,10 @@ __all__ = [
     "DCT",
     "DEFAULT_PREFIXES",
     "Dataset",
+    "DictionaryOverlay",
     "FOAF",
     "Graph",
+    "GraphStats",
     "IRI",
     "Literal",
     "Namespace",
@@ -76,6 +79,7 @@ __all__ = [
     "SDMX_MEASURE",
     "SKOS",
     "SerializationError",
+    "StatisticsView",
     "Term",
     "TermDictionary",
     "TermError",

@@ -14,6 +14,18 @@ and every index, join key and intermediate result is a machine word.
 A :class:`repro.rdf.graph.Dataset` owns one shared dictionary for all
 its graphs, which makes ids comparable across named graphs — the
 property the SPARQL evaluator's columnar join pipeline relies on.
+
+The base dictionary is append-only, so terms interned for *stored*
+triples live forever — that is the point.  Query evaluation, however,
+also produces terms that exist only inside one query (computed BIND
+values, VALUES literals, seed bindings), and interning those
+permanently would grow a long-lived endpoint's dictionary without
+bound.  :meth:`TermDictionary.overlay` returns a per-query
+:class:`DictionaryOverlay`: terms already interned keep their base id
+(so computed values that *do* equal stored terms still join), new
+terms get ids from a disjoint overflow range (``OVERLAY_BASE`` up),
+and the whole overlay is discarded with the evaluator when the query
+finishes.
 """
 
 from __future__ import annotations
@@ -22,7 +34,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.rdf.terms import Term
 
-__all__ = ["TermDictionary"]
+__all__ = ["DictionaryOverlay", "OVERLAY_BASE", "TermDictionary"]
+
+#: First id of the per-query overflow range.  Base dictionaries would
+#: need a trillion interned terms to collide, and overlay ids can by
+#: construction never appear in a graph index — a pattern constant
+#: holding one simply matches nothing.
+OVERLAY_BASE = 1 << 40
 
 
 class TermDictionary:
@@ -58,6 +76,10 @@ class TermDictionary:
         return tuple(
             None if term_id is None else terms[term_id] for term_id in ids)
 
+    def overlay(self) -> "DictionaryOverlay":
+        """A discardable per-query view for computed-term interning."""
+        return DictionaryOverlay(self)
+
     def __len__(self) -> int:
         return len(self._terms)
 
@@ -66,3 +88,62 @@ class TermDictionary:
 
     def __repr__(self) -> str:
         return f"<TermDictionary {len(self._terms)} terms>"
+
+
+class DictionaryOverlay:
+    """A per-query overflow range on top of a base dictionary.
+
+    ``encode`` never interns into the base: terms the base already
+    knows resolve to their permanent id, anything else gets the next
+    id in the overlay's private ``OVERLAY_BASE + n`` range.  Dropping
+    the overlay (it lives and dies with one
+    :class:`~repro.sparql.evaluator.PatternEvaluator`) reclaims every
+    computed term, keeping a long-lived endpoint's dictionary flat no
+    matter how many distinct BIND/VALUES literals its queries compute.
+    """
+
+    __slots__ = ("base", "_ids", "_terms", "_base_ids", "_base_terms")
+
+    def __init__(self, base: TermDictionary) -> None:
+        self.base = base
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+        # direct references to the base tables: decode/lookup are on the
+        # per-row hot path, so they must not pay a delegation call
+        self._base_ids = base._ids
+        self._base_terms = base._terms
+
+    def encode(self, term: Term) -> int:
+        term_id = self._base_ids.get(term)
+        if term_id is not None:
+            return term_id
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = OVERLAY_BASE + len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def lookup(self, term: Term) -> Optional[int]:
+        term_id = self._base_ids.get(term)
+        if term_id is not None:
+            return term_id
+        return self._ids.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        if term_id < OVERLAY_BASE:
+            return self._base_terms[term_id]
+        return self._terms[term_id - OVERLAY_BASE]
+
+    def decode_row(self, ids: Iterable[Optional[int]]
+                   ) -> Tuple[Optional[Term], ...]:
+        decode = self.decode
+        return tuple(
+            None if term_id is None else decode(term_id) for term_id in ids)
+
+    def __len__(self) -> int:
+        return len(self.base) + len(self._terms)
+
+    def __repr__(self) -> str:
+        return (f"<DictionaryOverlay {len(self._terms)} overlay terms "
+                f"over {len(self.base)} base terms>")

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.errors import TermError
 from repro.rdf.namespace import NamespaceManager
+from repro.rdf.stats import GraphStats, StatisticsView
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, make_triple
 
 TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
@@ -132,6 +133,10 @@ class Graph(_GraphReadMixin):
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        #: per-predicate cardinality / distinct-subject / distinct-object
+        #: counters, maintained on every mutation (see repro.rdf.stats);
+        #: the cost-based SPARQL planner reads them in O(1).
+        self.stats = GraphStats()
         #: mutation counter; bumped on every add/remove/clear.  Query
         #: plan caches key on it so stale statistics age out.
         self.epoch = 0
@@ -161,10 +166,14 @@ class Graph(_GraphReadMixin):
         by_predicate = self._spo.get(si)
         if by_predicate is not None and oi in by_predicate.get(pi, ()):
             return self  # already present
+        new_subject = by_predicate is None or pi not in by_predicate
+        by_object = self._pos.get(pi)
+        new_object = by_object is None or oi not in by_object
         _index_add(self._spo, si, pi, oi)
         _index_add(self._pos, pi, oi, si)
         _index_add(self._osp, oi, si, pi)
         self._size += 1
+        self.stats.record_add(pi, new_subject, new_object)
         self.epoch += 1
         if self._on_add is not None:
             self._on_add(self, si, pi, oi)
@@ -185,6 +194,10 @@ class Graph(_GraphReadMixin):
             _index_remove(self._spo, si, pi, oi)
             _index_remove(self._pos, pi, oi, si)
             _index_remove(self._osp, oi, si, pi)
+            self.stats.record_remove(
+                pi,
+                lost_subject=pi not in self._spo.get(si, {}),
+                lost_object=oi not in self._pos.get(pi, {}))
         if victims:
             self._size -= len(victims)
             self.epoch += 1
@@ -195,6 +208,7 @@ class Graph(_GraphReadMixin):
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        self.stats.clear()
         self.epoch += 1
 
     # -- id-level fast paths -------------------------------------------------
@@ -336,6 +350,10 @@ class Graph(_GraphReadMixin):
         """
         return self.count(pattern)
 
+    def statistics(self) -> StatisticsView:
+        """The planner's O(1) statistics view over this graph."""
+        return StatisticsView([self])
+
     # -- convenience ---------------------------------------------------------
 
     def objects(self, subject: Optional[Term] = None,
@@ -392,6 +410,9 @@ class Graph(_GraphReadMixin):
         clone._osp = {a: {b: set(c) for b, c in level.items()}
                       for a, level in self._osp.items()}
         clone._size = self._size
+        clone.stats.cardinality = dict(self.stats.cardinality)
+        clone.stats.subjects = dict(self.stats.subjects)
+        clone.stats.objects = dict(self.stats.objects)
         return clone
 
     def bind(self, prefix: str, namespace) -> None:
@@ -488,6 +509,10 @@ class UnionView(_GraphReadMixin):
             return 0
         return sum(g.count_ids(ids) for g in self._graphs())
 
+    def statistics(self) -> StatisticsView:
+        """The planner's O(1) statistics view over all member graphs."""
+        return StatisticsView(self._graphs())
+
     def subject_predicates(self, subject: Term) -> Dict[Term, Set[Term]]:
         merged: Dict[Term, Set[Term]] = {}
         for graph in self._graphs():
@@ -532,6 +557,9 @@ class UnionView(_GraphReadMixin):
     clear = _read_only
     parse = _read_only
     bind = _read_only
+    #: ``view += triples`` must raise the same clear error as ``add``,
+    #: not fall through to a confusing TypeError.
+    __iadd__ = _read_only
 
 
 class Dataset:

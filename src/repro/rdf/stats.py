@@ -1,0 +1,193 @@
+"""Incrementally maintained graph statistics for the cost-based planner.
+
+Production query optimizers never scan data to cost a plan: they keep
+small summaries — per-predicate cardinalities and distinct counts —
+that are cheap to maintain on the write path and O(1) to read on the
+planning path.  This module gives the in-memory engine the same layer:
+
+* :class:`GraphStats` lives on every :class:`repro.rdf.graph.Graph` and
+  is updated by ``add`` / ``remove`` / ``clear`` with a handful of dict
+  probes per triple (the write path already touches the same index
+  buckets, so the marginal cost is a few integer increments);
+* :class:`StatisticsView` aggregates one or more graphs behind the
+  term-level API the SPARQL planner consumes, summing the per-graph
+  counters at read time so union sources need no merged copy.
+
+The statistics are *epoch-consistent by construction*: they are updated
+in the same call that bumps ``Graph.epoch``, so any plan cached under a
+graph's epoch was costed from the statistics of exactly that epoch.
+
+Selectivity summaries derive from the three per-predicate counters:
+
+* ``cardinality(p) / distinct_subjects(p)`` — the average fan-out of
+  one subject through ``p`` (matches of ``(s, p, ?o)`` for a typical
+  bound ``s``);
+* ``cardinality(p) / distinct_objects(p)`` — the average fan-in of one
+  object (matches of ``(?s, p, o)`` for a typical bound ``o``).
+
+These averages are what make plans *parameterizable*: they cost a
+pattern with a bound-but-unknown constant without looking at the
+constant, so one plan can serve every member IRI of a cube level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.rdf.terms import Term
+
+__all__ = ["GraphStats", "StatisticsView", "statistics_for"]
+
+
+class GraphStats:
+    """Per-predicate counters for one graph, keyed on interned ids.
+
+    ``cardinality[p]`` — triples whose predicate is ``p``;
+    ``subjects[p]`` — distinct subjects appearing with ``p``;
+    ``objects[p]`` — distinct objects appearing with ``p``.
+
+    Maintained by :class:`~repro.rdf.graph.Graph` mutations; reads are
+    single dict lookups.
+    """
+
+    __slots__ = ("cardinality", "subjects", "objects")
+
+    def __init__(self) -> None:
+        self.cardinality: Dict[int, int] = {}
+        self.subjects: Dict[int, int] = {}
+        self.objects: Dict[int, int] = {}
+
+    def record_add(self, predicate_id: int,
+                   new_subject: bool, new_object: bool) -> None:
+        """One new triple with predicate ``predicate_id`` was stored.
+
+        ``new_subject`` / ``new_object`` say whether the triple's
+        subject / object had never appeared with this predicate before
+        (the graph knows from the index buckets it just touched).
+        """
+        self.cardinality[predicate_id] = \
+            self.cardinality.get(predicate_id, 0) + 1
+        if new_subject:
+            self.subjects[predicate_id] = \
+                self.subjects.get(predicate_id, 0) + 1
+        if new_object:
+            self.objects[predicate_id] = \
+                self.objects.get(predicate_id, 0) + 1
+
+    def record_remove(self, predicate_id: int,
+                      lost_subject: bool, lost_object: bool) -> None:
+        """One triple with predicate ``predicate_id`` was removed."""
+        remaining = self.cardinality.get(predicate_id, 0) - 1
+        if remaining > 0:
+            self.cardinality[predicate_id] = remaining
+        else:
+            self.cardinality.pop(predicate_id, None)
+        if lost_subject:
+            count = self.subjects.get(predicate_id, 0) - 1
+            if count > 0:
+                self.subjects[predicate_id] = count
+            else:
+                self.subjects.pop(predicate_id, None)
+        if lost_object:
+            count = self.objects.get(predicate_id, 0) - 1
+            if count > 0:
+                self.objects[predicate_id] = count
+            else:
+                self.objects.pop(predicate_id, None)
+
+    def clear(self) -> None:
+        self.cardinality.clear()
+        self.subjects.clear()
+        self.objects.clear()
+
+    def __repr__(self) -> str:
+        return (f"<GraphStats {len(self.cardinality)} predicates, "
+                f"{sum(self.cardinality.values())} triples>")
+
+
+class StatisticsView:
+    """The planner's read API over one or more graphs' statistics.
+
+    Every method is O(number of member graphs): a dictionary lookup per
+    graph, summed.  Nothing is copied or merged — the view reads the
+    live per-graph counters, so it is always current.
+    """
+
+    __slots__ = ("graphs",)
+
+    def __init__(self, graphs: Iterable) -> None:
+        self.graphs: List = [g for g in graphs]
+
+    # -- totals (answered from top-level index sizes) ------------------------
+
+    def triple_count(self) -> int:
+        return sum(g._size for g in self.graphs)
+
+    def subject_count(self) -> int:
+        """Distinct subjects (summed across graphs; an upper bound)."""
+        return sum(len(g._spo) for g in self.graphs)
+
+    def object_count(self) -> int:
+        return sum(len(g._osp) for g in self.graphs)
+
+    def predicate_count(self) -> int:
+        return sum(len(g._pos) for g in self.graphs)
+
+    # -- per-predicate counters ----------------------------------------------
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        total = 0
+        for g in self.graphs:
+            pid = g.dictionary.lookup(predicate)
+            if pid is not None:
+                total += g.stats.cardinality.get(pid, 0)
+        return total
+
+    def predicate_subjects(self, predicate: Term) -> int:
+        total = 0
+        for g in self.graphs:
+            pid = g.dictionary.lookup(predicate)
+            if pid is not None:
+                total += g.stats.subjects.get(pid, 0)
+        return total
+
+    def predicate_objects(self, predicate: Term) -> int:
+        total = 0
+        for g in self.graphs:
+            pid = g.dictionary.lookup(predicate)
+            if pid is not None:
+                total += g.stats.objects.get(pid, 0)
+        return total
+
+    # -- selectivity summaries ----------------------------------------------
+
+    def subject_fanout(self, predicate: Term) -> float:
+        """Average matches of ``(s, p, ?o)`` for a typical bound ``s``."""
+        subjects = self.predicate_subjects(predicate)
+        if not subjects:
+            return 0.0
+        return self.predicate_cardinality(predicate) / subjects
+
+    def object_fanin(self, predicate: Term) -> float:
+        """Average matches of ``(?s, p, o)`` for a typical bound ``o``."""
+        objects = self.predicate_objects(predicate)
+        if not objects:
+            return 0.0
+        return self.predicate_cardinality(predicate) / objects
+
+    def __repr__(self) -> str:
+        return (f"<StatisticsView {len(self.graphs)} graphs, "
+                f"{self.triple_count()} triples>")
+
+
+def statistics_for(source) -> Optional[StatisticsView]:
+    """The :class:`StatisticsView` of any plannable source.
+
+    Graphs, union views and the evaluator's graph sources all expose a
+    ``statistics()`` method; anything else (a test double, say) planless
+    falls back to ``None`` and the caller uses exact estimates.
+    """
+    getter = getattr(source, "statistics", None)
+    if callable(getter):
+        return getter()
+    return None

@@ -23,8 +23,12 @@ the tests exercise):
   ``DROP``, with ``GRAPH`` blocks.
 * **Result formats** (:mod:`repro.sparql.serializers`): SPARQL 1.1
   JSON (round-trippable), XML, CSV and TSV.
-* **Plans**: :func:`repro.sparql.explain.explain` renders the algebra
-  tree with cardinality estimates and the static greedy join order.
+* **Plans**: BGPs are planned by a cost-based optimizer (DP join
+  ordering over the O(1) statistics layer in :mod:`repro.rdf.stats`)
+  into cached, *parameterized* :class:`~repro.sparql.optimizer.
+  PhysicalPlan`\\ s; :func:`repro.sparql.explain.explain` renders the
+  plan tree with estimated — and, with ``analyze=True``, actual —
+  per-step cardinalities.
 * **Dataset clauses**: ``FROM`` / ``FROM NAMED`` with W3C scoping on
   all four query forms.
 
@@ -48,7 +52,12 @@ from repro.sparql.errors import (
 from repro.sparql.bindings import BindingTable
 from repro.sparql.evaluator import DatasetContext, evaluate_query
 from repro.sparql.explain import explain, plan_cache_statistics
-from repro.sparql.optimizer import PLAN_CACHE, PlanCache
+from repro.sparql.optimizer import (
+    PLAN_CACHE,
+    PhysicalPlan,
+    PlanCache,
+    PlanStep,
+)
 from repro.sparql.parser import parse_query, parse_update
 from repro.sparql.results import ResultTable
 from repro.sparql.serializers import (
@@ -71,7 +80,9 @@ __all__ = [
     "ExpressionError",
     "LocalEndpoint",
     "PLAN_CACHE",
+    "PhysicalPlan",
     "PlanCache",
+    "PlanStep",
     "QueryLogEntry",
     "QuerySyntaxError",
     "ResultTable",

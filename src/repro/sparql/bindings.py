@@ -48,6 +48,11 @@ class BindingTable:
         """Schema minus internal ``#``-prefixed bookkeeping columns."""
         return [name for name in self.names if not name.startswith("#")]
 
+    def visible_slots(self) -> List[Tuple[int, str]]:
+        """``(slot, name)`` pairs of the user-visible columns — the
+        shape the decode paths (batch and streaming) iterate per row."""
+        return visible_slots(self.names)
+
     def extended(self, extra_names: Sequence[str]) -> "BindingTable":
         """Schema-widened copy: new columns filled with ``None``."""
         if not extra_names:
@@ -73,6 +78,15 @@ class BindingTable:
 
     def __repr__(self) -> str:
         return f"<BindingTable {list(self.names)} ({len(self.rows)} rows)>"
+
+
+def visible_slots(names: Sequence[str]) -> List[Tuple[int, str]]:
+    """``(slot, name)`` pairs of the non-``#`` columns of a schema.
+
+    The single definition of "user-visible" every decode path shares.
+    """
+    return [(slot, name) for slot, name in enumerate(names)
+            if not name.startswith("#")]
 
 
 def concat(tables: Iterable[BindingTable]) -> BindingTable:

@@ -398,11 +398,17 @@ class LocalEndpoint:
 
     # -- introspection ---------------------------------------------------------
 
-    def explain(self, query_text: str) -> str:
+    def explain(self, query_text: str, analyze: bool = False) -> str:
         """Render the evaluation plan for ``query_text`` with estimates
-        and the shared plan cache's hit/miss statistics."""
+        and the shared plan cache's hit/miss statistics.
+
+        ``analyze=True`` executes the query's pattern and annotates
+        every join step with its actual row count, so mis-estimates of
+        the cost-based planner are visible next to its predictions.
+        """
         from repro.sparql.explain import explain
-        return explain(query_text, self.dataset, cache_stats=True)
+        return explain(query_text, self.dataset, cache_stats=True,
+                       analyze=analyze)
 
     def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
         """Direct access to a stored graph (tests and tooling)."""

@@ -11,6 +11,25 @@ distinct join values — never a fresh plan or a fresh Python dict per
 input row.  Terms are only decoded at expression boundaries (FILTER,
 BIND, aggregation) and at final projection.
 
+The join pipeline for each BGP is a cached :class:`PhysicalPlan` from
+the cost-based planner (:mod:`repro.sparql.optimizer`): the evaluator
+executes the plan's steps in order, re-validating each step's
+hash-vs-probe choice against the *actual* table size (estimates come
+from averaged statistics, so mis-estimates must degrade safely), and —
+when a trace list is installed — records per-step actual cardinalities
+for ``EXPLAIN ... analyze``.
+
+Queries with ``LIMIT`` but no ORDER BY / aggregation / DISTINCT are
+**streamed**: the first join step's index scan is pulled in batches and
+the pipeline stops as soon as enough solutions exist, instead of
+materializing the full :class:`BindingTable` (see
+:func:`PatternEvaluator.stream_solutions`).
+
+Computed terms (BIND results, VALUES literals, seed bindings) intern
+into a per-query :class:`~repro.rdf.dictionary.DictionaryOverlay`
+discarded with the evaluator, so a long-lived endpoint's term
+dictionary only grows with *stored* data.
+
 Existence checks (ASK, EXISTS) use a separate *lazy* seeded pipeline
 that stops at the first solution; it shares the cached join orders.
 
@@ -27,6 +46,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.rdf.graph import Dataset, Graph
+from repro.rdf.stats import StatisticsView
 from repro.rdf.terms import IRI, Literal, Term, Triple
 from repro.sparql.algebra import (
     AskQuery,
@@ -48,7 +68,11 @@ from repro.sparql.algebra import (
     ValuesNode,
     Var,
 )
-from repro.sparql.bindings import BindingTable, concat as table_concat
+from repro.sparql.bindings import (
+    BindingTable,
+    concat as table_concat,
+    visible_slots as table_visible_slots,
+)
 from repro.sparql.errors import EvaluationError, ExpressionError
 from repro.sparql.expressions import (
     Aggregate,
@@ -82,6 +106,64 @@ IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
 IdTriple = Tuple[int, int, int]
 
 
+class ProbeCounter:
+    """Counts index entries touched by the batch join steps.
+
+    A test/benchmark hook: activate it around a query to measure how
+    much of the index the evaluator actually pulled — the streaming
+    LIMIT tests assert this is far below full materialization.
+    """
+
+    __slots__ = ("active", "entries")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.entries = 0
+
+    def reset(self) -> None:
+        self.entries = 0
+
+    def __enter__(self) -> "ProbeCounter":
+        self.active = True
+        self.entries = 0
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.active = False
+
+
+#: The shared probe-counter hook (off unless a test turns it on).
+PROBE_COUNTER = ProbeCounter()
+
+
+def _counted(match_ids):
+    """Wrap a ``match_ids`` callable to count yielded index entries."""
+    counter = PROBE_COUNTER
+
+    def wrapped(pattern):
+        for ids in match_ids(pattern):
+            counter.entries += 1
+            yield ids
+
+    return wrapped
+
+
+class StepTrace:
+    """One executed join step, for EXPLAIN's estimated-vs-actual view."""
+
+    __slots__ = ("node", "position", "step", "rows_in", "rows_out",
+                 "strategy")
+
+    def __init__(self, node, position: int, step, rows_in: int,
+                 rows_out: int, strategy: str) -> None:
+        self.node = node
+        self.position = position
+        self.step = step
+        self.rows_in = rows_in
+        self.rows_out = rows_out
+        self.strategy = strategy
+
+
 # ---------------------------------------------------------------------------
 # Graph sources
 # ---------------------------------------------------------------------------
@@ -112,6 +194,14 @@ class GraphSource:
         """Identity + mutation epochs, for the plan cache."""
         raise NotImplementedError
 
+    def statistics(self) -> Optional[StatisticsView]:
+        """The cost-based planner's O(1) statistics view.
+
+        ``None`` (the default) sends the planner to its exact-estimate
+        legacy path — subclasses with real graphs override this.
+        """
+        return None
+
 
 class SingleGraphSource(GraphSource):
     """A matchable view over exactly one graph."""
@@ -133,6 +223,9 @@ class SingleGraphSource(GraphSource):
 
     def cache_key(self) -> tuple:
         return ((id(self.graph), self.graph.epoch),)
+
+    def statistics(self) -> StatisticsView:
+        return StatisticsView([self.graph])
 
 
 class UnionGraphSource(GraphSource):
@@ -186,6 +279,9 @@ class UnionGraphSource(GraphSource):
 
     def cache_key(self) -> tuple:
         return tuple((id(graph), graph.epoch) for graph in self.graphs)
+
+    def statistics(self) -> StatisticsView:
+        return StatisticsView(self.graphs)
 
 
 class DatasetContext:
@@ -312,10 +408,17 @@ class PatternEvaluator:
                  eval_context: Optional[EvalContext] = None) -> None:
         self.context = context
         self.eval_context = eval_context or EvalContext()
-        self._dict = context.dataset.dictionary
+        #: per-query overlay: computed BIND/VALUES terms intern into a
+        #: discardable overflow id range, never into the base dictionary
+        self._dict = context.dataset.dictionary.overlay()
         self._subselect_tables: Dict[tuple, Tuple[Tuple[str, ...], list]] = {}
         self._subselect_rows: Dict[tuple, List[Binding]] = {}
+        self._visible_cache: Dict[Tuple[str, ...], list] = {}
         self._marker_count = 0
+        #: when set to a list, every executed join step appends a
+        #: :class:`StepTrace` (EXPLAIN's estimated-vs-actual view)
+        self.trace: Optional[List[StepTrace]] = None
+        self._last_strategy = "scan"
 
     # ==================================================================
     # Batch columnar pipeline
@@ -364,8 +467,7 @@ class PatternEvaluator:
         result = self.solve(node, source, table)
         decode = self._dict.decode
         out: List[Binding] = []
-        visible = [(slot, name) for slot, name in enumerate(result.names)
-                   if not name.startswith("#")]
+        visible = result.visible_slots()
         for row in result.rows:
             out.append({name: decode(row[slot]) for slot, name in visible
                         if row[slot] is not None})
@@ -373,22 +475,47 @@ class PatternEvaluator:
 
     # -- BGP join steps ------------------------------------------------------
 
+    def _bgp_dead(self, patterns) -> bool:
+        """True when a triple pattern holds a never-interned constant.
+
+        Such a pattern can match nothing, so the whole conjunction is
+        empty — checked up front (a dict probe per constant) so the
+        plan's earlier steps never run for a doomed BGP.  Path patterns
+        are exempt: a zero-length path can match an unknown term.
+        """
+        lookup = self._dict.lookup
+        for pattern in patterns:
+            if isinstance(pattern, TriplePatternNode):
+                for position in pattern.positions():
+                    if not isinstance(position, Var) \
+                            and lookup(position) is None:
+                        return True
+        return False
+
     def _solve_bgp(self, node: BGP, source: GraphSource,
                    table: BindingTable) -> BindingTable:
         patterns = node.patterns
         if not patterns:
             return table
+        if self._bgp_dead(patterns):
+            return BindingTable(table.names, [])
         bound = frozenset(
             name for name in table.names if not name.startswith("#"))
-        order = get_plan(node, bound, source)
-        for index in order:
+        plan = get_plan(node, bound, source)
+        trace = self.trace
+        for position, step in enumerate(plan.steps):
             if not table.rows:
                 break
-            pattern = patterns[index]
+            pattern = patterns[step.index]
+            rows_in = len(table.rows)
             if isinstance(pattern, PathPatternNode):
                 table = self._step_path(pattern, source, table)
             else:
                 table = self._step_triple(pattern, source, table)
+            if trace is not None:
+                trace.append(StepTrace(node, position, step, rows_in,
+                                       len(table.rows),
+                                       self._last_strategy))
         return table
 
     @staticmethod
@@ -478,11 +605,15 @@ class PatternEvaluator:
         base: IdPattern = tuple(
             value if kind == "c" else None for kind, value in spec)  # type: ignore[assignment]
         out_rows: List[tuple] = []
+        match_ids = source.match_ids
+        if PROBE_COUNTER.active:
+            match_ids = _counted(match_ids)
 
         if not probe_slots:
             # no shared variables: one scan, applied to every row
+            self._last_strategy = "scan"
             exts = []
-            for match in source.match_ids(base):
+            for match in match_ids(base):
                 ok = True
                 ext = []
                 for position, (kind, value) in enumerate(spec):
@@ -545,10 +676,11 @@ class PatternEvaluator:
 
         use_hash = (len(rows) >= 64
                     and source.estimate_ids(base) <= 4 * len(rows))
+        self._last_strategy = "hash" if use_hash else "probe"
         ext_memo: Dict = {}
         if use_hash:
             # bucket extension tuples directly off one index scan
-            for match in source.match_ids(base):
+            for match in match_ids(base):
                 if d_checks and any(match[a] != match[b]
                                     for a, b in d_checks):
                     continue
@@ -571,7 +703,6 @@ class PatternEvaluator:
                     got.append(ext)
 
         raw_memo: Dict = {}  # distinct key -> raw matches (capture rows)
-        match_ids = source.match_ids
         emit = self._emit
         for row in rows:
             if single:
@@ -601,6 +732,7 @@ class PatternEvaluator:
 
     def _step_path(self, pattern: PathPatternNode, source: GraphSource,
                    table: BindingTable) -> BindingTable:
+        self._last_strategy = "path"
         decode = self._dict.decode
         encode = self._dict.encode
         spec = []
@@ -652,6 +784,110 @@ class PatternEvaluator:
             if got:
                 emit(row, got, spec, out_rows)
         return BindingTable(out_names, out_rows)
+
+    # -- streaming LIMIT pipeline --------------------------------------------
+
+    def stream_solutions(self, node: PatternNode, source: GraphSource,
+                         needed: int, batch: int = 512) -> List[Binding]:
+        """Decoded solutions for ``node``, stopping once ``needed`` exist.
+
+        The first join step of the leading BGP is pulled in batches of
+        at most ``batch`` index entries; each batch flows through the
+        remaining steps (and any row-local operators above the BGP), so
+        a ``LIMIT n`` query touches roughly the index prefix that
+        yields ``n`` solutions instead of materializing everything.
+        """
+        if needed <= 0:
+            return []
+        out: List[Binding] = []
+        decode = self._dict.decode
+        for table in self._stream(node, source, max(64, min(batch, needed))):
+            visible = table.visible_slots()
+            for row in table.rows:
+                out.append({name: decode(row[slot])
+                            for slot, name in visible
+                            if row[slot] is not None})
+            if len(out) >= needed:
+                break
+        return out
+
+    def _stream(self, node: PatternNode, source: GraphSource,
+                batch: int) -> Iterator[BindingTable]:
+        """Yield solution batches for a :func:`streamable` subtree."""
+        if isinstance(node, BGP):
+            yield from self._stream_bgp(node, source, batch)
+        elif isinstance(node, Filter):
+            eval_context = self._context_for(source)
+            for table in self._stream(node.child, source, batch):
+                if table.rows:
+                    table = self._filter_table(table, node.condition,
+                                               eval_context)
+                yield table
+        elif isinstance(node, Extend):
+            for table in self._stream(node.child, source, batch):
+                yield self._extend_table(node, table, source)
+        elif isinstance(node, Join):
+            for table in self._stream(node.left, source, batch):
+                if table.rows:
+                    yield self.solve(node.right, source, table)
+        else:
+            yield self.solve(node, source, BindingTable.unit())
+
+    def _stream_bgp(self, node: BGP, source: GraphSource,
+                    batch: int) -> Iterator[BindingTable]:
+        patterns = node.patterns
+        if not patterns:
+            yield BindingTable.unit()
+            return
+        if self._bgp_dead(patterns):
+            yield BindingTable((), [])
+            return
+        plan = get_plan(node, frozenset(), source)
+        first = patterns[plan.steps[0].index]
+        if isinstance(first, PathPatternNode):
+            # path evaluation is closure-based; no incremental scan
+            yield self._solve_bgp(node, source, BindingTable.unit())
+            return
+        rest = plan.steps[1:]
+        for table in self._scan_chunks(first, source, batch):
+            for step in rest:
+                if not table.rows:
+                    break
+                pattern = patterns[step.index]
+                if isinstance(pattern, PathPatternNode):
+                    table = self._step_path(pattern, source, table)
+                else:
+                    table = self._step_triple(pattern, source, table)
+            yield table
+
+    def _scan_chunks(self, pattern: TriplePatternNode, source: GraphSource,
+                     batch: int) -> Iterator[BindingTable]:
+        """The first join step as a sequence of bounded-size tables."""
+        spec, new_names, _probe_slots, dead = self._compile_positions(
+            pattern.positions(), BindingTable.unit())
+        names = tuple(new_names)
+        if dead:
+            yield BindingTable(names, [])
+            return
+        base: IdPattern = tuple(
+            value if kind == "c" else None for kind, value in spec)  # type: ignore[assignment]
+        n_positions = [position for position, (kind, _) in enumerate(spec)
+                       if kind == "n"]
+        d_checks = [(position, value) for position, (kind, value)
+                    in enumerate(spec) if kind == "d"]
+        match_ids = source.match_ids
+        if PROBE_COUNTER.active:
+            match_ids = _counted(match_ids)
+        rows: List[tuple] = []
+        for match in match_ids(base):
+            if d_checks and any(match[a] != match[b] for a, b in d_checks):
+                continue
+            rows.append(tuple(match[position] for position in n_positions))
+            if len(rows) >= batch:
+                yield BindingTable(names, rows)
+                rows = []
+        if rows:
+            yield BindingTable(names, rows)
 
     # -- non-BGP operators ---------------------------------------------------
 
@@ -737,8 +973,11 @@ class PatternEvaluator:
         child = self.solve(node.child, source, table)
         if not child.rows:
             return child
-        eval_context = self._context_for(source)
-        condition = node.condition
+        return self._filter_table(child, node.condition,
+                                  self._context_for(source))
+
+    def _filter_table(self, child: BindingTable, condition,
+                      eval_context: EvalContext) -> BindingTable:
         out_rows = []
         for row in child.rows:
             binding = self._decode_row(child.names, row)
@@ -753,6 +992,10 @@ class PatternEvaluator:
     def _solve_extend(self, node: Extend, source: GraphSource,
                       table: BindingTable) -> BindingTable:
         child = self.solve(node.child, source, table)
+        return self._extend_table(node, child, source)
+
+    def _extend_table(self, node: Extend, child: BindingTable,
+                      source: GraphSource) -> BindingTable:
         eval_context = self._context_for(source)
         encode = self._dict.encode
         name = node.var
@@ -925,11 +1168,17 @@ class PatternEvaluator:
         return BindingTable(names, out_rows)
 
     def _decode_row(self, names, row) -> Binding:
+        # the visible-column scan is memoized per schema: this runs once
+        # per row on every FILTER/BIND/ORDER BY boundary
+        visible = self._visible_cache.get(names)
+        if visible is None:
+            visible = table_visible_slots(names)
+            self._visible_cache[names] = visible
         decode = self._dict.decode
         return {
-            name: decode(value)
-            for name, value in zip(names, row)
-            if value is not None and not name.startswith("#")
+            name: decode(row[slot])
+            for slot, name in visible
+            if row[slot] is not None
         }
 
     # ==================================================================
@@ -974,7 +1223,7 @@ class PatternEvaluator:
         if not patterns:
             yield dict(binding)
             return
-        order = get_plan(node, frozenset(binding), source)
+        order = get_plan(node, frozenset(binding), source).order
         yield from self._iter_bgp_step(patterns, order, 0, source, binding)
 
     def _iter_bgp_step(self, patterns, order: List[int], step: int,
@@ -1146,6 +1395,19 @@ class PatternEvaluator:
         return context
 
 
+def streamable(node: PatternNode) -> bool:
+    """Whether :meth:`PatternEvaluator.stream_solutions` can drive
+    ``node`` incrementally: a BGP at the bottom, with only row-local
+    operators (FILTER, BIND, joins fed from the left) above it."""
+    if isinstance(node, BGP):
+        return True
+    if isinstance(node, (Filter, Extend)):
+        return streamable(node.child)
+    if isinstance(node, Join):
+        return streamable(node.left)
+    return False
+
+
 # ---------------------------------------------------------------------------
 # Aggregation helpers
 # ---------------------------------------------------------------------------
@@ -1223,7 +1485,16 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
         source = context.default_source()
     evaluator = PatternEvaluator(context)
     eval_context = evaluator._context_for(source)
-    solutions = evaluator.solutions(query.pattern, source)
+    if (query.limit is not None and not query.order_by
+            and not query.distinct and not query.reduced
+            and not query.is_aggregate_query
+            and streamable(query.pattern)):
+        # LIMIT pushdown: pull join batches only until enough solutions
+        # exist, instead of materializing the full binding table
+        solutions = evaluator.stream_solutions(
+            query.pattern, source, query.offset + query.limit)
+    else:
+        solutions = evaluator.solutions(query.pattern, source)
 
     if query.is_aggregate_query:
         result_bindings = _aggregate_rows(

@@ -1,23 +1,29 @@
 """Query-plan explanation.
 
-Renders a parsed query's algebra tree as an indented text plan, with
-cardinality estimates and the static greedy join order the optimizer
-would choose for each BGP.  This is the debugging surface the paper's
-users get from ``EXPLAIN`` on a production endpoint (Virtuoso prints a
-similar operator tree), and the repo's benchmarks use it to document
-*why* the two QL translations behave differently.
+Renders a parsed query's algebra tree as an indented text plan.  When a
+dataset is supplied, each BGP is shown as the **physical plan** the
+cost-based optimizer would execute: join steps in order, each with its
+chosen strategy (``hash`` / ``probe`` / ``scan`` / ``path``) and the
+cardinality estimate that justified it, plus the plan's total cost
+(Σ of estimated intermediate rows).  With ``analyze=True`` the query's
+pattern is actually executed and every step line gains the *actual*
+row count and strategy, so estimate errors — the planner works from
+averaged statistics, never from the bound constants — are directly
+visible.  This is the debugging surface the paper's users get from
+``EXPLAIN`` on a production endpoint (Virtuoso prints a similar
+operator tree).
 
 >>> from repro.rdf.graph import Dataset
 >>> from repro.sparql.explain import explain
 >>> print(explain("SELECT ?s WHERE { ?s ?p ?o }", Dataset()))
 SELECT [?s]
-`-- BGP (1 patterns)
-    `-- [0] ?s ?p ?o  (est. 0)
+`-- BGP (1 patterns) [cost 0]
+    `-- [0] ?s ?p ?o  (est. 0) [scan]
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.rdf.graph import Dataset
 from repro.sparql.algebra import (
@@ -42,8 +48,13 @@ from repro.sparql.algebra import (
     ValuesNode,
     Var,
 )
-from repro.sparql.evaluator import DatasetContext, GraphSource
-from repro.sparql.optimizer import PLAN_CACHE, static_order
+from repro.sparql.evaluator import (
+    DatasetContext,
+    GraphSource,
+    PatternEvaluator,
+    StepTrace,
+)
+from repro.sparql.optimizer import PLAN_CACHE, get_plan
 from repro.sparql.parser import parse_query
 
 
@@ -53,39 +64,97 @@ def _term_text(position) -> str:
     return position.n3()
 
 
-def _pattern_line(pattern: Union[TriplePatternNode, PathPatternNode],
-                  source: Optional[GraphSource]) -> str:
+def _pattern_text(pattern: Union[TriplePatternNode, PathPatternNode]) -> str:
     if isinstance(pattern, PathPatternNode):
-        text = (f"{_term_text(pattern.subject)} "
+        return (f"{_term_text(pattern.subject)} "
                 f"{pattern.path.to_sparql()} "
                 f"{_term_text(pattern.object)}")
-        return f"{text}  (path)"
-    text = " ".join(_term_text(p) for p in pattern.positions())
-    if source is None:
-        return text
-    concrete = tuple(
-        None if isinstance(p, Var) else p for p in pattern.positions())
-    return f"{text}  (est. {source.estimate(concrete)})"
+    return " ".join(_term_text(p) for p in pattern.positions())
+
+
+#: per BGP identity: step position -> (executed PlanStep, Σ rows_in,
+#: Σ rows_out, strategy actually used)
+_TraceIndex = Dict[int, Dict[int, list]]
+
+
+def _index_traces(traces: List[StepTrace]) -> _TraceIndex:
+    """Group actual step executions by BGP, summing row counts per
+    position (a BGP under ``GRAPH ?g`` or OPTIONAL may run several
+    times).  The executed :class:`PlanStep` is kept so the printer
+    renders the plan the evaluator *ran* — which may differ from an
+    unseeded replan when the BGP executed under bound variables."""
+    index: _TraceIndex = {}
+    for record in traces:
+        per_node = index.setdefault(id(record.node), {})
+        entry = per_node.get(record.position)
+        if entry is None:
+            per_node[record.position] = [record.step, record.rows_in,
+                                         record.rows_out, record.strategy]
+        else:
+            entry[1] += record.rows_in
+            entry[2] += record.rows_out
+    return index
 
 
 class _PlanPrinter:
-    def __init__(self, source: Optional[GraphSource]) -> None:
+    def __init__(self, source: Optional[GraphSource],
+                 traces: Optional[_TraceIndex] = None) -> None:
         self.source = source
+        self.traces = traces
         self.lines: List[str] = []
 
     def emit(self, text: str, depth: int) -> None:
         indent = "    " * (depth - 1) + "`-- " if depth else ""
         self.lines.append(indent + text)
 
+    def _emit_bgp(self, node: BGP, depth: int) -> None:
+        if self.source is None or not node.patterns:
+            self.emit(f"BGP ({len(node.patterns)} patterns)", depth)
+            for position, pattern in enumerate(node.patterns):
+                self.emit(f"[{position}] {_pattern_text(pattern)}"
+                          + ("  (path)" if isinstance(pattern,
+                                                      PathPatternNode)
+                             else ""), depth + 1)
+            return
+        node_traces = None
+        if self.traces is not None:
+            node_traces = self.traces.get(id(node))
+        if node_traces:
+            # render the plan the evaluator actually executed: its
+            # step order (planned under the real bound variables) can
+            # differ from an unseeded replan
+            self.emit(f"BGP ({len(node.patterns)} patterns) [analyzed]",
+                      depth)
+            executed = set()
+            for position in sorted(node_traces):
+                step, _rows_in, rows_out, strategy = node_traces[position]
+                executed.add(step.index)
+                pattern = node.patterns[step.index]
+                text = _pattern_text(pattern)
+                if isinstance(pattern, PathPatternNode):
+                    text += "  (path)"
+                self.emit(f"[{position}] {text}  (est. {step.est_out:.0f}, "
+                          f"actual {rows_out}) [{strategy}]", depth + 1)
+            for index, pattern in enumerate(node.patterns):
+                if index not in executed:
+                    self.emit(f"[-] {_pattern_text(pattern)}  "
+                              f"(not executed)", depth + 1)
+            return
+        plan = get_plan(node, frozenset(), self.source)
+        self.emit(f"BGP ({len(node.patterns)} patterns) "
+                  f"[cost {plan.cost:.0f}]", depth)
+        for position, step in enumerate(plan.steps):
+            pattern = node.patterns[step.index]
+            text = _pattern_text(pattern)
+            if isinstance(pattern, PathPatternNode):
+                text += "  (path)"
+            self.emit(f"[{position}] {text}  "
+                      f"(est. {step.est_out:.0f}) [{step.strategy}]",
+                      depth + 1)
+
     def walk(self, node: PatternNode, depth: int) -> None:
         if isinstance(node, BGP):
-            self.emit(f"BGP ({len(node.patterns)} patterns)", depth)
-            ordered = node.patterns
-            if self.source is not None:
-                ordered = static_order(node.patterns, self.source)
-            for position, pattern in enumerate(ordered):
-                self.emit(f"[{position}] "
-                          f"{_pattern_line(pattern, self.source)}", depth + 1)
+            self._emit_bgp(node, depth)
         elif isinstance(node, Join):
             self.emit("Join", depth)
             self.walk(node.left, depth + 1)
@@ -144,7 +213,13 @@ class _PlanPrinter:
 
 
 def plan_cache_statistics() -> dict:
-    """Hit/miss/size counters of the shared BGP plan cache."""
+    """Hit/miss/size counters of the shared BGP plan cache.
+
+    ``hits_exact`` counts lookups that found a plan built from the very
+    same constants (same query re-run); ``hits_parameterized`` counts
+    plans reused across *different* constants — the per-member-IRI
+    sharing that keeps cube materialization from re-planning.
+    """
     return PLAN_CACHE.statistics()
 
 
@@ -152,18 +227,42 @@ def _cache_stats_lines() -> List[str]:
     stats = PLAN_CACHE.statistics()
     return [
         f"plan cache: entries={stats['entries']} hits={stats['hits']} "
+        f"(exact={stats['hits_exact']}, "
+        f"parameterized={stats['hits_parameterized']}) "
         f"misses={stats['misses']} evictions={stats['evictions']}"
     ]
 
 
+def _collect_traces(query: Query, context: DatasetContext
+                    ) -> Optional[_TraceIndex]:
+    """Execute the query's pattern with step tracing (EXPLAIN analyze)."""
+    pattern = getattr(query, "pattern", None)
+    if pattern is None:
+        return None
+    source = context.default_source()
+    evaluator = PatternEvaluator(context)
+    evaluator.trace = []
+    evaluator.solve(pattern, source)
+    return _index_traces(evaluator.trace)
+
+
 def explain_query(query: Query, dataset: Optional[Dataset] = None,
-                  cache_stats: bool = False) -> str:
-    """Render a parsed query's plan; includes estimates when a dataset
-    is supplied and plan-cache statistics when ``cache_stats`` is set."""
+                  cache_stats: bool = False, analyze: bool = False) -> str:
+    """Render a parsed query's physical plan.
+
+    Estimates appear when a dataset is supplied; ``analyze=True``
+    additionally *executes* the query's pattern and annotates each join
+    step with its actual row count and strategy; ``cache_stats=True``
+    appends the shared plan cache's hit/miss counters.
+    """
     source: Optional[GraphSource] = None
+    traces: Optional[_TraceIndex] = None
     if dataset is not None:
-        source = DatasetContext(dataset).default_source()
-    printer = _PlanPrinter(source)
+        context = DatasetContext(dataset)
+        source = context.default_source()
+        if analyze:
+            traces = _collect_traces(query, context)
+    printer = _PlanPrinter(source, traces)
     if isinstance(query, SelectQuery):
         printer._describe_select(query, 0)
     elif isinstance(query, AskQuery):
@@ -188,7 +287,7 @@ def explain_query(query: Query, dataset: Optional[Dataset] = None,
 
 
 def explain(query_text: str, dataset: Optional[Dataset] = None,
-            cache_stats: bool = False) -> str:
+            cache_stats: bool = False, analyze: bool = False) -> str:
     """Parse ``query_text`` and render its plan."""
     return explain_query(parse_query(query_text), dataset,
-                         cache_stats=cache_stats)
+                         cache_stats=cache_stats, analyze=analyze)

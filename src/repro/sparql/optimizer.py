@@ -1,26 +1,49 @@
-"""Join-order optimization and plan caching for basic graph patterns.
+"""Cost-based join planning and parameterized plan caching for BGPs.
 
 The engine evaluates a BGP as a pipeline of batch join steps (see
-:mod:`repro.sparql.evaluator`).  The join *order* is planned **once per
-distinct bound-variable signature** with the classic greedy heuristic
-(fewest unbound positions first, ties broken by index cardinality) and
-memoized in a process-wide LRU :class:`PlanCache`.  Cache keys include
-the source graphs' mutation epochs, so a graph update naturally retires
-the plans computed against its old statistics — entries for stale
-epochs simply age out of the LRU.
+:mod:`repro.sparql.evaluator`).  This module decides the pipeline:
 
-The estimate comes from :meth:`repro.rdf.graph.Graph.estimate`, which
-is exact for every pattern shape now that the indexes are id-keyed.
+* **Cost model** — fed by the O(1) per-predicate statistics layer
+  (:mod:`repro.rdf.stats`): a pattern's expected matches per input row
+  come from its predicate's cardinality divided by the average subject
+  fan-out / object fan-in for each bound position.  Because the model
+  uses *averages*, it never needs to look at a bound constant's value —
+  which is what makes plans parameterizable (below).
+* **Join ordering** — BGPs of up to :data:`DP_PATTERN_LIMIT` patterns
+  are planned with a Selinger-style dynamic program over pattern
+  subsets (left-deep, connected-first, minimizing the classic
+  Σ-of-intermediate-results cost); larger BGPs fall back to a greedy
+  walk driven by the same cost model.  The result is an explicit
+  :class:`PhysicalPlan`: ordered :class:`PlanStep`\\ s carrying the
+  chosen join strategy (hash join / memoized index probe / scan) and
+  the cardinality estimates that justified them.
+* **Parameterized plan cache** — BGPs are canonicalized into a
+  *constant-lifted signature*: subject/object constants become numbered
+  parameter slots (predicates stay concrete, since statistics hang off
+  them).  Structurally identical BGPs that differ only in those
+  constants — e.g. the one-query-per-member-IRI workload of cube
+  materialization — share a single :class:`PLAN_CACHE` entry; the
+  actual constants are supplied by the evaluator at execution time.
+  Cache keys still include the source graphs' mutation epochs, so an
+  update naturally retires plans costed from stale statistics.
+
+A stale or mis-estimated plan can never produce wrong results
+(execution always applies the *actual* patterns); the worst case is a
+suboptimal order, which ``EXPLAIN ... analyze`` makes visible as an
+estimated-vs-actual gap (:mod:`repro.sparql.explain`).
 
 The per-binding helpers (:func:`choose_next`, :func:`pattern_cost`)
-remain for the lazy existence-check path (ASK / EXISTS) and tooling.
+remain for the lazy existence-check path (ASK / EXISTS): they use
+*exact* index counts per binding, which is ideal when the pipeline
+stops at the first solution.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.rdf.stats import StatisticsView, statistics_for
 from repro.rdf.terms import Term
 from repro.sparql.algebra import BGP, PathPatternNode, TriplePatternNode, Var
 from repro.sparql.paths import estimate_path
@@ -30,6 +53,15 @@ Binding = Dict[str, Term]
 #: Penalty rank applied before cardinality: patterns with no bound
 #: position join last unless nothing else is available.
 _UNBOUND_PENALTY = 1 << 40
+
+#: BGPs up to this size are planned with the exact subset DP; larger
+#: ones use the greedy walk over the same cost model.
+DP_PATTERN_LIMIT = 12
+
+#: Static path-pattern pricing by number of known endpoints (paths are
+#: deliberately priced above plain patterns of the same boundness so
+#: the planner binds their endpoints first when it can).
+_PATH_ESTIMATES = {2: 64.0, 1: 4096.0, 0: float(1 << 41)}
 
 
 def substituted(pattern: TriplePatternNode, binding: Binding
@@ -57,7 +89,7 @@ def substituted_endpoints(pattern: PathPatternNode, binding: Binding
 
 
 def pattern_cost(pattern, binding: Binding, source) -> int:
-    """Estimated matches for ``pattern`` under ``binding``."""
+    """Exact matches for ``pattern`` under ``binding`` (lazy pipeline)."""
     if isinstance(pattern, PathPatternNode):
         start, end = substituted_endpoints(pattern, binding)
         return estimate_path(source, pattern.path, start, end)
@@ -70,7 +102,7 @@ def pattern_cost(pattern, binding: Binding, source) -> int:
 
 def choose_next(patterns: Sequence[TriplePatternNode], binding: Binding,
                 source) -> int:
-    """Index of the cheapest pattern to evaluate next (greedy)."""
+    """Index of the cheapest pattern to evaluate next (greedy, exact)."""
     best_index = 0
     best_cost: Optional[int] = None
     for index, pattern in enumerate(patterns):
@@ -84,18 +116,260 @@ def choose_next(patterns: Sequence[TriplePatternNode], binding: Binding,
 
 
 # ---------------------------------------------------------------------------
-# Static planning (one greedy ordering per bound-variable signature)
+# Cost model (statistics-driven, constant-independent)
 # ---------------------------------------------------------------------------
+
+
+class _PatternCost:
+    """Pre-resolved costing facts for one pattern.
+
+    ``base`` is the expected scan size with only the pattern's constants
+    applied (constants are folded in at compile time using the average
+    selectivities, never their values).  ``s_sel`` / ``o_sel`` /
+    ``p_sel`` are the multipliers applied when the respective *variable*
+    position is already bound; ``None`` marks a constant position.
+    """
+
+    __slots__ = ("base", "s_name", "s_sel", "o_name", "o_sel",
+                 "p_name", "p_sel", "is_path", "vars", "endpoint_names")
+
+    def __init__(self) -> None:
+        self.base = 0.0
+        self.s_name: Optional[str] = None
+        self.s_sel = 1.0
+        self.o_name: Optional[str] = None
+        self.o_sel = 1.0
+        self.p_name: Optional[str] = None
+        self.p_sel = 1.0
+        self.is_path = False
+        self.vars: Set[str] = set()
+        self.endpoint_names: Tuple[Optional[str], ...] = ()
+
+
+def _compile_cost(pattern, stats: StatisticsView) -> _PatternCost:
+    cost = _PatternCost()
+    cost.vars = set(pattern.variables())
+    if isinstance(pattern, PathPatternNode):
+        cost.is_path = True
+        cost.endpoint_names = tuple(
+            position.name if isinstance(position, Var) else None
+            for position in pattern.endpoints())
+        known = sum(1 for name in cost.endpoint_names if name is None)
+        cost.base = _PATH_ESTIMATES[known]
+        return cost
+    subject, predicate, obj = pattern.positions()
+    if isinstance(predicate, Var):
+        base = float(stats.triple_count())
+        s_sel = 1.0 / max(1, stats.subject_count())
+        o_sel = 1.0 / max(1, stats.object_count())
+        cost.p_name = predicate.name
+        cost.p_sel = 1.0 / max(1, stats.predicate_count())
+    else:
+        base = float(stats.predicate_cardinality(predicate))
+        s_sel = 1.0 / max(1, stats.predicate_subjects(predicate))
+        o_sel = 1.0 / max(1, stats.predicate_objects(predicate))
+    if isinstance(subject, Var):
+        cost.s_name = subject.name
+        cost.s_sel = s_sel
+    else:
+        base *= s_sel
+    if isinstance(obj, Var):
+        cost.o_name = obj.name
+        cost.o_sel = o_sel
+    else:
+        base *= o_sel
+    cost.base = base
+    return cost
+
+
+def _estimate(cost: _PatternCost, bound) -> float:
+    """Expected matches per input row when ``bound`` vars are bound."""
+    if cost.is_path:
+        known = sum(1 for name in cost.endpoint_names
+                    if name is None or name in bound)
+        return _PATH_ESTIMATES[known]
+    estimate = cost.base
+    if cost.s_name is not None and cost.s_name in bound:
+        estimate *= cost.s_sel
+    if cost.o_name is not None and cost.o_name in bound:
+        estimate *= cost.o_sel
+    if cost.p_name is not None and cost.p_name in bound:
+        estimate *= cost.p_sel
+    return estimate
+
+
+def _connected(cost: _PatternCost, bound) -> bool:
+    """Joining this pattern now would not be a Cartesian product."""
+    return not cost.vars or not bound or bool(cost.vars & bound)
+
+
+# ---------------------------------------------------------------------------
+# Physical plans
+# ---------------------------------------------------------------------------
+
+
+class PlanStep:
+    """One join step of a physical plan.
+
+    ``strategy`` is the planner's estimate-based choice — ``"hash"``
+    (bucket one index scan by the join key), ``"probe"`` (memoized
+    per-distinct-key index probes), ``"scan"`` (no shared variables:
+    one scan cross-applied) or ``"path"``.  The evaluator re-validates
+    hash-vs-probe against the *actual* table size at execution time, so
+    a mis-estimate degrades to the safe choice rather than a blowup.
+    """
+
+    __slots__ = ("index", "strategy", "est_in", "est_out", "est_scan")
+
+    def __init__(self, index: int, strategy: str, est_in: float,
+                 est_out: float, est_scan: float) -> None:
+        self.index = index
+        self.strategy = strategy
+        self.est_in = est_in
+        self.est_out = est_out
+        self.est_scan = est_scan
+
+    def __repr__(self) -> str:
+        return (f"<PlanStep [{self.index}] {self.strategy} "
+                f"est {self.est_in:.0f}->{self.est_out:.0f}>")
+
+
+class PhysicalPlan:
+    """An ordered, costed join pipeline for one BGP.
+
+    Iterating the plan yields the pattern indices in join order (which
+    keeps it drop-in for code that only needs the ordering); ``steps``
+    carries the full per-step metadata for execution and EXPLAIN.
+    """
+
+    __slots__ = ("order", "steps", "est_rows", "cost")
+
+    def __init__(self, order: List[int], steps: List[PlanStep],
+                 est_rows: float, cost: float) -> None:
+        self.order = order
+        self.steps = steps
+        self.est_rows = est_rows
+        self.cost = cost
+
+    def __iter__(self):
+        return iter(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __getitem__(self, index: int) -> int:
+        return self.order[index]
+
+    def __repr__(self) -> str:
+        return (f"<PhysicalPlan {self.order} cost {self.cost:.0f} "
+                f"est {self.est_rows:.0f} rows>")
+
+
+def _dp_order(costs: List[_PatternCost], bound0: frozenset, n: int
+              ) -> Tuple[float, float, Tuple[int, ...]]:
+    """Exact left-deep DP over pattern subsets (Selinger-style).
+
+    ``dp[mask]`` holds the cheapest way to have joined exactly the
+    patterns in ``mask``: (Σ intermediate rows, current rows, order,
+    bound vars).  Disconnected extensions are only considered when no
+    connected pattern remains, mirroring the executor's aversion to
+    Cartesian products.
+    """
+    full = (1 << n) - 1
+    dp: Dict[int, Tuple[float, float, Tuple[int, ...], frozenset]] = {
+        0: (0.0, 1.0, (), bound0)}
+    for mask in range(full):
+        entry = dp.get(mask)
+        if entry is None:
+            continue
+        total, rows, order, bound = entry
+        remaining = [i for i in range(n) if not mask >> i & 1]
+        connected = [i for i in remaining if _connected(costs[i], bound)]
+        for i in (connected or remaining):
+            out_rows = rows * _estimate(costs[i], bound)
+            new_total = total + out_rows
+            new_mask = mask | (1 << i)
+            old = dp.get(new_mask)
+            if old is None or new_total < old[0]:
+                dp[new_mask] = (new_total, out_rows, order + (i,),
+                                bound | frozenset(costs[i].vars))
+    total, rows, order, _ = dp[full]
+    return total, rows, order
+
+
+def _greedy_cost_order(costs: List[_PatternCost], bound0: frozenset, n: int
+                       ) -> Tuple[float, float, Tuple[int, ...]]:
+    """Greedy fallback for large BGPs, driven by the same cost model."""
+    bound: Set[str] = set(bound0)
+    remaining = list(range(n))
+    order: List[int] = []
+    rows = 1.0
+    total = 0.0
+    while remaining:
+        connected = [i for i in remaining if _connected(costs[i], bound)]
+        pool = connected or remaining
+        best = min(pool, key=lambda i: _estimate(costs[i], bound))
+        rows *= _estimate(costs[best], bound)
+        total += rows
+        order.append(best)
+        remaining.remove(best)
+        bound |= costs[best].vars
+    return total, rows, tuple(order)
+
+
+def _build_steps(order: Sequence[int], costs: List[_PatternCost],
+                 bound0: frozenset) -> List[PlanStep]:
+    bound: Set[str] = set(bound0)
+    steps: List[PlanStep] = []
+    rows = 1.0
+    for index in order:
+        cost = costs[index]
+        est = _estimate(cost, bound)
+        out_rows = rows * est
+        scan = _estimate(cost, frozenset())
+        if cost.is_path:
+            strategy = "path"
+        elif not (cost.vars & bound):
+            strategy = "scan"
+        elif rows >= 64 and scan <= 4 * rows:
+            strategy = "hash"
+        else:
+            strategy = "probe"
+        steps.append(PlanStep(index, strategy, rows, out_rows, scan))
+        rows = out_rows
+        bound |= cost.vars
+    return steps
+
+
+def plan_physical(patterns: Sequence, source,
+                  bound_vars: Optional[frozenset] = None) -> PhysicalPlan:
+    """Cost-based physical plan for ``patterns`` over ``source``.
+
+    ``bound_vars`` are variables already bound by the surrounding
+    pipeline (the seed table's columns).
+    """
+    bound0 = frozenset(bound_vars or ())
+    n = len(patterns)
+    if n == 0:
+        return PhysicalPlan([], [], 1.0, 0.0)
+    stats = statistics_for(source)
+    if stats is None:
+        return _legacy_plan(patterns, source, bound0)
+    costs = [_compile_cost(pattern, stats) for pattern in patterns]
+    if n <= DP_PATTERN_LIMIT:
+        total, rows, order = _dp_order(costs, bound0, n)
+    else:
+        total, rows, order = _greedy_cost_order(costs, bound0, n)
+    return PhysicalPlan(list(order), _build_steps(order, costs, bound0),
+                        est_rows=rows, cost=total)
+
+
+# -- legacy greedy (sources without a statistics layer) ----------------------
 
 
 def _static_rank(pattern, bound: set, source) -> Tuple[int, int, int]:
     """Greedy rank under the assumption that ``bound`` vars are bound:
     (disconnected?, number of effectively-unbound positions, estimate).
-
-    The leading component prefers patterns *connected* to the already
-    bound variables — a disconnected pattern multiplies the running
-    binding table by its match count (a Cartesian product), so it only
-    joins when nothing connected remains.
     """
     if isinstance(pattern, PathPatternNode):
         names = [position.name for position in pattern.endpoints()
@@ -122,18 +396,19 @@ def _static_rank(pattern, bound: set, source) -> Tuple[int, int, int]:
         (concrete[0], concrete[1], concrete[2])))
 
 
-def plan_order(patterns: Sequence, source,
-               bound_vars: Optional[set] = None) -> List[int]:
-    """A full greedy join ordering, as pattern indices.
+def _legacy_plan(patterns: Sequence, source,
+                 bound0: frozenset) -> PhysicalPlan:
+    """The pre-statistics greedy ordering, wrapped as a physical plan.
 
-    Assumes every variable seen in an earlier pattern is bound — the
-    classic textbook heuristic.  The batch evaluator executes each
-    step with the accumulated binding table, so only the *order* needs
-    to be decided up front.
+    Only sources without a ``statistics()`` view (exotic test doubles)
+    take this path; estimates come from exact per-pattern counts.
     """
-    bound: set = set(bound_vars or ())
+    bound: set = set(bound0)
     remaining = list(range(len(patterns)))
     order: List[int] = []
+    steps: List[PlanStep] = []
+    rows = 1.0
+    total = 0.0
     while remaining:
         best = remaining[0]
         best_rank = _static_rank(patterns[best], bound, source)
@@ -143,52 +418,89 @@ def plan_order(patterns: Sequence, source,
                 best, best_rank = index, rank
         remaining.remove(best)
         order.append(best)
+        estimate = float(best_rank[2])
+        out_rows = max(rows, estimate)
+        total += out_rows
+        strategy = "path" if isinstance(patterns[best], PathPatternNode) \
+            else ("probe" if patterns[best].variables() & bound else "scan")
+        steps.append(PlanStep(best, strategy, rows, out_rows, estimate))
+        rows = out_rows
         bound |= patterns[best].variables()
-    return order
+    return PhysicalPlan(order, steps, est_rows=rows, cost=total)
+
+
+def plan_order(patterns: Sequence, source,
+               bound_vars: Optional[set] = None) -> List[int]:
+    """A full cost-based join ordering, as pattern indices."""
+    return plan_physical(patterns, source,
+                         frozenset(bound_vars or ())).order
 
 
 def static_order(patterns: Sequence[TriplePatternNode], source,
                  bound_vars: Optional[set] = None) -> List[TriplePatternNode]:
-    """A full greedy ordering computed once (used for EXPLAIN output)."""
+    """A full ordering computed once (used for tooling and tests)."""
     return [patterns[index]
             for index in plan_order(patterns, source, bound_vars)]
 
 
 # ---------------------------------------------------------------------------
-# Plan cache
+# Parameterized plan cache
 # ---------------------------------------------------------------------------
 
 
 class PlanCache:
-    """A process-wide LRU cache of BGP join orders.
+    """A process-wide LRU cache of BGP physical plans.
 
-    Keys combine the BGP's structural signature, the bound-variable
-    signature it is planned under, and the source graphs' identity +
-    mutation epochs.  A stale plan can never produce wrong results
-    (execution always applies the *actual* patterns); caching merely
-    skips recomputing the greedy order and its cardinality estimates.
+    Keys combine the BGP's *constant-lifted* structural signature, the
+    bound-variable signature it is planned under, and the source
+    graphs' identity + mutation epochs.  Entries remember the constant
+    parameters present when the plan was built, so hits are classified
+    as **exact** (same constants — e.g. the same query text re-run) or
+    **parameterized** (same shape, different constants — e.g. the next
+    member IRI of a cube level reusing the plan of the previous one).
+
+    A stale plan can never produce wrong results (execution always
+    applies the *actual* patterns); caching merely skips re-running the
+    planner.  Set :attr:`parameterized` to ``False`` to key plans on
+    their exact constants again (used by benchmarks to measure what the
+    sharing is worth).
     """
 
-    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("maxsize", "_entries", "hits_exact", "hits_parameterized",
+                 "misses", "evictions", "parameterized")
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, List[int]]" = OrderedDict()
-        self.hits = 0
+        self._entries: "OrderedDict[tuple, Tuple[PhysicalPlan, tuple]]" = \
+            OrderedDict()
+        self.hits_exact = 0
+        self.hits_parameterized = 0
         self.misses = 0
         self.evictions = 0
+        #: when False, plans are keyed on their exact constants (no
+        #: sharing across parameter values); diagnostic use only.
+        self.parameterized = True
 
-    def get(self, key: tuple) -> Optional[List[int]]:
-        plan = self._entries.get(key)
-        if plan is None:
+    @property
+    def hits(self) -> int:
+        return self.hits_exact + self.hits_parameterized
+
+    def get(self, key: tuple, params: tuple = ()) -> Optional[PhysicalPlan]:
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        plan, build_params = entry
+        if params == build_params:
+            self.hits_exact += 1
+        else:
+            self.hits_parameterized += 1
         return plan
 
-    def put(self, key: tuple, plan: List[int]) -> None:
-        self._entries[key] = plan
+    def put(self, key: tuple, plan: PhysicalPlan,
+            params: tuple = ()) -> None:
+        self._entries[key] = (plan, params)
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -199,7 +511,8 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
+        self.hits_exact = 0
+        self.hits_parameterized = 0
         self.misses = 0
         self.evictions = 0
 
@@ -207,58 +520,100 @@ class PlanCache:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
+            "hits_exact": self.hits_exact,
+            "hits_parameterized": self.hits_parameterized,
             "misses": self.misses,
             "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:
         return (f"<PlanCache {len(self._entries)}/{self.maxsize} entries, "
-                f"{self.hits} hits, {self.misses} misses>")
+                f"{self.hits} hits ({self.hits_parameterized} parameterized), "
+                f"{self.misses} misses>")
 
 
 #: The shared plan cache used by the evaluator.
 PLAN_CACHE = PlanCache()
 
 
-def _position_signature(position) -> tuple:
-    if isinstance(position, Var):
-        return ("v", position.name)
-    return ("c", position.n3())
+def _signature_and_params(node: BGP) -> Tuple[tuple, tuple]:
+    """The constant-lifted structural key of a BGP plus its parameters.
 
-
-def bgp_signature(node: BGP) -> tuple:
-    """A structural key for a BGP, independent of node identity.
-
-    Two parses of the same query text share plans through this key
-    (the endpoint's parse cache makes that the common case anyway).
+    Subject/object constants (and path endpoints) are replaced by
+    numbered ``("$", slot)`` parameter markers — the same constant
+    repeating maps to the same slot, so equality constraints between
+    positions stay visible in the signature.  Predicate constants stay
+    concrete: the cost model's statistics hang off them, so two BGPs
+    with different predicates genuinely need different plans.
     """
     cached = getattr(node, "_plan_signature", None)
     if cached is not None:
         return cached
-    parts = []
+    parts: List[tuple] = []
+    params: List[Term] = []
+    slot_of: Dict[Term, int] = {}
+
+    def lift(term: Term) -> tuple:
+        slot = slot_of.get(term)
+        if slot is None:
+            slot = len(params)
+            slot_of[term] = slot
+            params.append(term)
+        return ("$", slot)
+
+    def position_key(position) -> tuple:
+        if isinstance(position, Var):
+            return ("v", position.name)
+        return lift(position)
+
     for pattern in node.patterns:
         if isinstance(pattern, PathPatternNode):
-            parts.append(("p", _position_signature(pattern.subject),
+            parts.append(("p", position_key(pattern.subject),
                           pattern.path.to_sparql(),
-                          _position_signature(pattern.object)))
+                          position_key(pattern.object)))
         else:
-            parts.append(("t", _position_signature(pattern.subject),
-                          _position_signature(pattern.predicate),
-                          _position_signature(pattern.object)))
-    signature = tuple(parts)
-    node._plan_signature = signature
-    return signature
+            predicate = pattern.predicate
+            predicate_key = (("v", predicate.name)
+                             if isinstance(predicate, Var)
+                             else ("c", predicate.n3()))
+            parts.append(("t", position_key(pattern.subject), predicate_key,
+                          position_key(pattern.object)))
+    result = (tuple(parts), tuple(params))
+    node._plan_signature = result
+    return result
 
 
-def get_plan(node: BGP, bound_names: frozenset, source) -> List[int]:
-    """The cached (or freshly computed) join order for ``node`` when
+def bgp_signature(node: BGP) -> tuple:
+    """The constant-lifted structural key for a BGP.
+
+    Two parses of the same query text share plans through this key —
+    and so do parses of *different* texts that differ only in
+    subject/object constants (the parameterized-plan property).
+    """
+    return _signature_and_params(node)[0]
+
+
+def bgp_parameters(node: BGP) -> tuple:
+    """The lifted constants of a BGP, in first-occurrence order."""
+    return _signature_and_params(node)[1]
+
+
+def get_plan(node: BGP, bound_names: frozenset, source) -> PhysicalPlan:
+    """The cached (or freshly computed) physical plan for ``node`` when
     the variables in ``bound_names`` are already bound."""
+    signature, params = _signature_and_params(node)
     relevant = frozenset(bound_names & node.variables())
     source_key = getattr(source, "cache_key", None)
-    source_key = source_key() if callable(source_key) else (id(source),)
-    key = (bgp_signature(node), relevant, source_key)
-    plan = PLAN_CACHE.get(key)
+    if callable(source_key):
+        source_key = source_key()
+    else:
+        source_key = (id(source), getattr(source, "epoch", None))
+    if PLAN_CACHE.parameterized:
+        key = (signature, relevant, source_key)
+    else:
+        key = (signature, params, relevant, source_key)
+    plan = PLAN_CACHE.get(key, params)
     if plan is None:
-        plan = plan_order(node.patterns, source, relevant)
-        PLAN_CACHE.put(key, plan)
+        plan = plan_physical(node.patterns, source, relevant)
+        PLAN_CACHE.put(key, plan, params)
     return plan

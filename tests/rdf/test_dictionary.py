@@ -50,6 +50,43 @@ class TestTermDictionary:
         assert ds.default.dictionary is ds.dictionary
 
 
+class TestDictionaryOverlay:
+    def test_known_terms_keep_their_base_ids(self):
+        from repro.rdf import TermDictionary
+
+        base = TermDictionary()
+        base_id = base.encode(EX.a)
+        overlay = base.overlay()
+        assert overlay.encode(EX.a) == base_id
+        assert overlay.lookup(EX.a) == base_id
+
+    def test_new_terms_go_to_the_overflow_range(self):
+        from repro.rdf import Literal, TermDictionary
+        from repro.rdf.dictionary import OVERLAY_BASE
+
+        base = TermDictionary()
+        base.encode(EX.a)
+        overlay = base.overlay()
+        computed = Literal("only-in-this-query")
+        overlay_id = overlay.encode(computed)
+        assert overlay_id >= OVERLAY_BASE
+        assert overlay.encode(computed) == overlay_id  # stable in-query
+        assert overlay.decode(overlay_id) == computed
+        # the base dictionary never saw the computed term
+        assert len(base) == 1
+        assert base.lookup(computed) is None
+
+    def test_decode_row_mixes_ranges(self):
+        from repro.rdf import Literal, TermDictionary
+
+        base = TermDictionary()
+        a_id = base.encode(EX.a)
+        overlay = base.overlay()
+        x_id = overlay.encode(Literal("x"))
+        assert overlay.decode_row([a_id, None, x_id]) == \
+            (EX.a, None, Literal("x"))
+
+
 class TestCountFromIndexes:
     @pytest.fixture
     def graph(self):

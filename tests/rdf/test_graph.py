@@ -180,6 +180,38 @@ class TestDataset:
         assert not ds.drop("http://e/g")
         assert len(ds) == 0
 
+    def test_union_view_rejects_every_write_path(self):
+        """Regression: every mutating call on the read-only union view
+        must raise a clear error instead of touching a source graph."""
+        import pytest
+
+        from repro.rdf import TermError
+
+        ds = Dataset()
+        ds.default.add(EX.a, EX.p, EX.b)
+        ds.graph("http://e/g").add(EX.a, EX.p, EX.c)
+        view = ds.union()
+        writes = [
+            lambda: view.add(EX.x, EX.p, EX.y),
+            lambda: view.add((EX.x, EX.p, EX.y)),
+            lambda: view.add_all([(EX.x, EX.p, EX.y)]),
+            lambda: view.remove((EX.a, EX.p, None)),
+            lambda: view.clear(),
+            lambda: view.parse("<http://e/x> <http://e/p> <http://e/y> .",
+                               format="ntriples"),
+            lambda: view.bind("ex", "http://example.org/"),
+        ]
+        for write in writes:
+            with pytest.raises(TermError, match="read-only"):
+                write()
+        # augmented assignment must raise the same clear error, not a
+        # silent no-op or an opaque TypeError
+        with pytest.raises(TermError, match="read-only"):
+            view.__iadd__([(EX.x, EX.p, EX.y)])
+        # and nothing leaked into the sources
+        assert len(ds.default) == 1
+        assert len(ds.graph("http://e/g")) == 1
+
 
 # -- property-based: index consistency ------------------------------------------
 

@@ -1,0 +1,103 @@
+"""Incremental graph statistics: the planner's O(1) summaries."""
+
+from repro.rdf import Dataset, Graph, Literal, Namespace
+from repro.rdf.stats import StatisticsView, statistics_for
+
+EX = Namespace("http://example.org/")
+
+
+def build_graph():
+    g = Graph()
+    for i in range(10):
+        g.add(EX[f"obs{i}"], EX.value, Literal(i))
+        g.add(EX[f"obs{i}"], EX.inGroup, EX[f"g{i % 3}"])
+    return g
+
+
+class TestIncrementalMaintenance:
+    def test_cardinality_per_predicate(self):
+        g = build_graph()
+        stats = g.statistics()
+        assert stats.predicate_cardinality(EX.value) == 10
+        assert stats.predicate_cardinality(EX.inGroup) == 10
+        assert stats.predicate_cardinality(EX.unknown) == 0
+
+    def test_distinct_subject_and_object_counts(self):
+        g = build_graph()
+        stats = g.statistics()
+        assert stats.predicate_subjects(EX.inGroup) == 10
+        assert stats.predicate_objects(EX.inGroup) == 3
+        assert stats.predicate_objects(EX.value) == 10
+
+    def test_duplicate_add_does_not_double_count(self):
+        g = build_graph()
+        g.add(EX.obs0, EX.inGroup, EX.g0)  # already present
+        assert g.statistics().predicate_cardinality(EX.inGroup) == 10
+
+    def test_remove_updates_counters(self):
+        g = build_graph()
+        g.remove((EX.obs0, EX.inGroup, None))
+        stats = g.statistics()
+        assert stats.predicate_cardinality(EX.inGroup) == 9
+        assert stats.predicate_subjects(EX.inGroup) == 9
+        # g0 still referenced by obs3, obs6, obs9
+        assert stats.predicate_objects(EX.inGroup) == 3
+
+    def test_remove_last_occurrence_drops_distinct_object(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.x)
+        g.add(EX.b, EX.p, EX.y)
+        g.remove((EX.a, EX.p, EX.x))
+        stats = g.statistics()
+        assert stats.predicate_objects(EX.p) == 1
+        assert stats.predicate_subjects(EX.p) == 1
+        g.remove((None, EX.p, None))
+        assert g.statistics().predicate_cardinality(EX.p) == 0
+
+    def test_clear_resets(self):
+        g = build_graph()
+        g.clear()
+        stats = g.statistics()
+        assert stats.triple_count() == 0
+        assert stats.predicate_cardinality(EX.value) == 0
+
+    def test_copy_carries_statistics(self):
+        g = build_graph()
+        clone = g.copy()
+        assert clone.statistics().predicate_cardinality(EX.value) == 10
+        # and the clone's statistics evolve independently
+        clone.remove((None, EX.value, None))
+        assert clone.statistics().predicate_cardinality(EX.value) == 0
+        assert g.statistics().predicate_cardinality(EX.value) == 10
+
+
+class TestSelectivitySummaries:
+    def test_fanout_and_fanin(self):
+        g = build_graph()
+        stats = g.statistics()
+        assert stats.subject_fanout(EX.inGroup) == 1.0     # 10 / 10
+        assert stats.object_fanin(EX.inGroup) == 10 / 3    # 10 / 3
+        assert stats.object_fanin(EX.unknown) == 0.0
+
+    def test_totals_from_index_sizes(self):
+        g = build_graph()
+        stats = g.statistics()
+        assert stats.triple_count() == 20
+        assert stats.subject_count() == 10
+        assert stats.predicate_count() == 2
+
+
+class TestAggregatedViews:
+    def test_union_view_sums_member_graphs(self):
+        ds = Dataset()
+        ds.default.add(EX.a, EX.p, EX.x)
+        ds.graph(EX.g1).add(EX.b, EX.p, EX.y)
+        stats = ds.union().statistics()
+        assert stats.predicate_cardinality(EX.p) == 2
+        assert stats.triple_count() == 2
+
+    def test_statistics_for_duck_typing(self):
+        g = build_graph()
+        view = statistics_for(g)
+        assert isinstance(view, StatisticsView)
+        assert statistics_for(object()) is None

@@ -1,0 +1,297 @@
+"""Cost-based planner: physical plans, parameterized sharing, streaming.
+
+Covers the planner subsystem end to end: the DP join ordering over the
+statistics layer, the constant-lifted plan signatures that let one
+cache entry serve every member IRI of a materialization loop, the
+streaming LIMIT pushdown (asserted via the probe-counter hook), and
+the estimated-vs-actual EXPLAIN surface.
+"""
+
+import pytest
+
+from repro.rdf import Literal, Namespace
+from repro.sparql import LocalEndpoint
+from repro.sparql.evaluator import PROBE_COUNTER
+from repro.sparql.explain import explain
+from repro.sparql.optimizer import (
+    PLAN_CACHE,
+    PhysicalPlan,
+    bgp_parameters,
+    bgp_signature,
+    get_plan,
+    plan_physical,
+)
+from repro.sparql.parser import parse_query
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    PLAN_CACHE.clear()
+    yield
+    PLAN_CACHE.clear()
+    PLAN_CACHE.parameterized = True
+
+
+def build_endpoint(n=300, groups=5):
+    ep = LocalEndpoint()
+    g = ep.dataset.default
+    for i in range(n):
+        g.add(EX[f"obs{i}"], EX.value, Literal(i))
+        g.add(EX[f"obs{i}"], EX.inGroup, EX[f"g{i % groups}"])
+    for j in range(groups):
+        g.add(EX[f"g{j}"], EX.name, Literal(f"group {j}"))
+    return ep
+
+
+class TestPhysicalPlan:
+    def test_plan_carries_steps_and_estimates(self):
+        ep = build_endpoint()
+        query = parse_query(
+            "SELECT ?o ?n WHERE { ?o <http://example.org/inGroup> ?g . "
+            "?g <http://example.org/name> ?n }")
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        plan = get_plan(query.pattern, frozenset(), source)
+        assert isinstance(plan, PhysicalPlan)
+        assert sorted(plan.order) == [0, 1]
+        assert len(plan.steps) == 2
+        assert plan.cost > 0
+        # selective pattern (5 names) planned before the broad one
+        assert plan.order[0] == 1
+        assert all(step.strategy in ("hash", "probe", "scan", "path")
+                   for step in plan.steps)
+
+    def test_dp_picks_chain_order_over_cartesian(self):
+        ep = build_endpoint()
+        query = parse_query(
+            "SELECT * WHERE { ?o <http://example.org/value> ?v . "
+            "?g <http://example.org/name> ?n . "
+            "?o <http://example.org/inGroup> ?g }")
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        plan = get_plan(query.pattern, frozenset(), source)
+        # name (5) first, then the connected inGroup hop, value last —
+        # never a Cartesian product between the two selective islands
+        assert plan.order == [1, 2, 0]
+
+    def test_plan_is_iterable_like_an_order(self):
+        ep = build_endpoint()
+        query = parse_query(
+            "SELECT ?o WHERE { ?o <http://example.org/value> ?v }")
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        plan = get_plan(query.pattern, frozenset(), source)
+        assert list(plan) == plan.order
+        assert len(plan) == 1
+
+    def test_large_bgp_uses_greedy_and_covers_all(self):
+        ep = build_endpoint()
+        g = ep.dataset.default
+        text = "SELECT * WHERE { " + " . ".join(
+            f"?s{i} <http://example.org/value> ?v{i}" for i in range(14)
+        ) + " }"
+        query = parse_query(text)
+        plan = plan_physical(query.pattern.patterns, g)
+        assert sorted(plan.order) == list(range(14))
+
+
+class TestParameterizedSharing:
+    def test_constant_lifted_signature(self):
+        q1 = parse_query(
+            "SELECT ?p ?v WHERE { <http://example.org/g1> ?p ?v }")
+        q2 = parse_query(
+            "SELECT ?p ?v WHERE { <http://example.org/g2> ?p ?v }")
+        assert bgp_signature(q1.pattern) == bgp_signature(q2.pattern)
+        assert bgp_parameters(q1.pattern) != bgp_parameters(q2.pattern)
+
+    def test_predicates_stay_concrete(self):
+        q1 = parse_query(
+            "SELECT ?s WHERE { ?s <http://example.org/value> ?v }")
+        q2 = parse_query(
+            "SELECT ?s WHERE { ?s <http://example.org/inGroup> ?v }")
+        assert bgp_signature(q1.pattern) != bgp_signature(q2.pattern)
+
+    def test_repeated_constant_shares_a_slot(self):
+        q1 = parse_query(
+            "SELECT * WHERE { ?s ?p <http://example.org/x> . "
+            "?t ?q <http://example.org/x> }")
+        q2 = parse_query(
+            "SELECT * WHERE { ?s ?p <http://example.org/x> . "
+            "?t ?q <http://example.org/y> }")
+        # same constant twice is a different (stronger) shape than two
+        # distinct constants
+        assert bgp_signature(q1.pattern) != bgp_signature(q2.pattern)
+
+    def test_member_queries_share_one_plan(self):
+        ep = build_endpoint()
+        for j in range(5):
+            ep.select(f"SELECT ?o WHERE {{ ?o <http://example.org/inGroup> "
+                      f"<http://example.org/g{j}> . "
+                      f"?o <http://example.org/value> ?v }}")
+        stats = PLAN_CACHE.statistics()
+        assert stats["misses"] == 1
+        assert stats["hits_parameterized"] == 4
+        assert stats["entries"] == 1
+
+    def test_exact_vs_parameterized_hit_classification(self):
+        ep = build_endpoint()
+        query = ("SELECT ?p WHERE { <http://example.org/g0> ?p ?v }")
+        ep.select(query)
+        ep.select(query)  # same constants: exact
+        ep.select("SELECT ?p WHERE { <http://example.org/g1> ?p ?v }")
+        stats = PLAN_CACHE.statistics()
+        assert stats["hits_exact"] >= 1
+        assert stats["hits_parameterized"] >= 1
+
+    def test_parameterization_can_be_disabled(self):
+        ep = build_endpoint()
+        PLAN_CACHE.parameterized = False
+        for j in range(5):
+            ep.select(f"SELECT ?p WHERE {{ <http://example.org/g{j}> "
+                      f"?p ?v }}")
+        assert PLAN_CACHE.statistics()["misses"] == 5
+
+    def test_results_correct_across_parameter_values(self):
+        ep = build_endpoint(n=30, groups=3)
+        sizes = [
+            len(ep.select(f"SELECT ?o WHERE {{ ?o "
+                          f"<http://example.org/inGroup> "
+                          f"<http://example.org/g{j}> }}"))
+            for j in range(3)]
+        assert sizes == [10, 10, 10]
+        assert PLAN_CACHE.statistics()["hits_parameterized"] == 2
+
+
+class TestMaterializationReuse:
+    def test_member_property_walk_reuses_one_plan(self):
+        """The cube-ETL workload: one query per member IRI, one plan."""
+        from repro.enrichment.instances import member_properties
+
+        ep = build_endpoint(n=50, groups=5)
+        members = [EX[f"g{j}"] for j in range(5)]
+        PLAN_CACHE.clear()
+        tables = [member_properties(ep, member) for member in members]
+        assert all(EX.name in properties for properties in tables)
+        stats = PLAN_CACHE.statistics()
+        assert stats["misses"] == 1
+        assert stats["hits_parameterized"] == len(members) - 1
+
+
+class TestStreamingLimit:
+    def test_limit_touches_fewer_index_entries(self):
+        ep = build_endpoint(n=300)
+        query = ("SELECT ?o ?v WHERE { ?o <http://example.org/value> ?v }")
+        with PROBE_COUNTER as counter:
+            full = ep.select(query)
+        full_probes = counter.entries
+        with PROBE_COUNTER as counter:
+            limited = ep.select(query + " LIMIT 5")
+        assert len(full) == 300
+        assert len(limited) == 5
+        assert counter.entries < full_probes / 2
+
+    def test_streamed_rows_are_valid_solutions(self):
+        ep = build_endpoint(n=100)
+        limited = ep.select(
+            "SELECT ?o ?v WHERE { ?o <http://example.org/value> ?v . "
+            "?o <http://example.org/inGroup> ?g } LIMIT 7")
+        full = ep.select(
+            "SELECT ?o ?v WHERE { ?o <http://example.org/value> ?v . "
+            "?o <http://example.org/inGroup> ?g }")
+        assert len(limited) == 7
+        assert set(map(str, limited.rows)) <= set(map(str, full.rows))
+
+    def test_offset_is_honoured(self):
+        ep = build_endpoint(n=100)
+        query = ("SELECT ?o WHERE { ?o <http://example.org/value> ?v } ")
+        assert len(ep.select(query + "LIMIT 10 OFFSET 95")) == 5
+
+    def test_filter_above_bgp_still_streams_correctly(self):
+        ep = build_endpoint(n=200)
+        table = ep.select(
+            "SELECT ?o ?v WHERE { ?o <http://example.org/value> ?v . "
+            "FILTER(?v >= 100) } LIMIT 4")
+        assert len(table) == 4
+        assert all(row["v"].value >= 100 for row in table)
+
+    def test_order_by_disables_streaming_and_stays_exact(self):
+        ep = build_endpoint(n=50)
+        table = ep.select(
+            "SELECT ?v WHERE { ?o <http://example.org/value> ?v } "
+            "ORDER BY ?v LIMIT 3")
+        assert [row["v"].value for row in table] == [0, 1, 2]
+
+    def test_distinct_disables_streaming_and_stays_exact(self):
+        ep = build_endpoint(n=50, groups=5)
+        table = ep.select(
+            "SELECT DISTINCT ?g WHERE { ?o <http://example.org/inGroup> "
+            "?g } LIMIT 5")
+        assert len(table) == 5
+
+
+class TestExplainAnalyze:
+    def test_estimated_and_actual_cardinalities(self):
+        ep = build_endpoint()
+        plan = ep.explain(
+            "SELECT ?o ?n WHERE { ?o <http://example.org/inGroup> ?g . "
+            "?g <http://example.org/name> ?n }", analyze=True)
+        assert "est." in plan
+        assert "actual" in plan
+        # exact statistics: the estimates match reality on this data
+        assert "(est. 5, actual 5)" in plan
+
+    def test_strategy_markers_present(self):
+        ep = build_endpoint()
+        plan = ep.explain(
+            "SELECT ?o ?n WHERE { ?o <http://example.org/inGroup> ?g . "
+            "?g <http://example.org/name> ?n }")
+        assert "[scan]" in plan or "[probe]" in plan or "[hash]" in plan
+        assert "cost" in plan
+
+    def test_cache_counters_broken_down(self):
+        ep = build_endpoint()
+        query = ("SELECT ?o WHERE { ?o <http://example.org/value> ?v }")
+        ep.select(query)
+        ep.select(query)
+        plan = ep.explain(query)
+        stats_line = plan.splitlines()[-1]
+        assert "exact=" in stats_line
+        assert "parameterized=" in stats_line
+
+
+class TestDictionaryStaysFlat:
+    def test_computed_literals_do_not_grow_the_dictionary(self):
+        """ROADMAP item: a long-lived endpoint's dictionary stays flat
+        across repeated computed-literal queries."""
+        ep = build_endpoint(n=20)
+        # warm up: interns any query constants that are real terms
+        ep.select('SELECT ?x WHERE { ?o <http://example.org/value> ?v . '
+                  'BIND(CONCAT("warm", STR(?v)) AS ?x) }')
+        size_before = len(ep.dataset.dictionary)
+        for i in range(40):
+            table = ep.select(
+                f'SELECT ?x WHERE {{ ?o <http://example.org/value> ?v . '
+                f'BIND(CONCAT("computed-{i}-", STR(?v)) AS ?x) }} LIMIT 3')
+            assert len(table) == 3
+        assert len(ep.dataset.dictionary) == size_before
+
+    def test_values_literals_do_not_grow_the_dictionary(self):
+        ep = build_endpoint(n=10)
+        ep.select('SELECT * WHERE { VALUES ?z { "warm" } }')
+        size_before = len(ep.dataset.dictionary)
+        for i in range(20):
+            table = ep.select(
+                f'SELECT * WHERE {{ VALUES ?z {{ "ephemeral-{i}" }} }}')
+            assert len(table) == 1
+            assert table.rows[0][0].value == f"ephemeral-{i}"
+        assert len(ep.dataset.dictionary) == size_before
+
+    def test_computed_value_equal_to_stored_term_still_joins(self):
+        ep = LocalEndpoint()
+        ep.dataset.default.add(EX.a, EX.label, Literal("x1"))
+        table = ep.select(
+            'SELECT ?s WHERE { BIND(CONCAT("x", "1") AS ?lbl) . '
+            '?s <http://example.org/label> ?lbl }')
+        assert len(table) == 1
