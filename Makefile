@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-plan bench-plan-baseline
+.PHONY: test bench bench-smoke bench-baseline bench-plan \
+	bench-plan-baseline bench-stream bench-stream-baseline
 
 ## Tier-1 verification: the full unit/integration suite.
 test:
@@ -30,3 +31,13 @@ bench-plan:
 ## Refresh the committed plan baseline after an intentional change.
 bench-plan-baseline:
 	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_plans.py --update
+
+## Streaming gate: probe / streamed-row counts of a DISTINCT-LIMIT and
+## an OPTIONAL-LIMIT query must stay within 2x of the committed
+## baseline (and results must match materialized execution exactly).
+bench-stream:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py --stream
+
+## Refresh the committed streaming baseline after an intentional change.
+bench-stream-baseline:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py --stream --update

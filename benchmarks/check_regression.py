@@ -93,15 +93,135 @@ def measure() -> dict:
     return metrics
 
 
+#: The streaming-gate workload: the two algebra shapes the translated
+#: E3/E6/E8 queries lean on — a DISTINCT dimension walk and an
+#: OPTIONAL label lookup, both under LIMIT.
+STREAM_QUERIES = {
+    "distinct_limit": """
+        SELECT DISTINCT ?c WHERE {
+            ?obs <http://eurostat.linked-statistics.org/property#citizen> ?c
+        } LIMIT 10
+    """,
+    "optional_limit": """
+        SELECT ?obs ?label WHERE {
+            ?obs <http://eurostat.linked-statistics.org/property#citizen> ?c
+            OPTIONAL {
+                ?c <http://www.w3.org/2000/01/rdf-schema#label> ?label
+            }
+        } LIMIT 50
+    """,
+}
+
+
+def measure_stream() -> dict:
+    """Streamed-row and probe counts for the streaming-gate queries.
+
+    Counts, not timings, so the gate is deterministic: a fresh run
+    failing the 2x factor means the streaming pipeline genuinely pulls
+    more index entries / solutions than it used to (or stopped
+    streaming entirely — ``streamed`` dropping to 0 trips the ratio on
+    the probe metrics).  Each query's streamed results are also checked
+    against materialized execution, so the gate doubles as an
+    end-to-end correctness probe at benchmark scale.
+    """
+    import repro.sparql.evaluator as evaluator_module
+    from repro.data import small_demo
+    from repro.sparql.evaluator import PROBE_COUNTER, STREAM_TELEMETRY
+
+    endpoint = small_demo(observations=OBSERVATIONS).endpoint
+    metrics: dict = {}
+    for name, query in STREAM_QUERIES.items():
+        before = STREAM_TELEMETRY.snapshot()
+        with PROBE_COUNTER as counter:
+            streamed = endpoint.select(query)
+        # PROBE_COUNTER is a singleton: save entries before reusing it
+        streamed_probes = counter.entries
+        after = STREAM_TELEMETRY.snapshot()
+        evaluator_module.STREAMING_ENABLED = False
+        try:
+            with PROBE_COUNTER as counter:
+                materialized = endpoint.select(query)
+        finally:
+            evaluator_module.STREAMING_ENABLED = True
+        if streamed.rows != materialized.rows:
+            raise AssertionError(
+                f"streamed and materialized rows differ for {name}")
+        metrics[f"stream/{name}/streamed"] = after["queries"] - \
+            before["queries"]
+        metrics[f"stream/{name}/probes"] = streamed_probes
+        metrics[f"stream/{name}/rows_pulled"] = after["rows"] - \
+            before["rows"]
+        metrics[f"stream/{name}/full_probes"] = counter.entries
+    return metrics
+
+
+def run_stream_gate(args) -> int:
+    """The ``make bench-stream`` gate: count metrics, 2x tolerance."""
+    factor = float(os.environ.get("REPRO_BENCH_STREAM_TOLERANCE", "2.0"))
+    fresh = measure_stream()
+    scale_key = f"stream/{OBSERVATIONS}"
+
+    stored = {}
+    if args.baseline.exists():
+        stored = json.loads(args.baseline.read_text())
+
+    if args.update:
+        stored[scale_key] = fresh
+        args.baseline.write_text(json.dumps(stored, indent=2) + "\n")
+        print(f"stream baseline updated for obs={OBSERVATIONS}: "
+              f"{args.baseline}")
+        return 0
+
+    baseline = stored.get(scale_key)
+    if baseline is None:
+        print(f"no stream baseline for obs={OBSERVATIONS} in "
+              f"{args.baseline}; run with --stream --update first",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'metric':40s} {'baseline':>10s} {'fresh':>10s} {'ratio':>7s}")
+    for metric, reference in sorted(baseline.items()):
+        current = fresh.get(metric)
+        if current is None:
+            # fail closed: a metric the fresh run no longer produces
+            # means the gate would otherwise pass without checking it
+            print(f"{metric:40s} {reference:10d} {'MISSING':>10s}")
+            failures.append(metric)
+            continue
+        ratio = current / reference if reference else float("inf")
+        flag = ""
+        if current > reference * factor:
+            flag = "  REGRESSION"
+            failures.append(metric)
+        elif metric.endswith("/streamed") and current < reference:
+            flag = "  STOPPED STREAMING"
+            failures.append(metric)
+        print(f"{metric:40s} {reference:10d} {current:10d} "
+              f"{ratio:6.2f}x{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} streaming metric(s) regressed beyond "
+              f"{factor:.1f}x: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nno streaming regression beyond {factor:.1f}x tolerance")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=pathlib.Path,
                         default=BASELINE_PATH)
     parser.add_argument("--update", action="store_true",
                         help="write the fresh numbers as the new baseline")
+    parser.add_argument("--stream", action="store_true",
+                        help="run the streaming gate (probe / streamed-row "
+                             "counts) instead of the timing workload")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+    if args.stream:
+        return run_stream_gate(args)
     fresh = measure()
     scale_key = str(OBSERVATIONS)
 

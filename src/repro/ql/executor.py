@@ -50,6 +50,13 @@ class ExecutionReport:
     plan_cache_hits: int = 0
     plan_cache_parameterized_hits: int = 0
     plan_cache_misses: int = 0
+    #: streaming-pipeline activity during execution: SELECT evaluations
+    #: (incl. sub-SELECTs) served by the streaming LIMIT path and the
+    #: batches / rows it pulled (early termination keeps
+    #: ``streamed_rows`` far below a full evaluation)
+    streamed_queries: int = 0
+    streamed_batches: int = 0
+    streamed_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -107,8 +114,10 @@ class QLEngine:
             raise ValueError(f"unknown variant {variant!r}")
         (_, simplified, _, translation, report) = self.prepare(program)
 
+        from repro.sparql.evaluator import STREAM_TELEMETRY
         from repro.sparql.optimizer import PLAN_CACHE
         cache_before = PLAN_CACHE.statistics()
+        stream_before = STREAM_TELEMETRY.snapshot()
         started = time.perf_counter()
         if variant == "direct":
             table = self.endpoint.select(translation.direct)
@@ -136,6 +145,12 @@ class QLEngine:
             - cache_before["hits_parameterized"])
         report.plan_cache_misses = (
             cache_after["misses"] - cache_before["misses"])
+        stream_after = STREAM_TELEMETRY.snapshot()
+        report.streamed_queries = (
+            stream_after["queries"] - stream_before["queries"])
+        report.streamed_batches = (
+            stream_after["batches"] - stream_before["batches"])
+        report.streamed_rows = stream_after["rows"] - stream_before["rows"]
 
         cube = ResultCube(table, translation.metadata)
         return QLResult(cube=cube, table=table, translation=translation,

@@ -50,7 +50,13 @@ from repro.sparql.errors import (
     UpdateError,
 )
 from repro.sparql.bindings import BindingTable
-from repro.sparql.evaluator import DatasetContext, evaluate_query
+from repro.sparql.evaluator import (
+    PROBE_COUNTER,
+    STREAM_TELEMETRY,
+    DatasetContext,
+    evaluate_query,
+    would_stream,
+)
 from repro.sparql.explain import explain, plan_cache_statistics
 from repro.sparql.optimizer import (
     PLAN_CACHE,
@@ -80,6 +86,8 @@ __all__ = [
     "ExpressionError",
     "LocalEndpoint",
     "PLAN_CACHE",
+    "PROBE_COUNTER",
+    "STREAM_TELEMETRY",
     "PhysicalPlan",
     "PlanCache",
     "PlanStep",
@@ -100,4 +108,5 @@ __all__ = [
     "results_to_json",
     "results_to_tsv",
     "results_to_xml",
+    "would_stream",
 ]

@@ -15,7 +15,7 @@ right side) and are never decoded into user-visible bindings.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 IdRow = Tuple[Optional[int], ...]
 
@@ -63,12 +63,20 @@ class BindingTable:
 
     def project_onto(self, names: Sequence[str]) -> List[IdRow]:
         """Rows re-ordered/padded onto a target schema."""
+        return list(self.iter_onto(names))
+
+    def iter_onto(self, names: Sequence[str]) -> Iterator[IdRow]:
+        """Lazily project rows onto a target schema.
+
+        The generator form of :meth:`project_onto` for incremental
+        consumers (the streaming dedup operator) that may stop before
+        draining the batch.
+        """
         slots = self.slots
         picks = [slots.get(name) for name in names]
-        return [
-            tuple(None if pick is None else row[pick] for pick in picks)
-            for row in self.rows
-        ]
+        for row in self.rows:
+            yield tuple(
+                None if pick is None else row[pick] for pick in picks)
 
     def __len__(self) -> int:
         return len(self.rows)

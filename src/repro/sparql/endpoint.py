@@ -34,6 +34,7 @@ from repro.sparql.algebra import (
 )
 from repro.sparql.errors import EndpointError, UpdateError
 from repro.sparql.evaluator import (
+    STREAM_TELEMETRY,
     DatasetContext,
     PatternEvaluator,
     evaluate_ask,
@@ -94,6 +95,13 @@ class EndpointStatistics:
     total_seconds: float = 0.0
     parse_cache_hits: int = 0
     parse_cache_misses: int = 0
+    #: SELECT evaluations served by the streaming LIMIT pipeline
+    #: (nested sub-SELECTs count separately), and the batches /
+    #: solution rows it pulled — early termination shows up here as
+    #: row counts far below the materialized result sizes
+    streamed_selects: int = 0
+    streamed_batches: int = 0
+    streamed_rows: int = 0
 
     def reset(self) -> None:
         self.selects = 0
@@ -104,6 +112,9 @@ class EndpointStatistics:
         self.total_seconds = 0.0
         self.parse_cache_hits = 0
         self.parse_cache_misses = 0
+        self.streamed_selects = 0
+        self.streamed_batches = 0
+        self.streamed_rows = 0
 
 
 class LocalEndpoint:
@@ -162,10 +173,17 @@ class LocalEndpoint:
         if not isinstance(query, SelectQuery):
             raise EndpointError("select() requires a SELECT query")
         context = DatasetContext(self.dataset, self.default_as_union)
+        stream_before = STREAM_TELEMETRY.snapshot()
         table = evaluate_select(query, context)
         elapsed = time.perf_counter() - started
         self.statistics.selects += 1
         self.statistics.total_seconds += elapsed
+        self.statistics.streamed_selects += (
+            STREAM_TELEMETRY.queries - stream_before["queries"])
+        self.statistics.streamed_batches += (
+            STREAM_TELEMETRY.batches - stream_before["batches"])
+        self.statistics.streamed_rows += (
+            STREAM_TELEMETRY.rows - stream_before["rows"])
         self._log("select", query_text, elapsed, len(table))
         if (self.limits.max_result_rows is not None
                 and len(table) > self.limits.max_result_rows):

@@ -19,11 +19,17 @@ from averaged statistics, so mis-estimates must degrade safely), and —
 when a trace list is installed — records per-step actual cardinalities
 for ``EXPLAIN ... analyze``.
 
-Queries with ``LIMIT`` but no ORDER BY / aggregation / DISTINCT are
-**streamed**: the first join step's index scan is pulled in batches and
-the pipeline stops as soon as enough solutions exist, instead of
-materializing the full :class:`BindingTable` (see
-:func:`PatternEvaluator.stream_solutions`).
+Queries with ``LIMIT`` but no ORDER BY / aggregation are **streamed**:
+the first join step's index scan is pulled in batches and the pipeline
+stops as soon as ``OFFSET + LIMIT`` output rows exist, instead of
+materializing the full :class:`BindingTable`.  ``DISTINCT`` streams
+through an incremental dedup operator (seen-set bounded by the row
+budget), ``REDUCED`` through adjacent dedup with no seen-set at all,
+and ``OPTIONAL`` executes as a streaming left-outer probe fed
+batch-by-batch from its required side (see :func:`_stream_select` and
+:meth:`PatternEvaluator.stream_tables`).  Streamability is carried on
+the plan IR (:attr:`~repro.sparql.optimizer.PhysicalPlan.streamable`)
+rather than re-derived here.
 
 Computed terms (BIND results, VALUES literals, seed bindings) intern
 into a per-query :class:`~repro.rdf.dictionary.DictionaryOverlay`
@@ -94,6 +100,7 @@ from repro.sparql.expressions import (
 )
 from repro.sparql.optimizer import (
     get_plan,
+    stream_shape,
     substituted,
     substituted_endpoints,
 )
@@ -134,6 +141,43 @@ class ProbeCounter:
 
 #: The shared probe-counter hook (off unless a test turns it on).
 PROBE_COUNTER = ProbeCounter()
+
+
+class StreamTelemetry:
+    """Counters for the streaming pipeline (always on, O(1) per batch).
+
+    ``queries`` counts SELECT evaluations that took the streaming path
+    — including nested sub-SELECTs, so one request can contribute more
+    than one — ``batches`` the solution batches pulled through it and
+    ``rows`` the solutions those batches carried.  The endpoint and the
+    QL execution report read deltas of these around each request, so
+    callers can verify a workload streamed (and how much it pulled)
+    without enabling the probe counter.
+    """
+
+    __slots__ = ("queries", "batches", "rows")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.rows = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.rows = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"queries": self.queries, "batches": self.batches,
+                "rows": self.rows}
+
+
+#: The shared streaming-telemetry counters.
+STREAM_TELEMETRY = StreamTelemetry()
+
+#: Kill switch for the streaming SELECT path (differential tests flip
+#: it off to compare streamed against fully materialized execution).
+STREAMING_ENABLED = True
 
 
 def _counted(match_ids):
@@ -787,29 +831,33 @@ class PatternEvaluator:
 
     # -- streaming LIMIT pipeline --------------------------------------------
 
-    def stream_solutions(self, node: PatternNode, source: GraphSource,
-                         needed: int, batch: int = 512) -> List[Binding]:
-        """Decoded solutions for ``node``, stopping once ``needed`` exist.
+    def iter_stream_solutions(self, node: PatternNode, source: GraphSource,
+                              batch: int = 512) -> Iterator[Binding]:
+        """Lazily decoded solutions, pulled batch-by-batch.
 
         The first join step of the leading BGP is pulled in batches of
         at most ``batch`` index entries; each batch flows through the
-        remaining steps (and any row-local operators above the BGP), so
-        a ``LIMIT n`` query touches roughly the index prefix that
-        yields ``n`` solutions instead of materializing everything.
+        remaining steps (and any row-local operators above the BGP),
+        but only while the caller keeps iterating — consumers that
+        cannot know up front how many raw solutions they need (the
+        incremental DISTINCT operator) simply stop pulling.
         """
-        if needed <= 0:
-            return []
-        out: List[Binding] = []
         decode = self._dict.decode
-        for table in self._stream(node, source, max(64, min(batch, needed))):
+        for table in self.stream_tables(node, source, batch):
             visible = table.visible_slots()
             for row in table.rows:
-                out.append({name: decode(row[slot])
-                            for slot, name in visible
-                            if row[slot] is not None})
-            if len(out) >= needed:
-                break
-        return out
+                yield {name: decode(row[slot])
+                       for slot, name in visible
+                       if row[slot] is not None}
+
+    def stream_tables(self, node: PatternNode, source: GraphSource,
+                      batch: int = 512) -> Iterator[BindingTable]:
+        """Solution batches for a streamable subtree, with telemetry."""
+        telemetry = STREAM_TELEMETRY
+        for table in self._stream(node, source, batch):
+            telemetry.batches += 1
+            telemetry.rows += len(table.rows)
+            yield table
 
     def _stream(self, node: PatternNode, source: GraphSource,
                 batch: int) -> Iterator[BindingTable]:
@@ -830,6 +878,13 @@ class PatternEvaluator:
             for table in self._stream(node.left, source, batch):
                 if table.rows:
                     yield self.solve(node.right, source, table)
+        elif isinstance(node, LeftJoin):
+            # streaming left-outer probe: each required-side batch is
+            # extended (or None-padded) against the optional side right
+            # away, so neither side ever materializes fully
+            for table in self._stream(node.left, source, batch):
+                if table.rows:
+                    yield self._left_outer_extend(node, source, table)
         else:
             yield self.solve(node, source, BindingTable.unit())
 
@@ -843,11 +898,11 @@ class PatternEvaluator:
             yield BindingTable((), [])
             return
         plan = get_plan(node, frozenset(), source)
-        first = patterns[plan.steps[0].index]
-        if isinstance(first, PathPatternNode):
-            # path evaluation is closure-based; no incremental scan
+        if not plan.streamable:
+            # e.g. a path-first plan: closure-based, no incremental scan
             yield self._solve_bgp(node, source, BindingTable.unit())
             return
+        first = patterns[plan.steps[0].index]
         rest = plan.steps[1:]
         for table in self._scan_chunks(first, source, batch):
             for step in rest:
@@ -896,6 +951,17 @@ class PatternEvaluator:
         left = self.solve(node.left, source, table)
         if not left.rows:
             return left
+        return self._left_outer_extend(node, source, left)
+
+    def _left_outer_extend(self, node: LeftJoin, source: GraphSource,
+                           left: BindingTable) -> BindingTable:
+        """Extend solved required-side rows with the optional side.
+
+        The streaming pipeline calls this per required-side batch (the
+        left-outer probe is row-local: each left row either gains its
+        matches or a ``None`` pad, independently of other rows), the
+        batch pipeline once with the full required-side table.
+        """
         self._marker_count += 1
         marker = f"#lj{self._marker_count}"
         seeded = BindingTable(
@@ -1102,7 +1168,10 @@ class PatternEvaluator:
         cache_key = (id(node), source.cache_key())
         cached = self._subselect_tables.get(cache_key)
         if cached is None:
-            result = evaluate_select(node.query, self.context, source=source)
+            # the outer trace rides along so EXPLAIN analyze renders
+            # nested plans with their actual cardinalities
+            result = evaluate_select(node.query, self.context, source=source,
+                                     trace=self.trace)
             encode = self._dict.encode
             sub_rows = [
                 tuple(None if value is None else encode(value)
@@ -1367,7 +1436,8 @@ class PatternEvaluator:
                         binding: Binding) -> Iterator[Binding]:
         cache_key = (id(node), source.cache_key())
         if cache_key not in self._subselect_rows:
-            result = evaluate_select(node.query, self.context, source=source)
+            result = evaluate_select(node.query, self.context, source=source,
+                                     trace=self.trace)
             materialized: List[Binding] = []
             for row in result.rows:
                 materialized.append({
@@ -1396,16 +1466,51 @@ class PatternEvaluator:
 
 
 def streamable(node: PatternNode) -> bool:
-    """Whether :meth:`PatternEvaluator.stream_solutions` can drive
-    ``node`` incrementally: a BGP at the bottom, with only row-local
-    operators (FILTER, BIND, joins fed from the left) above it."""
-    if isinstance(node, BGP):
-        return True
-    if isinstance(node, (Filter, Extend)):
-        return streamable(node.child)
-    if isinstance(node, Join):
-        return streamable(node.left)
-    return False
+    """Whether :meth:`PatternEvaluator.stream_tables` can drive
+    ``node`` incrementally.
+
+    The shape test lives in the planner (:func:`stream_shape`: a BGP at
+    the left-most leaf under row-local operators — FILTER, BIND, joins
+    fed from the left, OPTIONAL probed from its required side); whether
+    the leading BGP's *plan* supports an incremental scan is the
+    :attr:`~repro.sparql.optimizer.PhysicalPlan.streamable` IR flag the
+    pipeline consults at execution time.
+    """
+    return stream_shape(node)
+
+
+def _leading_bgp(node: PatternNode) -> Optional[BGP]:
+    """The BGP whose scan would feed a stream of ``node``, if any."""
+    while isinstance(node, (Filter, Extend, Join, LeftJoin)):
+        node = node.child if isinstance(node, (Filter, Extend)) \
+            else node.left
+    return node if isinstance(node, BGP) else None
+
+
+def would_stream(query: SelectQuery,
+                 source: Optional[GraphSource] = None) -> bool:
+    """Whether :func:`evaluate_select` takes the streaming path.
+
+    Ignores the module kill switch and trace installation — this is
+    the query's *eligibility*: a LIMIT, no ORDER BY (a total sort
+    needs every row), no aggregation (a group needs every member), and
+    a streamable pattern shape.  DISTINCT / REDUCED queries stream
+    through the incremental dedup operator.
+
+    With a ``source``, the leading BGP's (cached) plan is consulted
+    too: a path-first plan cannot scan incrementally, so such a query
+    is *not* streamed — and must not be counted or rendered as if it
+    were.  Without a source the answer is shape-only.
+    """
+    if (query.limit is None or query.order_by
+            or query.is_aggregate_query
+            or not stream_shape(query.pattern)):
+        return False
+    if source is not None:
+        bgp = _leading_bgp(query.pattern)
+        if bgp is not None and bgp.patterns:
+            return get_plan(bgp, frozenset(), source).streamable
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -1473,9 +1578,113 @@ class _ErrorExpression(Expression):
 # ---------------------------------------------------------------------------
 
 
+def _apply_projection_expressions(query: SelectQuery, binding: Binding,
+                                  eval_context: EvalContext) -> None:
+    """Evaluate ``(expr AS ?alias)`` projection items into ``binding``.
+
+    Items apply in projection order, each seeing the aliases bound by
+    the ones before it; a failing expression leaves its alias unbound
+    per SPARQL error semantics.  Shared by the materialized and the
+    streaming SELECT paths so both produce identical rows.
+    """
+    for item in query.projection or []:
+        if item.expression is None:
+            continue
+        try:
+            binding[item.name] = item.expression.evaluate(
+                binding, eval_context)
+        except ExpressionError:
+            pass
+
+
+#: Distinct-from-everything marker for the REDUCED adjacent-dedup state.
+_NO_ROW = object()
+
+
+def _stream_select(query: SelectQuery, evaluator: PatternEvaluator,
+                   source: GraphSource,
+                   eval_context: EvalContext) -> ResultTable:
+    """The streaming SELECT tail: projection, dedup, OFFSET/LIMIT.
+
+    Solutions are pulled batch-by-batch and pushed through projection
+    and — for ``DISTINCT`` / ``REDUCED`` — an *incremental dedup
+    operator*; pulling stops once ``OFFSET + LIMIT`` output rows exist.
+    ``DISTINCT`` keeps a seen-set of projected rows, bounded by that
+    row budget (only emitted rows enter it).  ``REDUCED`` only compares
+    against the previous projected row: adjacent dedup needs no
+    seen-set, fully dedups grouped input, and is conformant because
+    REDUCED permits any duplicate count between DISTINCT's and the
+    unmodified multiset's.
+
+    Queries whose projection is plain variables dedup and truncate on
+    **term ids** and decode only the emitted rows (the dictionary maps
+    terms to ids bijectively, so id-tuple equality is term-tuple
+    equality); projection expressions force the decoded-term path.
+    """
+    names = query.output_names()
+    needed = query.offset + (query.limit or 0)
+    if needed <= 0:
+        return ResultTable(names, [])
+    distinct = query.distinct
+    reduced = query.reduced and not distinct
+    rows: List[Tuple[Optional[Term], ...]] = []
+    batch = max(64, min(512, needed))
+    has_expressions = any(item.expression is not None
+                          for item in query.projection or [])
+    if has_expressions:
+        seen: set = set()
+        last: object = _NO_ROW
+        for binding in evaluator.iter_stream_solutions(
+                query.pattern, source, batch):
+            _apply_projection_expressions(query, binding, eval_context)
+            row = tuple(binding.get(name) for name in names)
+            if distinct:
+                if row in seen:
+                    continue
+                seen.add(row)
+            elif reduced:
+                if row == last:
+                    continue
+                last = row
+            rows.append(row)
+            if len(rows) >= needed:
+                break
+    else:
+        decode = evaluator._dict.decode
+        seen_ids: set = set()
+        last_ids: object = _NO_ROW
+        done = False
+        for table in evaluator.stream_tables(query.pattern, source, batch):
+            for id_row in table.iter_onto(names):
+                if distinct:
+                    if id_row in seen_ids:
+                        continue
+                    seen_ids.add(id_row)
+                elif reduced:
+                    if id_row == last_ids:
+                        continue
+                    last_ids = id_row
+                rows.append(tuple(
+                    None if cell is None else decode(cell)
+                    for cell in id_row))
+                if len(rows) >= needed:
+                    done = True
+                    break
+            if done:
+                break
+    return ResultTable(names, rows[query.offset:])
+
+
 def evaluate_select(query: SelectQuery, context: DatasetContext,
-                    source: Optional[GraphSource] = None) -> ResultTable:
-    """Evaluate a SELECT query and return its result table."""
+                    source: Optional[GraphSource] = None,
+                    trace: Optional[List[StepTrace]] = None) -> ResultTable:
+    """Evaluate a SELECT query and return its result table.
+
+    ``trace`` (EXPLAIN analyze) installs a step-trace list on the
+    evaluator; sub-SELECTs inherit it, so nested plans show in the
+    analyzed output.  Tracing forces the materialized path — the trace
+    should show the full join cardinalities, not a truncated stream.
+    """
     scoped = context.scoped(query.from_graphs,
                             getattr(query, "from_named", None))
     if scoped is not context:
@@ -1484,36 +1693,22 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
     elif source is None:
         source = context.default_source()
     evaluator = PatternEvaluator(context)
+    evaluator.trace = trace
     eval_context = evaluator._context_for(source)
-    if (query.limit is not None and not query.order_by
-            and not query.distinct and not query.reduced
-            and not query.is_aggregate_query
-            and streamable(query.pattern)):
-        # LIMIT pushdown: pull join batches only until enough solutions
-        # exist, instead of materializing the full binding table
-        solutions = evaluator.stream_solutions(
-            query.pattern, source, query.offset + query.limit)
-    else:
-        solutions = evaluator.solutions(query.pattern, source)
+    if STREAMING_ENABLED and trace is None and would_stream(query, source):
+        # LIMIT pushdown: pull join batches only until enough output
+        # rows exist, instead of materializing the full binding table
+        STREAM_TELEMETRY.queries += 1
+        return _stream_select(query, evaluator, source, eval_context)
+    solutions = evaluator.solutions(query.pattern, source)
 
     if query.is_aggregate_query:
         result_bindings = _aggregate_rows(
             query, solutions, eval_context)
     else:
         result_bindings = solutions
-        for item in query.projection or []:
-            if item.expression is None:
-                continue
-            extended_rows: List[Binding] = []
-            for row in result_bindings:
-                merged = dict(row)
-                try:
-                    merged[item.name] = item.expression.evaluate(
-                        row, eval_context)
-                except ExpressionError:
-                    pass
-                extended_rows.append(merged)
-            result_bindings = extended_rows
+        for row in result_bindings:
+            _apply_projection_expressions(query, row, eval_context)
 
     if query.order_by:
         def sort_key(row: Binding):
@@ -1533,13 +1728,25 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
     for row in result_bindings:
         rows.append(tuple(row.get(name) for name in names))
 
-    if query.distinct or query.reduced:
+    if query.distinct:
         deduped: List[Tuple[Optional[Term], ...]] = []
         seen: set = set()
         for row in rows:
             if row not in seen:
                 seen.add(row)
                 deduped.append(row)
+        rows = deduped
+    elif query.reduced:
+        # adjacent dedup, exactly like the streaming path: REDUCED
+        # permits any duplicate count between DISTINCT's and the raw
+        # multiset's, so both paths agree row-for-row
+        deduped = []
+        last: object = _NO_ROW
+        for row in rows:
+            if row == last:
+                continue
+            last = row
+            deduped.append(row)
         rows = deduped
 
     if query.offset:

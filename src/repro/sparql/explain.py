@@ -53,8 +53,9 @@ from repro.sparql.evaluator import (
     GraphSource,
     PatternEvaluator,
     StepTrace,
+    would_stream,
 )
-from repro.sparql.optimizer import PLAN_CACHE, get_plan
+from repro.sparql.optimizer import PLAN_CACHE, estimate_pattern, get_plan
 from repro.sparql.parser import parse_query
 
 
@@ -161,6 +162,16 @@ class _PlanPrinter:
             self.walk(node.right, depth + 1)
         elif isinstance(node, LeftJoin):
             suffix = " (with condition)" if node.condition is not None else ""
+            if self.source is not None:
+                # cost the optional side under the required side's
+                # bound variables — the shape it actually executes in
+                left_rows, _ = estimate_pattern(node.left, self.source)
+                per_row, opt_cost = estimate_pattern(
+                    node.right, self.source,
+                    frozenset(node.left.variables()))
+                suffix += (f" [est. {max(left_rows, left_rows * per_row):.0f}"
+                           f" rows, optional side cost "
+                           f"{opt_cost * max(1.0, left_rows):.0f}]")
             self.emit(f"LeftJoin / OPTIONAL{suffix}", depth)
             self.walk(node.left, depth + 1)
             self.walk(node.right, depth + 1)
@@ -198,6 +209,8 @@ class _PlanPrinter:
         modifiers = []
         if query.distinct:
             modifiers.append("DISTINCT")
+        elif query.reduced:
+            modifiers.append("REDUCED")
         if query.group_by:
             modifiers.append(f"GROUP BY ({len(query.group_by)})")
         if query.having:
@@ -206,6 +219,10 @@ class _PlanPrinter:
             modifiers.append(f"ORDER BY ({len(query.order_by)})")
         if query.limit is not None:
             modifiers.append(f"LIMIT {query.limit}")
+        if query.offset:
+            modifiers.append(f"OFFSET {query.offset}")
+        if would_stream(query, self.source):
+            modifiers.append("streams")
         suffix = ("  [" + ", ".join(modifiers) + "]") if modifiers else ""
         self.emit(f"SELECT [{names}]{suffix}"
                   if depth else f"SELECT [{names}]{suffix}", depth)

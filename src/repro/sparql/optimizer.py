@@ -44,8 +44,24 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.rdf.stats import StatisticsView, statistics_for
-from repro.rdf.terms import Term
-from repro.sparql.algebra import BGP, PathPatternNode, TriplePatternNode, Var
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.algebra import (
+    BGP,
+    Empty,
+    Extend,
+    Filter,
+    GraphNode,
+    Join,
+    LeftJoin,
+    Minus,
+    PathPatternNode,
+    PatternNode,
+    SubSelectNode,
+    TriplePatternNode,
+    Union as UnionNode,
+    ValuesNode,
+    Var,
+)
 from repro.sparql.paths import estimate_path
 
 Binding = Dict[str, Term]
@@ -217,17 +233,26 @@ class PlanStep:
     one scan cross-applied) or ``"path"``.  The evaluator re-validates
     hash-vs-probe against the *actual* table size at execution time, so
     a mis-estimate degrades to the safe choice rather than a blowup.
+
+    ``stream_safe`` marks steps the streaming pipeline may execute
+    incrementally.  Every step is row-local once it has input rows; the
+    only constraint is the *leading* step, whose index scan becomes the
+    batch source — a property-path closure cannot be pulled in batches,
+    so a path-first plan is marked not stream-safe at position 0.
     """
 
-    __slots__ = ("index", "strategy", "est_in", "est_out", "est_scan")
+    __slots__ = ("index", "strategy", "est_in", "est_out", "est_scan",
+                 "stream_safe")
 
     def __init__(self, index: int, strategy: str, est_in: float,
-                 est_out: float, est_scan: float) -> None:
+                 est_out: float, est_scan: float,
+                 stream_safe: bool = True) -> None:
         self.index = index
         self.strategy = strategy
         self.est_in = est_in
         self.est_out = est_out
         self.est_scan = est_scan
+        self.stream_safe = stream_safe
 
     def __repr__(self) -> str:
         return (f"<PlanStep [{self.index}] {self.strategy} "
@@ -259,6 +284,17 @@ class PhysicalPlan:
 
     def __getitem__(self, index: int) -> int:
         return self.order[index]
+
+    @property
+    def streamable(self) -> bool:
+        """Whether the leading step can feed the pipeline in batches.
+
+        This is the plan-IR flag the evaluator's streaming path
+        consults (instead of re-deriving streamability from the
+        patterns): the first step must be an incremental index scan,
+        and every later step is row-local by construction.
+        """
+        return bool(self.steps) and self.steps[0].stream_safe
 
     def __repr__(self) -> str:
         return (f"<PhysicalPlan {self.order} cost {self.cost:.0f} "
@@ -335,7 +371,8 @@ def _build_steps(order: Sequence[int], costs: List[_PatternCost],
             strategy = "hash"
         else:
             strategy = "probe"
-        steps.append(PlanStep(index, strategy, rows, out_rows, scan))
+        steps.append(PlanStep(index, strategy, rows, out_rows, scan,
+                              stream_safe=bool(steps) or not cost.is_path))
         rows = out_rows
         bound |= cost.vars
     return steps
@@ -423,7 +460,8 @@ def _legacy_plan(patterns: Sequence, source,
         total += out_rows
         strategy = "path" if isinstance(patterns[best], PathPatternNode) \
             else ("probe" if patterns[best].variables() & bound else "scan")
-        steps.append(PlanStep(best, strategy, rows, out_rows, estimate))
+        steps.append(PlanStep(best, strategy, rows, out_rows, estimate,
+                              stream_safe=bool(steps) or strategy != "path"))
         rows = out_rows
         bound |= patterns[best].variables()
     return PhysicalPlan(order, steps, est_rows=rows, cost=total)
@@ -441,6 +479,85 @@ def static_order(patterns: Sequence[TriplePatternNode], source,
     """A full ordering computed once (used for tooling and tests)."""
     return [patterns[index]
             for index in plan_order(patterns, source, bound_vars)]
+
+
+# ---------------------------------------------------------------------------
+# Whole-pattern-tree planning surface (streamability + costing)
+# ---------------------------------------------------------------------------
+
+
+def stream_shape(node: PatternNode) -> bool:
+    """Whether the algebra *shape* of ``node`` admits batch streaming.
+
+    A streamable tree has a BGP at its left-most leaf (whose leading
+    index scan becomes the batch source) under operators that consume
+    input rows locally: FILTER, BIND, joins fed from the left, and —
+    via the streaming left-outer probe — OPTIONAL whose required side
+    is itself streamable.  Whether the *plan* for that leading BGP can
+    actually scan incrementally (its first step might be a property
+    path) is recorded on the :class:`PhysicalPlan` IR as
+    :attr:`PhysicalPlan.streamable`, so the shape test here and the
+    plan flag together replace any ad-hoc re-derivation in the
+    evaluator.
+    """
+    if isinstance(node, BGP):
+        return True
+    if isinstance(node, (Filter, Extend)):
+        return stream_shape(node.child)
+    if isinstance(node, (Join, LeftJoin)):
+        return stream_shape(node.left)
+    return False
+
+
+def estimate_pattern(node: PatternNode, source,
+                     bound: frozenset = frozenset()
+                     ) -> Tuple[float, float]:
+    """``(est_rows, est_cost)`` for an arbitrary pattern tree.
+
+    Extends the BGP cost model upward through the non-BGP operators so
+    EXPLAIN can annotate them — most importantly the *optional* side
+    of a LeftJoin, which is costed under the required side's bound
+    variables (it executes seeded by required-side rows, so its
+    per-row estimate multiplies by the required side's cardinality).
+    Estimates are per one input row of the surrounding pipeline, like
+    :attr:`PhysicalPlan.est_rows`.
+    """
+    if isinstance(node, BGP):
+        plan = plan_physical(node.patterns, source, bound)
+        return plan.est_rows, plan.cost
+    if isinstance(node, Join):
+        left_rows, left_cost = estimate_pattern(node.left, source, bound)
+        right_rows, right_cost = estimate_pattern(
+            node.right, source, bound | frozenset(node.left.variables()))
+        return (left_rows * right_rows,
+                left_cost + right_cost * max(1.0, left_rows))
+    if isinstance(node, LeftJoin):
+        left_rows, left_cost = estimate_pattern(node.left, source, bound)
+        right_rows, right_cost = estimate_pattern(
+            node.right, source, bound | frozenset(node.left.variables()))
+        # left-outer: every required-side row survives; matches extend
+        return (max(left_rows, left_rows * right_rows),
+                left_cost + right_cost * max(1.0, left_rows))
+    if isinstance(node, UnionNode):
+        left_rows, left_cost = estimate_pattern(node.left, source, bound)
+        right_rows, right_cost = estimate_pattern(node.right, source, bound)
+        return left_rows + right_rows, left_cost + right_cost
+    if isinstance(node, Minus):
+        left_rows, left_cost = estimate_pattern(node.left, source, bound)
+        _, right_cost = estimate_pattern(node.right, source, frozenset())
+        return left_rows, left_cost + right_cost
+    if isinstance(node, (Filter, Extend, GraphNode)):
+        return estimate_pattern(node.child, source, bound)
+    if isinstance(node, ValuesNode):
+        return float(len(node.rows)), 0.0
+    if isinstance(node, SubSelectNode):
+        rows, cost = estimate_pattern(node.query.pattern, source, frozenset())
+        if node.query.limit is not None:
+            rows = min(rows, float(node.query.limit))
+        return rows, cost
+    if isinstance(node, Empty):
+        return 1.0, 0.0
+    return 1.0, 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -536,15 +653,36 @@ class PlanCache:
 PLAN_CACHE = PlanCache()
 
 
+def _term_kind(term: Term) -> tuple:
+    """The plan-relevant kind of a lifted constant.
+
+    Parameter slots must not conflate terms of different kinds: a
+    literal constant can never match a subject position, a plain
+    ``"5"`` and an integer ``5`` are different RDF terms with different
+    index neighbourhoods, and future value-aware statistics (per-
+    datatype histograms) will hang off exactly this distinction.  Two
+    queries whose constants differ only in *value* still share a slot
+    kind — and therefore a plan.
+    """
+    if isinstance(term, Literal):
+        return ("lit", term.datatype.value, term.language or "")
+    if isinstance(term, IRI):
+        return ("iri",)
+    return ("bnode",)
+
+
 def _signature_and_params(node: BGP) -> Tuple[tuple, tuple]:
     """The constant-lifted structural key of a BGP plus its parameters.
 
     Subject/object constants (and path endpoints) are replaced by
-    numbered ``("$", slot)`` parameter markers — the same constant
-    repeating maps to the same slot, so equality constraints between
-    positions stay visible in the signature.  Predicate constants stay
-    concrete: the cost model's statistics hang off them, so two BGPs
-    with different predicates genuinely need different plans.
+    numbered ``("$", slot, kind)`` parameter markers — the same
+    constant repeating maps to the same slot, so equality constraints
+    between positions stay visible in the signature, and the marker
+    carries the constant's term kind (IRI / bnode / literal datatype +
+    language) so e.g. ``"5"``, ``5`` and ``<5>`` never collide on one
+    cached plan.  Predicate constants stay concrete: the cost model's
+    statistics hang off them, so two BGPs with different predicates
+    genuinely need different plans.
     """
     cached = getattr(node, "_plan_signature", None)
     if cached is not None:
@@ -559,7 +697,7 @@ def _signature_and_params(node: BGP) -> Tuple[tuple, tuple]:
             slot = len(params)
             slot_of[term] = slot
             params.append(term)
-        return ("$", slot)
+        return ("$", slot, _term_kind(term))
 
     def position_key(position) -> tuple:
         if isinstance(position, Var):

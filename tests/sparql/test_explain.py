@@ -100,3 +100,64 @@ def test_union_and_subselect(dataset):
     """, dataset)
     assert "Union" in plan
     assert "SubSelect" in plan
+
+
+def test_streaming_marker_on_eligible_selects(dataset):
+    streams = explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}value> ?v }} LIMIT 5", dataset)
+    assert "streams" in streams
+    distinct = explain(
+        f"SELECT DISTINCT ?v WHERE {{ ?s <{EX}value> ?v }} LIMIT 5",
+        dataset)
+    assert "DISTINCT" in distinct and "streams" in distinct
+    ordered = explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}value> ?v }} ORDER BY ?v LIMIT 5",
+        dataset)
+    assert "streams" not in ordered
+    unlimited = explain(f"SELECT ?s WHERE {{ ?s <{EX}value> ?v }}", dataset)
+    assert "streams" not in unlimited
+
+
+def test_optional_side_is_costed(dataset):
+    plan = explain(f"""
+        SELECT ?s ?flag WHERE {{
+            ?s <{EX}value> ?v .
+            OPTIONAL {{ ?s <{EX}special> ?flag }}
+        }}
+    """, dataset)
+    line = next(l for l in plan.splitlines() if "OPTIONAL" in l)
+    assert "optional side cost" in line
+    assert "est." in line
+
+
+def test_analyze_traces_subselect_steps(dataset):
+    """EXPLAIN analyze threads the step trace through nested SELECTs:
+    the sub-SELECT's BGP shows estimated *and* actual row counts."""
+    plan = explain(f"""
+        SELECT ?s WHERE {{
+            {{ SELECT ?s WHERE {{ ?s <{EX}value> ?v }} }}
+            ?s <{EX}special> ?flag
+        }}
+    """, dataset, analyze=True)
+    lines = plan.splitlines()
+    subselect_at = next(i for i, l in enumerate(lines) if "SubSelect" in l)
+    nested_bgp = next(l for l in lines[subselect_at:] if "value" in l)
+    assert "actual" in nested_bgp
+    assert "est. 50, actual 50" in nested_bgp
+
+
+def test_analyze_traces_subselect_in_lazy_pipeline(dataset):
+    """ASK uses the lazy pipeline; its sub-SELECTs trace too."""
+    plan = explain(f"""
+        ASK {{
+            {{ SELECT ?s WHERE {{ ?s <{EX}value> ?v }} }}
+            ?s <{EX}special> ?flag
+        }}
+    """, dataset, analyze=True)
+    assert "SubSelect" in plan
+
+
+def test_path_first_plan_not_marked_streaming(dataset):
+    plan = explain(
+        f"SELECT ?a ?b WHERE {{ ?a <{EX}value>+ ?b }} LIMIT 5", dataset)
+    assert "streams" not in plan

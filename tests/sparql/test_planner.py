@@ -113,6 +113,48 @@ class TestParameterizedSharing:
             "SELECT ?s WHERE { ?s <http://example.org/inGroup> ?v }")
         assert bgp_signature(q1.pattern) != bgp_signature(q2.pattern)
 
+    def test_literal_and_iri_constants_do_not_collide(self):
+        """Regression: a literal and an IRI in the same lifted slot
+        must not share a cached plan signature."""
+        q1 = parse_query(
+            'SELECT ?s ?p WHERE { ?s ?p <http://example.org/x> }')
+        q2 = parse_query(
+            'SELECT ?s ?p WHERE { ?s ?p "http://example.org/x" }')
+        assert bgp_signature(q1.pattern) != bgp_signature(q2.pattern)
+
+    def test_literal_datatypes_do_not_collide(self):
+        """``"5"`` (string), ``5`` (integer) and ``5.0`` (decimal) are
+        different RDF terms: each gets its own plan entry."""
+        signatures = {
+            bgp_signature(parse_query(
+                f"SELECT ?s WHERE {{ ?s <http://example.org/value> "
+                f"{constant} }}").pattern)
+            for constant in ('"5"', "5", "5.0")}
+        assert len(signatures) == 3
+
+    def test_same_datatype_different_values_still_share(self):
+        q1 = parse_query(
+            "SELECT ?s WHERE { ?s <http://example.org/value> 5 }")
+        q2 = parse_query(
+            "SELECT ?s WHERE { ?s <http://example.org/value> 7 }")
+        assert bgp_signature(q1.pattern) == bgp_signature(q2.pattern)
+
+    def test_cross_kind_queries_use_separate_cache_entries(self):
+        ep = LocalEndpoint()
+        g = ep.dataset.default
+        g.add(EX.a, EX.value, Literal(5))
+        g.add(EX.b, EX.value, Literal("5"))
+        assert len(
+            ep.select("SELECT ?s WHERE { ?s <http://example.org/value> 5 }"
+                      )) == 1
+        assert len(
+            ep.select('SELECT ?s WHERE { ?s <http://example.org/value> "5" }'
+                      )) == 1
+        stats = PLAN_CACHE.statistics()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+        assert stats["hits_parameterized"] == 0
+
     def test_repeated_constant_shares_a_slot(self):
         q1 = parse_query(
             "SELECT * WHERE { ?s ?p <http://example.org/x> . "
@@ -223,12 +265,53 @@ class TestStreamingLimit:
             "ORDER BY ?v LIMIT 3")
         assert [row["v"].value for row in table] == [0, 1, 2]
 
-    def test_distinct_disables_streaming_and_stays_exact(self):
-        ep = build_endpoint(n=50, groups=5)
-        table = ep.select(
-            "SELECT DISTINCT ?g WHERE { ?o <http://example.org/inGroup> "
-            "?g } LIMIT 5")
-        assert len(table) == 5
+    def test_distinct_streams_through_incremental_dedup(self):
+        ep = build_endpoint(n=500, groups=5)
+        query = ("SELECT DISTINCT ?g WHERE { "
+                 "?o <http://example.org/inGroup> ?g }")
+        with PROBE_COUNTER as counter:
+            full = ep.select(query)
+        full_probes = counter.entries
+        with PROBE_COUNTER as counter:
+            limited = ep.select(query + " LIMIT 5")
+        assert len(full) == 5
+        assert len(limited) == 5
+        assert sorted(map(str, limited.rows)) == sorted(map(str, full.rows))
+        assert counter.entries < full_probes
+
+    def test_optional_streams_as_left_outer_probe(self):
+        ep = build_endpoint(n=500, groups=5)
+        query = ("SELECT ?o ?n WHERE { ?o <http://example.org/inGroup> ?g "
+                 ". OPTIONAL { ?g <http://example.org/name> ?n } }")
+        with PROBE_COUNTER as counter:
+            full = ep.select(query)
+        full_probes = counter.entries
+        with PROBE_COUNTER as counter:
+            limited = ep.select(query + " LIMIT 6")
+        assert len(full) == 500
+        assert len(limited) == 6
+        assert counter.entries < full_probes / 2
+        assert set(map(str, limited.rows)) <= set(map(str, full.rows))
+
+    def test_plan_ir_carries_stream_safety(self):
+        ep = build_endpoint(n=50)
+        query = parse_query(
+            "SELECT ?o ?v WHERE { ?o <http://example.org/value> ?v . "
+            "?o <http://example.org/inGroup> ?g }")
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        plan = get_plan(query.pattern, frozenset(), source)
+        assert plan.streamable
+        assert all(step.stream_safe for step in plan.steps)
+
+    def test_path_first_plan_is_not_streamable(self):
+        ep = build_endpoint(n=20)
+        query = parse_query(
+            "SELECT ?a ?b WHERE { ?a <http://example.org/inGroup>+ ?b }")
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        plan = get_plan(query.pattern, frozenset(), source)
+        assert not plan.streamable
 
 
 class TestExplainAnalyze:

@@ -1,0 +1,232 @@
+"""Differential tests: streamed vs materialized SELECT execution.
+
+The streaming pipeline (incremental dedup for DISTINCT/REDUCED, the
+left-outer probe for OPTIONAL, OFFSET/LIMIT truncation) must be
+observationally equivalent to full materialization.  These tests run
+the same query down both paths — flipping the module kill switch — and
+compare results, over a fixture graph shaped like the translated
+E3/E6 workload: observations pointing at dimension members, members
+carrying (sometimes missing) labels, a level hierarchy above them.
+
+The probe-counter assertions then check streaming is not equivalence
+by accident: the streamed run must touch strictly fewer index entries.
+"""
+
+import pytest
+
+from repro.rdf import Literal, Namespace
+from repro.sparql import LocalEndpoint
+import repro.sparql.evaluator as evaluator_module
+from repro.sparql.evaluator import PROBE_COUNTER, STREAM_TELEMETRY
+
+EX = Namespace("http://example.org/")
+
+OBSERVATIONS = 400
+MEMBERS = 20
+LABELLED = 14  # members 14..19 have no label: OPTIONAL must pad None
+
+
+@pytest.fixture(scope="module")
+def endpoint() -> LocalEndpoint:
+    """A dimension-walk fixture: obs → member → (label?, level)."""
+    ep = LocalEndpoint()
+    g = ep.dataset.default
+    for i in range(OBSERVATIONS):
+        obs = EX[f"obs{i}"]
+        g.add(obs, EX.citizen, EX[f"m{i % MEMBERS}"])
+        g.add(obs, EX.value, Literal(i % 50))
+    for j in range(MEMBERS):
+        member = EX[f"m{j}"]
+        if j < LABELLED:
+            g.add(member, EX.label, Literal(f"member {j}", language="en"))
+        g.add(member, EX.inLevel, EX[f"level{j % 3}"])
+    return ep
+
+
+def run_both(endpoint: LocalEndpoint, query: str):
+    """(streamed, materialized) result tables for one query text."""
+    assert evaluator_module.STREAMING_ENABLED
+    streamed = endpoint.select(query)
+    evaluator_module.STREAMING_ENABLED = False
+    try:
+        materialized = endpoint.select(query)
+    finally:
+        evaluator_module.STREAMING_ENABLED = True
+    return streamed, materialized
+
+
+DIFFERENTIAL_QUERIES = [
+    # plain LIMIT / OFFSET over a join chain
+    "SELECT ?o ?m WHERE { ?o <http://example.org/citizen> ?m } LIMIT 10",
+    "SELECT ?o ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 10 OFFSET 25",
+    "SELECT ?o WHERE { ?o <http://example.org/citizen> ?m . "
+    "?m <http://example.org/inLevel> ?l } LIMIT 17 OFFSET 3",
+    # DISTINCT dimension walks (the translated E3 shape)
+    "SELECT DISTINCT ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 5",
+    "SELECT DISTINCT ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 8 OFFSET 6",
+    "SELECT DISTINCT ?l WHERE { ?o <http://example.org/citizen> ?m . "
+    "?m <http://example.org/inLevel> ?l } LIMIT 3",
+    "SELECT DISTINCT ?m ?l WHERE { ?o <http://example.org/citizen> ?m . "
+    "?m <http://example.org/inLevel> ?l } LIMIT 50",
+    # OPTIONAL lookups (the translated E6/E8 shape), incl. missing labels
+    "SELECT ?o ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+    "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 30",
+    "SELECT ?o ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+    "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 12 OFFSET 7",
+    "SELECT DISTINCT ?m ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+    "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 25",
+    # OPTIONAL above a two-step required side, FILTER in the mix
+    "SELECT ?o ?v ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+    "?o <http://example.org/value> ?v . FILTER(?v >= 10) "
+    "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 20",
+    # BIND / projection expressions above the stream
+    "SELECT ?o ?twice WHERE { ?o <http://example.org/value> ?v . "
+    "BIND(?v * 2 AS ?twice) } LIMIT 15 OFFSET 2",
+    "SELECT DISTINCT ?tag WHERE { ?o <http://example.org/citizen> ?m . "
+    "BIND(STR(?m) AS ?tag) } LIMIT 9",
+    "SELECT (STR(?m) AS ?tag) WHERE { "
+    "?o <http://example.org/citizen> ?m } LIMIT 11",
+    # DISTINCT with an expression in the projection
+    "SELECT DISTINCT (STR(?m) AS ?tag) WHERE { "
+    "?o <http://example.org/citizen> ?m } LIMIT 6 OFFSET 2",
+    # LIMIT larger than the result: must drain without hanging
+    "SELECT DISTINCT ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 5000",
+    "SELECT ?o ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+    "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 100000",
+    # LIMIT 0 and offset beyond the result
+    "SELECT ?o WHERE { ?o <http://example.org/citizen> ?m } LIMIT 0",
+    "SELECT DISTINCT ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 10 OFFSET 1000",
+    # REDUCED: both paths use adjacent dedup, so rows agree exactly
+    "SELECT REDUCED ?m WHERE { ?o <http://example.org/citizen> ?m } "
+    "LIMIT 12",
+    "SELECT REDUCED ?l WHERE { ?o <http://example.org/citizen> ?m . "
+    "?m <http://example.org/inLevel> ?l } LIMIT 6 OFFSET 2",
+]
+
+
+class TestStreamedMaterializedEquivalence:
+    @pytest.mark.parametrize("query", DIFFERENTIAL_QUERIES)
+    def test_rows_identical(self, endpoint, query):
+        streamed, materialized = run_both(endpoint, query)
+        assert streamed.vars == materialized.vars
+        assert streamed.rows == materialized.rows
+
+    def test_multiset_equivalence_across_limits(self, endpoint):
+        """Property-style sweep: every prefix length agrees."""
+        base = ("SELECT DISTINCT ?m ?lbl WHERE {{ "
+                "?o <http://example.org/citizen> ?m . "
+                "OPTIONAL {{ ?m <http://example.org/label> ?lbl }} }} "
+                "LIMIT {limit} OFFSET {offset}")
+        for limit in (1, 2, 3, 5, 8, 13, 21, 34):
+            for offset in (0, 1, 7):
+                query = base.format(limit=limit, offset=offset)
+                streamed, materialized = run_both(endpoint, query)
+                assert streamed.rows == materialized.rows, query
+
+    def test_reduced_stays_within_semantics(self, endpoint):
+        """REDUCED streams with adjacent dedup: any duplicate count
+        between DISTINCT's and the full multiset's is conformant."""
+        where = ("WHERE { ?o <http://example.org/citizen> ?m . "
+                 "?m <http://example.org/inLevel> ?l } ")
+        reduced = endpoint.select(
+            "SELECT REDUCED ?l " + where + "LIMIT 9")
+        evaluator_module.STREAMING_ENABLED = False
+        try:
+            distinct_rows = endpoint.select("SELECT DISTINCT ?l " + where)
+            full = endpoint.select("SELECT ?l " + where)
+        finally:
+            evaluator_module.STREAMING_ENABLED = True
+        # REDUCED may eliminate any number of duplicates: between the
+        # DISTINCT cardinality (3 levels) and the LIMIT
+        assert len(distinct_rows) <= len(reduced) <= 9
+        assert set(reduced.rows) <= set(full.rows)
+        assert len(set(reduced.rows)) <= len(distinct_rows)
+
+    def test_reduced_fully_dedups_grouped_input(self, endpoint):
+        """Adjacent dedup removes *all* duplicates when the input is
+        already grouped — here one subject's rows arrive together."""
+        streamed = endpoint.select(
+            "SELECT REDUCED ?m WHERE { <http://example.org/obs0> "
+            "<http://example.org/citizen> ?m } LIMIT 10")
+        assert len(streamed) == 1
+
+
+class TestStreamingDoesLessWork:
+    def probes(self, endpoint, query, streaming):
+        evaluator_module.STREAMING_ENABLED = streaming
+        try:
+            with PROBE_COUNTER as counter:
+                table = endpoint.select(query)
+        finally:
+            evaluator_module.STREAMING_ENABLED = True
+        return counter.entries, table
+
+    @pytest.mark.parametrize("query", [
+        "SELECT DISTINCT ?m WHERE { ?o <http://example.org/citizen> ?m } "
+        "LIMIT 3",
+        "SELECT ?o ?lbl WHERE { ?o <http://example.org/citizen> ?m . "
+        "OPTIONAL { ?m <http://example.org/label> ?lbl } } LIMIT 10",
+        "SELECT REDUCED ?m WHERE { ?o <http://example.org/citizen> ?m } "
+        "LIMIT 4",
+        "SELECT ?o ?v WHERE { ?o <http://example.org/citizen> ?m . "
+        "?o <http://example.org/value> ?v } LIMIT 5",
+    ])
+    def test_streaming_touches_strictly_fewer_entries(self, endpoint, query):
+        streamed_probes, streamed = self.probes(endpoint, query, True)
+        full_probes, materialized = self.probes(endpoint, query, False)
+        assert streamed.rows == materialized.rows
+        assert streamed_probes < full_probes
+
+    def test_path_first_query_is_not_counted_as_streamed(self, endpoint):
+        """A path-first plan cannot scan incrementally: the query must
+        fall back to materialization *and* not report itself streamed."""
+        before = STREAM_TELEMETRY.snapshot()
+        table = endpoint.select(
+            "SELECT ?a ?b WHERE { ?a <http://example.org/citizen>+ ?b } "
+            "LIMIT 5")
+        after = STREAM_TELEMETRY.snapshot()
+        assert len(table) == 5
+        assert after["queries"] == before["queries"]
+
+    def test_streamed_telemetry_reported(self, endpoint):
+        endpoint.reset_statistics()
+        before = STREAM_TELEMETRY.snapshot()
+        table = endpoint.select(
+            "SELECT DISTINCT ?m WHERE { "
+            "?o <http://example.org/citizen> ?m } LIMIT 4")
+        assert len(table) == 4
+        after = STREAM_TELEMETRY.snapshot()
+        assert after["queries"] == before["queries"] + 1
+        assert after["batches"] > before["batches"]
+        assert endpoint.statistics.streamed_selects == 1
+        assert endpoint.statistics.streamed_batches >= 1
+        # early termination: far fewer solutions pulled than the 400
+        # observations the full walk would materialize
+        assert 0 < endpoint.statistics.streamed_rows < OBSERVATIONS
+
+    def test_offset_pulls_offset_plus_limit_rows(self, endpoint):
+        """Regression: the streamed prefix must cover OFFSET + LIMIT
+        rows *before* slicing — a short pull would return rows from
+        the wrong window."""
+        query = ("SELECT ?o ?m WHERE { "
+                 "?o <http://example.org/citizen> ?m } LIMIT 5 OFFSET 90")
+        streamed, materialized = run_both(endpoint, query)
+        assert len(streamed) == 5
+        assert streamed.rows == materialized.rows
+
+
+class TestExecutionReportTelemetry:
+    def test_ql_report_carries_streaming_counters(self):
+        """The QL engine reports streamed queries when the translated
+        SPARQL takes the streaming path."""
+        from repro.ql.executor import ExecutionReport
+
+        report = ExecutionReport(variant="direct")
+        assert report.streamed_queries == 0
+        assert report.streamed_batches == 0
+        assert report.streamed_rows == 0
