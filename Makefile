@@ -1,12 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-plan \
+.PHONY: test docs-check bench bench-smoke bench-baseline bench-plan \
 	bench-plan-baseline bench-stream bench-stream-baseline
 
-## Tier-1 verification: the full unit/integration suite.
-test:
+## Tier-1 verification: docs doctests + the full unit/integration suite.
+test: docs-check
 	$(PYTHON) -m pytest -x -q
+
+## Run the doctests embedded in README.md and docs/*.md (also covered
+## by tests/test_docs.py, so plain pytest catches stale docs too).
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 ## Full paper-scale benchmark suite (slow; REPRO_BENCH_OBS=80000 for
 ## the paper's complete demo subset).

@@ -9,6 +9,14 @@ the allowed factor (default 2×) means the planner started choosing a
 worse join order for that shape — the build fails before the slowdown
 ever reaches a wall clock.
 
+The default run also gates **constant-aware planning** (statistics
+v2): a skewed-constant query family — the same shape probed with the
+*hottest* and a *cold* destination member — must (a) plan different
+join orders or trigger a bracket replan, and (b) touch measurably
+fewer index entries under value-aware costing than under the
+average-only model it replaced.  Skew results are written to
+``benchmarks/results/skew_planning.txt``.
+
 Usage::
 
     PYTHONPATH=src REPRO_BENCH_OBS=2000 python benchmarks/check_plans.py
@@ -73,7 +81,7 @@ def query_plan_cost(sparql_text: str, dataset) -> float:
     return total
 
 
-def measure(demo) -> dict:
+def measure(demo, skew=None) -> dict:
     """Estimated plan cost per E3/E6 workload query."""
     from repro.demo import MARY_QL
     from benchmarks.bench_e3_querying import PREDEFINED
@@ -90,7 +98,126 @@ def measure(demo) -> dict:
     translation = demo.engine.prepare(MARY_QL)[3]
     costs["e6/mary/direct"] = round(
         query_plan_cost(translation.direct, dataset), 1)
+    hot_text, cold_text, _hot, _cold = skew or skew_queries(demo)
+    costs["skew/hot"] = round(query_plan_cost(hot_text, dataset), 1)
+    costs["skew/cold"] = round(query_plan_cost(cold_text, dataset), 1)
     return costs
+
+
+# -- skewed-constant planning gate (statistics v2) ---------------------------
+
+
+def skew_queries(demo):
+    """``(hot_text, cold_text, hot_member, cold_member)`` — one query
+    shape, probed with the busiest and an unpopular destination.
+
+    The synthetic cube weights destinations heavy-tailed (Germany
+    receives ~25x an average country's observations), so the hottest
+    member is exactly the kind of constant the average-only cost model
+    mispriced.  Members are picked from the live data, not hardcoded,
+    so the gate holds at any scale/seed.
+    """
+    from repro.data.namespaces import PROPERTY
+    from repro.rdf.namespace import SDMX_DIMENSION
+
+    union = demo.endpoint.dataset.union()
+    counts = sorted(
+        ((union.count((None, PROPERTY.geo, member)), member.value)
+         for member in set(union.objects(predicate=PROPERTY.geo))))
+    nonzero = [(count, iri) for count, iri in counts if count > 0]
+    hot = nonzero[-1][1]
+    cold = nonzero[0][1]
+    month = min(member.value
+                for member in union.objects(
+                    predicate=SDMX_DIMENSION.refPeriod))
+
+    def text(member: str) -> str:
+        return f"""SELECT ?o ?v WHERE {{
+            ?o <{PROPERTY.geo.value}> <{member}> .
+            ?o <{SDMX_DIMENSION.refPeriod.value}> <{month}> .
+            ?o <http://purl.org/linked-data/sdmx/2009/measure#obsValue> ?v .
+        }}"""
+
+    return text(hot), text(cold), hot, cold
+
+
+def _first_step(plan_text: str) -> str:
+    """The pattern of a rendered plan's first join step."""
+    line = next(l for l in plan_text.splitlines() if "[0]" in l)
+    return line.split("(est.")[0].strip()
+
+
+def _count_probes(endpoint, text: str) -> int:
+    from repro.sparql.evaluator import PROBE_COUNTER
+
+    with PROBE_COUNTER:
+        endpoint.select(text)
+        return PROBE_COUNTER.entries
+
+
+def skew_gate(demo, skew=None) -> list:
+    """Gate the constant-aware planner on the skewed-destination family.
+
+    Returns a list of failure strings (empty = pass).  Checks:
+
+    * hot and cold constants on the same shape produce different join
+      orders, or at least a bracket-triggered replan (two cache
+      entries for one shape);
+    * executing the hot-constant query touches measurably fewer index
+      entries than the same query planned by the average-only model
+      (the pre-statistics-v2 baseline, replayed via
+      ``optimizer.CONSTANT_AWARE = False``).
+    """
+    from repro.sparql import optimizer
+    from repro.sparql.explain import explain
+
+    hot_text, cold_text, hot, cold = skew or skew_queries(demo)
+    endpoint = demo.endpoint
+    dataset = endpoint.dataset
+    failures = []
+
+    optimizer.PLAN_CACHE.clear()
+    hot_plan = explain(hot_text, dataset)
+    cold_plan = explain(cold_text, dataset)
+    replans = optimizer.PLAN_CACHE.bracket_replans
+    orders_differ = _first_step(hot_plan) != _first_step(cold_plan)
+    if not orders_differ and replans == 0:
+        failures.append(
+            "skew: hot and cold constants got identical plans and no "
+            "bracket replan was recorded")
+
+    optimizer.PLAN_CACHE.clear()
+    optimizer.CONSTANT_AWARE = False
+    try:
+        avg_probes = _count_probes(endpoint, hot_text)
+    finally:
+        optimizer.CONSTANT_AWARE = True
+    optimizer.PLAN_CACHE.clear()
+    aware_probes = _count_probes(endpoint, hot_text)
+    if aware_probes >= avg_probes:
+        failures.append(
+            f"skew: constant-aware planning did not reduce hot-constant "
+            f"probes ({aware_probes} vs {avg_probes} average-only)")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"# skew_planning — observations={OBSERVATIONS}",
+        "hot vs cold constant on one query shape (destination member)",
+        f"{'hot member':34s} {hot}",
+        f"{'cold member':34s} {cold}",
+        f"{'join orders differ':34s} {str(orders_differ):>8s}",
+        f"{'bracket replans':34s} {replans:8d}",
+        f"{'hot probes, average-only model':34s} {avg_probes:8d}",
+        f"{'hot probes, constant-aware model':34s} {aware_probes:8d}",
+        f"{'probe reduction':34s} "
+        f"{avg_probes / max(1, aware_probes):7.1f}x",
+    ]
+    path = RESULTS_DIR / "skew_planning.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print()
+    print("\n".join(lines))
+    print(f"\nwritten to {path}")
+    return failures
 
 
 def sharing_report(demo) -> int:
@@ -162,7 +289,8 @@ def main(argv=None) -> int:
     if args.sharing_report:
         return sharing_report(demo)
 
-    fresh = measure(demo)
+    skew = skew_queries(demo)  # discovered once, shared by both gates
+    fresh = measure(demo, skew)
     scale_key = str(OBSERVATIONS)
     stored = {}
     if args.baseline.exists():
@@ -196,12 +324,18 @@ def main(argv=None) -> int:
         print(f"{metric:32s} {reference:12.1f} {current:12.1f} "
               f"{ratio:6.2f}x{flag}")
 
+    skew_failures = skew_gate(demo, skew)
+
     if failures:
         print(f"\n{len(failures)} plan(s) regressed estimated cost by "
               f"more than {ALLOWED_FACTOR:.0f}x: {', '.join(failures)}",
               file=sys.stderr)
+    for message in skew_failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures or skew_failures:
         return 1
-    print(f"\nno plan cost regression beyond {ALLOWED_FACTOR:.0f}x")
+    print(f"\nno plan cost regression beyond {ALLOWED_FACTOR:.0f}x; "
+          f"skewed-constant gate passed")
     return 0
 
 

@@ -29,7 +29,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.errors import TermError
 from repro.rdf.namespace import NamespaceManager
-from repro.rdf.stats import GraphStats, StatisticsView
+from repro.rdf.stats import (
+    GraphStats,
+    PredicateSummary,
+    StatisticsView,
+    build_predicate_summary,
+)
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, make_triple
 
 TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
@@ -353,6 +358,40 @@ class Graph(_GraphReadMixin):
     def statistics(self) -> StatisticsView:
         """The planner's O(1) statistics view over this graph."""
         return StatisticsView([self])
+
+    def predicate_summary(self, predicate_id: int) -> PredicateSummary:
+        """The value-aware summary for ``predicate_id`` (statistics v2).
+
+        Epoch-based rebuild-on-read: mutations only bump
+        :attr:`epoch`; the first read after a mutation revalidates the
+        summary, and every later read at the same epoch is a dict
+        lookup.  Revalidation is O(1) when this predicate's v1
+        counters are unchanged — mutations that touched other
+        predicates merely restamp the summary, so an interleaved
+        write/query workload does not pay a rebuild per query.  Only
+        when the predicate's own cardinality or distinct counts moved
+        is the summary rebuilt from the POS bucket
+        (O(cardinality of this predicate)).  The one accepted
+        imprecision: a remove+add sequence on the *same* predicate
+        that lands on identical counter values keeps the old summary —
+        estimates may then lag until the counters move, but execution
+        correctness never depends on them.
+        """
+        summary = self.stats.summaries.get(predicate_id)
+        stats = self.stats
+        if summary is not None and summary.epoch != self.epoch:
+            if (summary.cardinality == stats.cardinality.get(predicate_id, 0)
+                    and summary.distinct_subjects
+                    == stats.subjects.get(predicate_id, 0)
+                    and summary.distinct_objects
+                    == stats.objects.get(predicate_id, 0)):
+                summary.epoch = self.epoch
+            else:
+                summary = None
+        if summary is None:
+            summary = build_predicate_summary(self, predicate_id)
+            self.stats.summaries[predicate_id] = summary
+        return summary
 
     # -- convenience ---------------------------------------------------------
 

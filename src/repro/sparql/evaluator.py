@@ -14,10 +14,17 @@ BIND, aggregation) and at final projection.
 The join pipeline for each BGP is a cached :class:`PhysicalPlan` from
 the cost-based planner (:mod:`repro.sparql.optimizer`): the evaluator
 executes the plan's steps in order, re-validating each step's
-hash-vs-probe choice against the *actual* table size (estimates come
-from averaged statistics, so mis-estimates must degrade safely), and —
-when a trace list is installed — records per-step actual cardinalities
-for ``EXPLAIN ... analyze``.
+hash-vs-probe choice against the *actual* table size (estimates can
+still be wrong, so mis-estimates must degrade safely), and — when a
+trace list is installed — records per-step actual cardinalities for
+``EXPLAIN ... analyze``.  Because every ``get_plan`` call passes the
+BGP node with its *actual* constants, the band-keyed plan cache
+transparently swaps in a constant-specialized plan when a bound
+constant's value-aware estimate (MCV / histogram, statistics v2) falls
+outside the brackets of the cached one — the evaluator itself never
+needs to reason about skew, and each executed step's
+:class:`~repro.sparql.optimizer.PlanStep` carries the estimator label
+and average-only estimate that the trace threads to EXPLAIN.
 
 Queries with ``LIMIT`` but no ORDER BY / aggregation are **streamed**:
 the first join step's index scan is pulled in batches and the pipeline

@@ -5,13 +5,20 @@ dataset is supplied, each BGP is shown as the **physical plan** the
 cost-based optimizer would execute: join steps in order, each with its
 chosen strategy (``hash`` / ``probe`` / ``scan`` / ``path``) and the
 cardinality estimate that justified it, plus the plan's total cost
-(Σ of estimated intermediate rows).  With ``analyze=True`` the query's
-pattern is actually executed and every step line gains the *actual*
-row count and strategy, so estimate errors — the planner works from
-averaged statistics, never from the bound constants — are directly
-visible.  This is the debugging surface the paper's users get from
-``EXPLAIN`` on a production endpoint (Virtuoso prints a similar
-operator tree).
+(Σ of estimated intermediate rows).  Steps whose constants were costed
+from the value-aware statistics (MCV lists / equi-depth histograms,
+see :mod:`repro.rdf.stats`) are labelled with the estimator and the
+constant-independent figure it overrode — ``(est. 480 [mcv], avg 65,
+bracket [64, 512))`` — and a BGP planned under non-trivial selectivity
+bands shows the band vector on its header.  With ``analyze=True`` the
+query's pattern is actually executed and every step line gains the
+*actual* row count and strategy, so remaining estimate errors are
+directly visible next to what the average-only model would have
+guessed.  A plan ordered by the greedy fallback (BGPs above the DP
+pattern limit, or statistics-less sources) says so on its header
+instead of falling back silently.  This is the debugging surface the
+paper's users get from ``EXPLAIN`` on a production endpoint (Virtuoso
+prints a similar operator tree).
 
 >>> from repro.rdf.graph import Dataset
 >>> from repro.sparql.explain import explain
@@ -73,6 +80,20 @@ def _pattern_text(pattern: Union[TriplePatternNode, PathPatternNode]) -> str:
     return " ".join(_term_text(p) for p in pattern.positions())
 
 
+def _step_estimate(step) -> str:
+    """The ``est.`` clause of one step line.
+
+    Average-estimated steps keep the classic ``est. N``; steps whose
+    constants were costed by a value-aware estimator name it and show
+    the average-only figure it overrode, so the skew the v1 model
+    could not see is visible at a glance.
+    """
+    if step.est_source == "avg":
+        return f"est. {step.est_out:.0f}"
+    return (f"est. {step.est_out:.0f} [{step.est_source}], "
+            f"avg {step.est_avg:.0f}")
+
+
 #: per BGP identity: step position -> (executed PlanStep, Σ rows_in,
 #: Σ rows_out, strategy actually used)
 _TraceIndex = Dict[int, Dict[int, list]]
@@ -123,9 +144,17 @@ class _PlanPrinter:
         if node_traces:
             # render the plan the evaluator actually executed: its
             # step order (planned under the real bound variables) can
-            # differ from an unseeded replan
-            self.emit(f"BGP ({len(node.patterns)} patterns) [analyzed]",
-                      depth)
+            # differ from an unseeded replan.  Plan-level annotations
+            # (bands, greedy fallback) hold for any plan of this BGP,
+            # so the unseeded plan supplies them for the header too.
+            plan = get_plan(node, frozenset(), self.source)
+            header = f"BGP ({len(node.patterns)} patterns) [analyzed"
+            if plan.bands:
+                header += f", bands {plan.bands}"
+            header += "]"
+            if plan.fallback:
+                header += f"  !{plan.fallback}"
+            self.emit(header, depth)
             executed = set()
             for position in sorted(node_traces):
                 step, _rows_in, rows_out, strategy = node_traces[position]
@@ -134,7 +163,8 @@ class _PlanPrinter:
                 text = _pattern_text(pattern)
                 if isinstance(pattern, PathPatternNode):
                     text += "  (path)"
-                self.emit(f"[{position}] {text}  (est. {step.est_out:.0f}, "
+                self.emit(f"[{position}] {text}  "
+                          f"({_step_estimate(step)}, "
                           f"actual {rows_out}) [{strategy}]", depth + 1)
             for index, pattern in enumerate(node.patterns):
                 if index not in executed:
@@ -142,15 +172,24 @@ class _PlanPrinter:
                               f"(not executed)", depth + 1)
             return
         plan = get_plan(node, frozenset(), self.source)
-        self.emit(f"BGP ({len(node.patterns)} patterns) "
-                  f"[cost {plan.cost:.0f}]", depth)
+        header = f"BGP ({len(node.patterns)} patterns) [cost {plan.cost:.0f}"
+        if plan.bands:
+            header += f", bands {plan.bands}"
+        header += "]"
+        if plan.fallback:
+            header += f"  !{plan.fallback}"
+        self.emit(header, depth)
         for position, step in enumerate(plan.steps):
             pattern = node.patterns[step.index]
             text = _pattern_text(pattern)
             if isinstance(pattern, PathPatternNode):
                 text += "  (path)"
+            detail = _step_estimate(step)
+            if step.bracket is not None:
+                low, high = step.bracket
+                detail += f", bracket [{low:.0f}, {high:.0f})"
             self.emit(f"[{position}] {text}  "
-                      f"(est. {step.est_out:.0f}) [{step.strategy}]",
+                      f"({detail}) [{step.strategy}]",
                       depth + 1)
 
     def walk(self, node: PatternNode, depth: int) -> None:
@@ -246,7 +285,8 @@ def _cache_stats_lines() -> List[str]:
         f"plan cache: entries={stats['entries']} hits={stats['hits']} "
         f"(exact={stats['hits_exact']}, "
         f"parameterized={stats['hits_parameterized']}) "
-        f"misses={stats['misses']} evictions={stats['evictions']}"
+        f"misses={stats['misses']} evictions={stats['evictions']} "
+        f"bracket_replans={stats['bracket_replans']}"
     ]
 
 

@@ -6,14 +6,29 @@ The engine evaluates a BGP as a pipeline of batch join steps (see
 * **Cost model** — fed by the O(1) per-predicate statistics layer
   (:mod:`repro.rdf.stats`): a pattern's expected matches per input row
   come from its predicate's cardinality divided by the average subject
-  fan-out / object fan-in for each bound position.  Because the model
-  uses *averages*, it never needs to look at a bound constant's value —
-  which is what makes plans parameterizable (below).
+  fan-out / object fan-in for each bound *variable* position.  A bound
+  **constant**, however, is costed from its value (statistics v2): its
+  exact most-common-value count when it is hot, its equi-depth
+  histogram bucket's depth otherwise, falling back to the average only
+  when no summary applies.  Skewed constants therefore get different
+  join orders than cold ones — the E3 "busy destinations" fix.
+* **Selectivity bands and brackets** — constant-aware plans are cached
+  per *selectivity band*: every constant-bearing pattern's estimated
+  cardinality is bucketed into a logarithmic band
+  (:func:`selectivity_band`, base :data:`SELECTIVITY_BAND_BASE`), and
+  the band vector joins the cache key.  A cached plan carries, per
+  step, the cardinality *bracket* (band bounds) it was costed under;
+  when a later execution binds a constant whose estimate falls outside
+  the bracket, the lookup misses that entry and triggers a
+  constant-specialized replan — one cache entry per shape × bracket,
+  counted by :attr:`PlanCache.bracket_replans`.
 * **Join ordering** — BGPs of up to :data:`DP_PATTERN_LIMIT` patterns
   are planned with a Selinger-style dynamic program over pattern
   subsets (left-deep, connected-first, minimizing the classic
   Σ-of-intermediate-results cost); larger BGPs fall back to a greedy
-  walk driven by the same cost model.  The result is an explicit
+  walk driven by the same cost model — the fallback is logged and
+  recorded on :attr:`PhysicalPlan.fallback` so ``EXPLAIN`` can show
+  it.  The result is an explicit
   :class:`PhysicalPlan`: ordered :class:`PlanStep`\\ s carrying the
   chosen join strategy (hash join / memoized index probe / scan) and
   the cardinality estimates that justified them.
@@ -40,6 +55,8 @@ stops at the first solution.
 
 from __future__ import annotations
 
+import logging
+import math
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -66,6 +83,8 @@ from repro.sparql.paths import estimate_path
 
 Binding = Dict[str, Term]
 
+_LOG = logging.getLogger(__name__)
+
 #: Penalty rank applied before cardinality: patterns with no bound
 #: position join last unless nothing else is available.
 _UNBOUND_PENALTY = 1 << 40
@@ -73,6 +92,37 @@ _UNBOUND_PENALTY = 1 << 40
 #: BGPs up to this size are planned with the exact subset DP; larger
 #: ones use the greedy walk over the same cost model.
 DP_PATTERN_LIMIT = 12
+
+#: Kill switch for value-aware (MCV/histogram) constant costing.
+#: When False, constants are costed from averages exactly as before
+#: statistics v2 — benchmarks flip this to measure what the
+#: constant-aware planner is worth (``check_plans.py --skew``).
+CONSTANT_AWARE = True
+
+#: Base of the logarithmic selectivity bands: constants whose
+#: estimated cardinalities fall within the same power-of-8 range share
+#: one cached plan, so the cache grows per *order of magnitude* of
+#: skew, not per constant.
+SELECTIVITY_BAND_BASE = 8
+
+
+def selectivity_band(estimate: float) -> int:
+    """The logarithmic band of an estimated cardinality.
+
+    Band 0 covers [0, 8), band 1 [8, 64), band 2 [64, 512) … — wide
+    enough that uniform data lands in one band (plans keep being
+    shared across every member IRI of a level), narrow enough that a
+    hot key an order of magnitude off the average lands in another.
+    """
+    if estimate < SELECTIVITY_BAND_BASE:
+        return 0
+    return int(math.log(estimate, SELECTIVITY_BAND_BASE))
+
+
+def band_bracket(band: int) -> Tuple[float, float]:
+    """The ``[low, high)`` cardinality range covered by ``band``."""
+    low = 0.0 if band == 0 else float(SELECTIVITY_BAND_BASE ** band)
+    return low, float(SELECTIVITY_BAND_BASE ** (band + 1))
 
 #: Static path-pattern pricing by number of known endpoints (paths are
 #: deliberately priced above plain patterns of the same boundness so
@@ -139,18 +189,29 @@ def choose_next(patterns: Sequence[TriplePatternNode], binding: Binding,
 class _PatternCost:
     """Pre-resolved costing facts for one pattern.
 
-    ``base`` is the expected scan size with only the pattern's constants
-    applied (constants are folded in at compile time using the average
-    selectivities, never their values).  ``s_sel`` / ``o_sel`` /
-    ``p_sel`` are the multipliers applied when the respective *variable*
-    position is already bound; ``None`` marks a constant position.
+    ``base`` is the expected scan size with only the pattern's
+    constants applied.  With statistics v2 the constants are folded in
+    *by value* — a constant subject/object under a concrete predicate
+    is estimated from its MCV count or histogram bucket
+    (``est_source`` records which estimator won); ``base_avg`` keeps
+    the v1 constant-independent figure alongside so EXPLAIN can render
+    the skew the averages would have hidden.  ``s_sel`` / ``o_sel`` /
+    ``p_sel`` are the multipliers applied when the respective
+    *variable* position is already bound; ``None`` marks a constant
+    position.  ``bracket`` is the cardinality band the constant
+    estimate fell into (``None`` when the pattern has no value-aware
+    constant) — the validity range of any plan built from this cost.
     """
 
-    __slots__ = ("base", "s_name", "s_sel", "o_name", "o_sel",
+    __slots__ = ("base", "base_avg", "est_source", "bracket",
+                 "s_name", "s_sel", "o_name", "o_sel",
                  "p_name", "p_sel", "is_path", "vars", "endpoint_names")
 
     def __init__(self) -> None:
         self.base = 0.0
+        self.base_avg = 0.0
+        self.est_source = "avg"
+        self.bracket: Optional[Tuple[float, float]] = None
         self.s_name: Optional[str] = None
         self.s_sel = 1.0
         self.o_name: Optional[str] = None
@@ -162,6 +223,46 @@ class _PatternCost:
         self.endpoint_names: Tuple[Optional[str], ...] = ()
 
 
+_ESTIMATOR_RANK = {"avg": 0, "hist": 1, "mcv": 2}
+
+
+def _constant_base(pattern: TriplePatternNode, stats: StatisticsView
+                   ) -> Optional[Tuple[float, float, str]]:
+    """Value-aware ``(base, base_avg, estimator)`` for a pattern whose
+    subject and/or object is a constant under a concrete predicate.
+
+    Returns ``None`` when the pattern has no value-aware constant (all
+    positions variable, or a variable predicate — per-predicate
+    summaries cannot apply).  Both the value-aware and the average
+    figure fold multiple constants in under the usual independence
+    assumption, so they stay comparable.
+    """
+    subject, predicate, obj = pattern.positions()
+    if isinstance(predicate, Var):
+        return None
+    if isinstance(subject, Var) and isinstance(obj, Var):
+        return None
+    cardinality = float(stats.predicate_cardinality(predicate))
+    s_sel = 1.0 / max(1, stats.predicate_subjects(predicate))
+    o_sel = 1.0 / max(1, stats.predicate_objects(predicate))
+    base = cardinality
+    base_avg = cardinality
+    kind = "avg"
+    if not isinstance(subject, Var):
+        base_avg *= s_sel
+        estimate, used = stats.subject_constant_estimate(predicate, subject)
+        base = base * (estimate / cardinality) if cardinality else 0.0
+        if _ESTIMATOR_RANK[used] > _ESTIMATOR_RANK[kind]:
+            kind = used
+    if not isinstance(obj, Var):
+        base_avg *= o_sel
+        estimate, used = stats.object_constant_estimate(predicate, obj)
+        base = base * (estimate / cardinality) if cardinality else 0.0
+        if _ESTIMATOR_RANK[used] > _ESTIMATOR_RANK[kind]:
+            kind = used
+    return base, base_avg, kind
+
+
 def _compile_cost(pattern, stats: StatisticsView) -> _PatternCost:
     cost = _PatternCost()
     cost.vars = set(pattern.variables())
@@ -171,7 +272,7 @@ def _compile_cost(pattern, stats: StatisticsView) -> _PatternCost:
             position.name if isinstance(position, Var) else None
             for position in pattern.endpoints())
         known = sum(1 for name in cost.endpoint_names if name is None)
-        cost.base = _PATH_ESTIMATES[known]
+        cost.base = cost.base_avg = _PATH_ESTIMATES[known]
         return cost
     subject, predicate, obj = pattern.positions()
     if isinstance(predicate, Var):
@@ -194,17 +295,28 @@ def _compile_cost(pattern, stats: StatisticsView) -> _PatternCost:
         cost.o_sel = o_sel
     else:
         base *= o_sel
-    cost.base = base
+    cost.base = cost.base_avg = base
+    if CONSTANT_AWARE:
+        aware = _constant_base(pattern, stats)
+        if aware is not None:
+            cost.base, cost.base_avg, cost.est_source = aware
+            if cost.est_source != "avg":
+                cost.bracket = band_bracket(selectivity_band(cost.base))
     return cost
 
 
-def _estimate(cost: _PatternCost, bound) -> float:
-    """Expected matches per input row when ``bound`` vars are bound."""
+def _estimate(cost: _PatternCost, bound, avg: bool = False) -> float:
+    """Expected matches per input row when ``bound`` vars are bound.
+
+    ``avg=True`` prices from the constant-independent v1 base — the
+    figure the pre-v2 planner would have used — for EXPLAIN's
+    ``est(avg)`` column.
+    """
     if cost.is_path:
         known = sum(1 for name in cost.endpoint_names
                     if name is None or name in bound)
         return _PATH_ESTIMATES[known]
-    estimate = cost.base
+    estimate = cost.base_avg if avg else cost.base
     if cost.s_name is not None and cost.s_name in bound:
         estimate *= cost.s_sel
     if cost.o_name is not None and cost.o_name in bound:
@@ -239,24 +351,43 @@ class PlanStep:
     only constraint is the *leading* step, whose index scan becomes the
     batch source — a property-path closure cannot be pulled in batches,
     so a path-first plan is marked not stream-safe at position 0.
+
+    Statistics-v2 fields: ``est_source`` names the estimator that
+    produced ``est_out`` (``"avg"`` / ``"hist"`` / ``"mcv"``);
+    ``est_avg`` prices *this* step with the constant-independent v1
+    per-row estimate while keeping the value-aware ``est_in`` of the
+    steps before it — it isolates the per-step skew the averages hid,
+    not a full replay of the pre-v2 planner (which might also have
+    chosen a different order); ``bracket`` is the
+    ``[low, high)`` cardinality band of the step's constant estimate —
+    the range of constants this plan stays valid for.  A bound
+    constant outside the bracket re-keys the plan-cache lookup and
+    triggers a constant-specialized replan (:func:`get_plan`).
     """
 
     __slots__ = ("index", "strategy", "est_in", "est_out", "est_scan",
-                 "stream_safe")
+                 "stream_safe", "est_avg", "est_source", "bracket")
 
     def __init__(self, index: int, strategy: str, est_in: float,
                  est_out: float, est_scan: float,
-                 stream_safe: bool = True) -> None:
+                 stream_safe: bool = True,
+                 est_avg: Optional[float] = None,
+                 est_source: str = "avg",
+                 bracket: Optional[Tuple[float, float]] = None) -> None:
         self.index = index
         self.strategy = strategy
         self.est_in = est_in
         self.est_out = est_out
         self.est_scan = est_scan
         self.stream_safe = stream_safe
+        self.est_avg = est_out if est_avg is None else est_avg
+        self.est_source = est_source
+        self.bracket = bracket
 
     def __repr__(self) -> str:
         return (f"<PlanStep [{self.index}] {self.strategy} "
-                f"est {self.est_in:.0f}->{self.est_out:.0f}>")
+                f"est {self.est_in:.0f}->{self.est_out:.0f} "
+                f"({self.est_source})>")
 
 
 class PhysicalPlan:
@@ -265,16 +396,29 @@ class PhysicalPlan:
     Iterating the plan yields the pattern indices in join order (which
     keeps it drop-in for code that only needs the ordering); ``steps``
     carries the full per-step metadata for execution and EXPLAIN.
+
+    ``bands`` is the selectivity-band vector of the constants the plan
+    was costed under (set by :func:`get_plan`; ``()`` when the BGP has
+    no value-aware constants) — together with the per-step
+    :attr:`PlanStep.bracket` it describes when this plan may be reused
+    for other constants.  ``fallback`` records a non-exhaustive
+    ordering decision (the greedy walk above :data:`DP_PATTERN_LIMIT`,
+    or the legacy path for statistics-less sources) so EXPLAIN can
+    surface what used to be a silent fallback.
     """
 
-    __slots__ = ("order", "steps", "est_rows", "cost")
+    __slots__ = ("order", "steps", "est_rows", "cost", "bands", "fallback")
 
     def __init__(self, order: List[int], steps: List[PlanStep],
-                 est_rows: float, cost: float) -> None:
+                 est_rows: float, cost: float,
+                 bands: tuple = (),
+                 fallback: Optional[str] = None) -> None:
         self.order = order
         self.steps = steps
         self.est_rows = est_rows
         self.cost = cost
+        self.bands = bands
+        self.fallback = fallback
 
     def __iter__(self):
         return iter(self.order)
@@ -372,7 +516,10 @@ def _build_steps(order: Sequence[int], costs: List[_PatternCost],
         else:
             strategy = "probe"
         steps.append(PlanStep(index, strategy, rows, out_rows, scan,
-                              stream_safe=bool(steps) or not cost.is_path))
+                              stream_safe=bool(steps) or not cost.is_path,
+                              est_avg=rows * _estimate(cost, bound, avg=True),
+                              est_source=cost.est_source,
+                              bracket=cost.bracket))
         rows = out_rows
         bound |= cost.vars
     return steps
@@ -393,12 +540,18 @@ def plan_physical(patterns: Sequence, source,
     if stats is None:
         return _legacy_plan(patterns, source, bound0)
     costs = [_compile_cost(pattern, stats) for pattern in patterns]
+    fallback = None
     if n <= DP_PATTERN_LIMIT:
         total, rows, order = _dp_order(costs, bound0, n)
     else:
         total, rows, order = _greedy_cost_order(costs, bound0, n)
+        fallback = (f"greedy ordering: {n} patterns exceed the DP limit "
+                    f"of {DP_PATTERN_LIMIT}")
+        _LOG.info(
+            "BGP with %d patterns exceeds DP_PATTERN_LIMIT=%d; "
+            "falling back to greedy join ordering", n, DP_PATTERN_LIMIT)
     return PhysicalPlan(list(order), _build_steps(order, costs, bound0),
-                        est_rows=rows, cost=total)
+                        est_rows=rows, cost=total, fallback=fallback)
 
 
 # -- legacy greedy (sources without a statistics layer) ----------------------
@@ -464,7 +617,9 @@ def _legacy_plan(patterns: Sequence, source,
                               stream_safe=bool(steps) or strategy != "path"))
         rows = out_rows
         bound |= patterns[best].variables()
-    return PhysicalPlan(order, steps, est_rows=rows, cost=total)
+    return PhysicalPlan(order, steps, est_rows=rows, cost=total,
+                        fallback="legacy greedy: source has no "
+                                 "statistics view")
 
 
 def plan_order(patterns: Sequence, source,
@@ -584,7 +739,8 @@ class PlanCache:
     """
 
     __slots__ = ("maxsize", "_entries", "hits_exact", "hits_parameterized",
-                 "misses", "evictions", "parameterized")
+                 "misses", "evictions", "parameterized",
+                 "bracket_replans", "_shape_bands")
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = maxsize
@@ -597,6 +753,26 @@ class PlanCache:
         #: when False, plans are keyed on their exact constants (no
         #: sharing across parameter values); diagnostic use only.
         self.parameterized = True
+        #: misses caused by a bound constant whose selectivity band
+        #: differs from every plan cached for the same shape — i.e.
+        #: bracket-triggered constant-specialized replans.
+        self.bracket_replans = 0
+        #: shape key -> set of band vectors already planned (bounded;
+        #: diagnostic backing for ``bracket_replans``).
+        self._shape_bands: Dict[tuple, set] = {}
+
+    def note_bands(self, shape_key: tuple, bands: tuple) -> None:
+        """Record that ``shape_key`` is being (re)planned under
+        ``bands``; counts a bracket replan when the same shape was
+        already planned under a different band vector."""
+        if len(self._shape_bands) > 4 * self.maxsize:
+            self._shape_bands.clear()
+        seen = self._shape_bands.get(shape_key)
+        if seen is None:
+            self._shape_bands[shape_key] = {bands}
+        elif bands not in seen:
+            seen.add(bands)
+            self.bracket_replans += 1
 
     @property
     def hits(self) -> int:
@@ -632,6 +808,8 @@ class PlanCache:
         self.hits_parameterized = 0
         self.misses = 0
         self.evictions = 0
+        self.bracket_replans = 0
+        self._shape_bands.clear()
 
     def statistics(self) -> Dict[str, int]:
         return {
@@ -641,6 +819,7 @@ class PlanCache:
             "hits_parameterized": self.hits_parameterized,
             "misses": self.misses,
             "evictions": self.evictions,
+            "bracket_replans": self.bracket_replans,
         }
 
     def __repr__(self) -> str:
@@ -736,9 +915,39 @@ def bgp_parameters(node: BGP) -> tuple:
     return _signature_and_params(node)[1]
 
 
+def constant_bands(node: BGP, stats: Optional[StatisticsView]) -> tuple:
+    """The selectivity-band vector of a BGP's value-aware constants.
+
+    One band per pattern that has a constant subject/object under a
+    concrete predicate, in pattern order — the coordinates the plan
+    cache distinguishes brackets by.  ``()`` when value-aware costing
+    is off, the source has no statistics, or no pattern qualifies, so
+    band-free shapes keep exactly the pre-v2 cache behaviour.
+    """
+    if not CONSTANT_AWARE or stats is None:
+        return ()
+    bands: List[int] = []
+    for pattern in node.patterns:
+        if isinstance(pattern, PathPatternNode):
+            continue
+        aware = _constant_base(pattern, stats)
+        if aware is not None and aware[2] != "avg":
+            bands.append(selectivity_band(aware[0]))
+    return tuple(bands)
+
+
 def get_plan(node: BGP, bound_names: frozenset, source) -> PhysicalPlan:
     """The cached (or freshly computed) physical plan for ``node`` when
-    the variables in ``bound_names`` are already bound."""
+    the variables in ``bound_names`` are already bound.
+
+    The cache key joins the constant-lifted shape with the *selectivity
+    bands* of the actual constants: binding a constant whose estimated
+    cardinality falls outside the brackets of every cached plan for
+    this shape misses and replans with the constant's real statistics —
+    one entry per shape × bracket, so hot and cold members of the same
+    level can hold different join orders side by side while everything
+    in one band keeps sharing.
+    """
     signature, params = _signature_and_params(node)
     relevant = frozenset(bound_names & node.variables())
     source_key = getattr(source, "cache_key", None)
@@ -746,12 +955,28 @@ def get_plan(node: BGP, bound_names: frozenset, source) -> PhysicalPlan:
         source_key = source_key()
     else:
         source_key = (id(source), getattr(source, "epoch", None))
+    # per-node bands memo, keyed by source identity+epoch so a BGP
+    # evaluated against several sources (GRAPH iteration) keeps every
+    # source's bands hot; bounded because epochs retire old keys
+    bands_cache = getattr(node, "_bands_cache", None)
+    if bands_cache is None:
+        bands_cache = node._bands_cache = {}
+    bands_key = (source_key, CONSTANT_AWARE)
+    bands = bands_cache.get(bands_key)
+    if bands is None:
+        bands = constant_bands(node, statistics_for(source))
+        if len(bands_cache) >= 8:
+            bands_cache.clear()
+        bands_cache[bands_key] = bands
     if PLAN_CACHE.parameterized:
-        key = (signature, relevant, source_key)
+        shape_key = (signature, relevant, source_key)
     else:
-        key = (signature, params, relevant, source_key)
+        shape_key = (signature, params, relevant, source_key)
+    key = shape_key + (bands,)
     plan = PLAN_CACHE.get(key, params)
     if plan is None:
         plan = plan_physical(node.patterns, source, relevant)
+        plan.bands = bands
+        PLAN_CACHE.note_bands(shape_key, bands)
         PLAN_CACHE.put(key, plan, params)
     return plan

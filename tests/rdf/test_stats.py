@@ -1,7 +1,13 @@
 """Incremental graph statistics: the planner's O(1) summaries."""
 
 from repro.rdf import Dataset, Graph, Literal, Namespace
-from repro.rdf.stats import StatisticsView, statistics_for
+from repro.rdf.stats import (
+    MCV_SIZE,
+    PredicateSummary,
+    StatisticsView,
+    build_predicate_summary,
+    statistics_for,
+)
 
 EX = Namespace("http://example.org/")
 
@@ -87,6 +93,118 @@ class TestSelectivitySummaries:
         assert stats.predicate_count() == 2
 
 
+def build_skewed_graph():
+    """60 triples on one hot object + 40 spread over 40 cold objects."""
+    g = Graph()
+    for i in range(60):
+        g.add(EX[f"s{i}"], EX.p, EX.hot)
+    for i in range(40):
+        g.add(EX[f"s{i}"], EX.p, EX[f"cold{i}"])
+    return g
+
+
+class TestValueAwareSummaries:
+    def test_mcv_estimates_hot_object_exactly(self):
+        stats = build_skewed_graph().statistics()
+        estimate, kind = stats.object_constant_estimate(EX.p, EX.hot)
+        assert estimate == 60.0
+        assert kind == "mcv"
+        # the predicate-wide average would have hidden the skew
+        assert stats.object_fanin(EX.p) < 3
+
+    def test_histogram_estimates_cold_objects(self):
+        stats = build_skewed_graph().statistics()
+        estimate, kind = stats.object_constant_estimate(EX.p, EX.cold20)
+        assert kind in ("mcv", "hist")  # cold20 may make the MCV cut
+        assert 0 < estimate <= 3
+
+    def test_subject_direction(self):
+        g = Graph()
+        for i in range(30):
+            g.add(EX.hub, EX.p, EX[f"o{i}"])
+        g.add(EX.leaf, EX.p, EX.o0)
+        estimate, kind = g.statistics().subject_constant_estimate(
+            EX.p, EX.hub)
+        assert estimate == 30.0
+        assert kind == "mcv"
+
+    def test_unknown_term_estimates_zero(self):
+        stats = build_skewed_graph().statistics()
+        estimate, _ = stats.object_constant_estimate(EX.p, EX.never_seen)
+        assert estimate == 0.0
+
+    def test_unknown_predicate_estimates_zero(self):
+        stats = build_skewed_graph().statistics()
+        estimate, _ = stats.object_constant_estimate(EX.q, EX.hot)
+        assert estimate == 0.0
+
+    def test_small_predicates_stay_exact_via_mcv(self):
+        g = build_graph()  # 3 distinct groups, all within MCV_SIZE
+        assert 3 <= MCV_SIZE
+        estimate, kind = g.statistics().object_constant_estimate(
+            EX.inGroup, EX.g0)
+        assert kind == "mcv"
+        assert estimate == 4.0  # obs0, obs3, obs6, obs9
+
+
+class TestSummaryEpochConsistency:
+    def test_summary_cached_while_epoch_unchanged(self):
+        g = build_skewed_graph()
+        pid = g.dictionary.lookup(EX.p)
+        first = g.predicate_summary(pid)
+        assert g.predicate_summary(pid) is first
+
+    def test_remove_invalidates_and_rebuilds(self):
+        g = build_skewed_graph()
+        pid = g.dictionary.lookup(EX.p)
+        stale = g.predicate_summary(pid)
+        g.remove((None, EX.p, EX.hot))
+        rebuilt = g.predicate_summary(pid)
+        assert rebuilt is not stale
+        assert rebuilt.epoch == g.epoch
+        estimate, _ = g.statistics().object_constant_estimate(EX.p, EX.hot)
+        assert estimate <= 2  # the 60-row spike is gone
+
+    def test_unrelated_mutation_revalidates_in_place(self):
+        # a write touching a *different* predicate must not force an
+        # O(cardinality) rebuild of this predicate's summary
+        g = build_skewed_graph()
+        pid = g.dictionary.lookup(EX.p)
+        summary = g.predicate_summary(pid)
+        g.add(EX.a, EX.other, EX.b)
+        revalidated = g.predicate_summary(pid)
+        assert revalidated is summary  # restamped, not rebuilt
+        assert revalidated.epoch == g.epoch
+
+    def test_absent_id_outside_histogram_range_is_zero(self):
+        # graphs share one dictionary: an id interned for another
+        # graph's data must not be charged a phantom bucket here
+        g = build_skewed_graph()
+        late = Graph(dictionary=g.dictionary)
+        late.add(EX.x, EX.p, EX.only_elsewhere)  # interns a high id
+        estimate, _ = g.statistics().object_constant_estimate(
+            EX.p, EX.only_elsewhere)
+        assert estimate == 0.0
+
+    def test_clear_drops_summaries(self):
+        g = build_skewed_graph()
+        pid = g.dictionary.lookup(EX.p)
+        g.predicate_summary(pid)
+        g.clear()
+        assert g.stats.summaries == {}
+        estimate, _ = g.statistics().object_constant_estimate(EX.p, EX.hot)
+        assert estimate == 0.0
+
+    def test_build_is_deterministic(self):
+        g = build_skewed_graph()
+        pid = g.dictionary.lookup(EX.p)
+        a = build_predicate_summary(g, pid)
+        b = build_predicate_summary(g, pid)
+        assert a.object_mcv == b.object_mcv
+        assert a.subject_mcv == b.subject_mcv
+        assert isinstance(a, PredicateSummary)
+
+
 class TestAggregatedViews:
     def test_union_view_sums_member_graphs(self):
         ds = Dataset()
@@ -101,3 +219,28 @@ class TestAggregatedViews:
         view = statistics_for(g)
         assert isinstance(view, StatisticsView)
         assert statistics_for(object()) is None
+
+    def test_union_view_sums_constant_estimates(self):
+        ds = Dataset()
+        for i in range(20):
+            ds.default.add(EX[f"a{i}"], EX.p, EX.hot)
+        for i in range(15):
+            ds.graph(EX.g1).add(EX[f"b{i}"], EX.p, EX.hot)
+        estimate, kind = ds.union().statistics().object_constant_estimate(
+            EX.p, EX.hot)
+        assert estimate == 35.0
+        assert kind == "mcv"
+
+    def test_union_aggregation_tracks_member_epochs(self):
+        ds = Dataset()
+        for i in range(20):
+            ds.default.add(EX[f"a{i}"], EX.p, EX.hot)
+        for i in range(15):
+            ds.graph(EX.g1).add(EX[f"b{i}"], EX.p, EX.hot)
+        view = ds.union().statistics()
+        view.object_constant_estimate(EX.p, EX.hot)  # prime both summaries
+        # mutate one member graph only: its epoch moves, its summary
+        # rebuilds, and the aggregate reflects the change immediately
+        ds.graph(EX.g1).remove((None, EX.p, EX.hot))
+        estimate, _ = view.object_constant_estimate(EX.p, EX.hot)
+        assert estimate == 20.0

@@ -80,6 +80,44 @@ def test_describe_plan():
     assert plan.startswith("DESCRIBE [<http://example.org/obs0>]")
 
 
+def test_value_aware_steps_labelled(dataset):
+    g = dataset.default
+    for i in range(80):
+        g.add(IRI(f"{EX}obs{i}"), IRI(EX + "inGroup"), IRI(EX + "big"))
+    g.add(IRI(EX + "obs0"), IRI(EX + "inGroup"), IRI(EX + "small"))
+    plan = explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}inGroup> <{EX}big> . "
+        f"?s <{EX}value> ?v }}", dataset)
+    line = next(l for l in plan.splitlines() if "big" in l)
+    assert "[mcv]" in line or "[hist]" in line
+    assert "avg" in line        # the figure the v1 model would have used
+    assert "bracket [" in line  # the plan's validity range
+    assert "bands" in plan.splitlines()[1]
+
+
+def test_average_steps_keep_plain_format(dataset):
+    plan = explain(f"SELECT ?s WHERE {{ ?s <{EX}value> ?v }}", dataset)
+    assert "(est. 50)" in plan
+    assert "[mcv]" not in plan
+
+
+def test_greedy_fallback_noted(dataset):
+    text = "SELECT * WHERE { " + " . ".join(
+        f"?s <{EX}p{i}> ?v{i}" for i in range(14)) + " }"
+    plan = explain(text, dataset)
+    assert "greedy" in plan
+    assert "DP limit" in plan
+
+
+def test_cache_stats_include_bracket_replans():
+    ep = LocalEndpoint()
+    ep.dataset.default.add(
+        IRI(EX + "s"), IRI(EX + "p"), IRI(EX + "o"))
+    stats_line = ep.explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }}").splitlines()[-1]
+    assert "bracket_replans=" in stats_line
+
+
 def test_endpoint_explain_method(dataset):
     endpoint = LocalEndpoint(dataset)
     plan = endpoint.explain(f"SELECT ?s WHERE {{ ?s <{EX}value> ?v }}")

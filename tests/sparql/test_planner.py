@@ -97,6 +97,145 @@ class TestPhysicalPlan:
         assert sorted(plan.order) == list(range(14))
 
 
+def build_skewed_endpoint(hot=500, total=2000):
+    """A store whose ``geo`` objects are heavily skewed (one hot key)."""
+    ep = LocalEndpoint()
+    g = ep.dataset.default
+    for i in range(total):
+        obs = EX[f"obs{i}"]
+        g.add(obs, EX.geo, EX["DE" if i < hot else f"C{i % 40}"])
+        g.add(obs, EX.time, EX[f"M{i % 24}"])
+        g.add(obs, EX.value, Literal(i))
+    return ep
+
+
+def _skew_query(member: str) -> str:
+    return (f"SELECT ?o ?v WHERE {{ "
+            f"?o <http://example.org/geo> <http://example.org/{member}> . "
+            f"?o <http://example.org/time> <http://example.org/M3> . "
+            f"?o <http://example.org/value> ?v }}")
+
+
+class TestConstantAwarePlanning:
+    def test_hot_and_cold_constants_get_different_join_orders(self):
+        ep = build_skewed_endpoint()
+        hot = ep.explain(_skew_query("DE"))
+        cold = ep.explain(_skew_query("C7"))
+
+        def first(plan):
+            return next(l for l in plan.splitlines() if "[0]" in l)
+
+        # hot: the geo scan would pull ~500 rows, so the planner leads
+        # with the month pattern instead; cold keeps geo first
+        assert "time" in first(hot)
+        assert "geo" in first(cold)
+
+    def test_one_cache_entry_per_shape_and_bracket(self):
+        ep = build_skewed_endpoint()
+        PLAN_CACHE.clear()
+        ep.select(_skew_query("DE"))
+        ep.select(_skew_query("C7"))
+        stats = PLAN_CACHE.statistics()
+        assert stats["misses"] == 2  # one per bracket
+        assert stats["bracket_replans"] == 1
+
+    def test_same_band_constants_share_one_plan(self):
+        ep = build_skewed_endpoint()
+        PLAN_CACHE.clear()
+        ep.select(_skew_query("C7"))
+        ep.select(_skew_query("C8"))
+        stats = PLAN_CACHE.statistics()
+        assert stats["misses"] == 1
+        assert stats["hits_parameterized"] == 1
+        assert stats["bracket_replans"] == 0
+
+    def test_steps_carry_estimator_and_bracket(self):
+        ep = build_skewed_endpoint()
+        from repro.sparql.evaluator import DatasetContext
+        source = DatasetContext(ep.dataset).default_source()
+        query = parse_query(_skew_query("DE"))
+        plan = get_plan(query.pattern, frozenset(), source)
+        assert plan.bands
+        geo_step = next(s for s in plan.steps
+                        if "geo" in query.pattern.patterns[s.index]
+                        .predicate.value)
+        assert geo_step.est_source in ("mcv", "hist")
+        assert geo_step.bracket is not None
+        low, high = geo_step.bracket
+        assert low <= geo_step.est_scan < high
+        # the average-only figure is kept for EXPLAIN's skew display
+        assert geo_step.est_avg != geo_step.est_out
+
+    def test_results_identical_across_cost_models(self):
+        from repro.sparql import optimizer
+        ep = build_skewed_endpoint()
+        aware = {tuple(r) for r in ep.select(_skew_query("DE")).rows}
+        optimizer.CONSTANT_AWARE = False
+        try:
+            PLAN_CACHE.clear()
+            avg = {tuple(r) for r in ep.select(_skew_query("DE")).rows}
+        finally:
+            optimizer.CONSTANT_AWARE = True
+        assert aware == avg
+        assert len(aware) > 0
+
+    def test_disabling_constant_awareness_restores_avg_plans(self):
+        from repro.sparql import optimizer
+        ep = build_skewed_endpoint()
+        optimizer.CONSTANT_AWARE = False
+        try:
+            PLAN_CACHE.clear()
+            plan = ep.explain(_skew_query("DE"))
+        finally:
+            optimizer.CONSTANT_AWARE = True
+        assert "[mcv]" not in plan
+        assert "bands" not in plan
+
+
+class TestGreedyFallbackRecorded:
+    def _big_bgp(self, n=14):
+        text = "SELECT * WHERE { " + " . ".join(
+            f"?s <http://example.org/p{i}> ?v{i}" for i in range(n)) + " }"
+        return parse_query(text)
+
+    def test_fallback_recorded_on_plan(self):
+        ep = build_endpoint()
+        plan = plan_physical(self._big_bgp().pattern.patterns,
+                             ep.dataset.default)
+        assert plan.fallback is not None
+        assert "greedy" in plan.fallback
+        small = plan_physical(self._big_bgp(3).pattern.patterns,
+                              ep.dataset.default)
+        assert small.fallback is None
+
+    def test_fallback_logged(self, caplog):
+        import logging
+        ep = build_endpoint()
+        with caplog.at_level(logging.INFO, logger="repro.sparql.optimizer"):
+            plan_physical(self._big_bgp().pattern.patterns,
+                          ep.dataset.default)
+        assert any("greedy" in record.message for record in caplog.records)
+
+    def test_fallback_shown_in_explain(self):
+        ep = build_endpoint()
+        text = "SELECT * WHERE { " + " . ".join(
+            f"?s <http://example.org/p{i}> ?v{i}" for i in range(14)) + " }"
+        plan = ep.explain(text)
+        assert "greedy" in plan
+        assert "DP limit" in plan
+
+    def test_fallback_shown_in_explain_analyze(self):
+        # the analyzed rendering must not swallow the fallback note —
+        # analyze mode is where a bad big-BGP plan gets investigated
+        ep = build_endpoint(n=40)
+        text = "SELECT * WHERE { " + " . ".join(
+            f"?s <http://example.org/value> ?v{i}" for i in range(13)) + " }"
+        plan = ep.explain(text, analyze=True)
+        assert "analyzed" in plan
+        assert "greedy" in plan
+        assert "DP limit" in plan
+
+
 class TestParameterizedSharing:
     def test_constant_lifted_signature(self):
         q1 = parse_query(

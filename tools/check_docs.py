@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run the doctests embedded in README.md and docs/*.md.
+
+Documentation that shows code drifts; documentation that *runs* code
+cannot.  Every ``>>>`` example in the top-level README and the files
+under ``docs/`` is executed verbatim by :mod:`doctest` (NORMALIZE /
+ELLIPSIS enabled so plans can elide machine-specific figures), and the
+build fails when any example's output no longer matches the engine.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py        # or: make docs-check
+    PYTHONPATH=src python tools/check_docs.py -v     # show every example
+
+The checker is also exercised by the tier-1 suite (``tests/test_docs.py``),
+so ``pytest`` alone catches stale docs.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: the documentation files whose examples must execute
+FILES = ["README.md", "docs/architecture.md", "docs/statistics.md",
+         "docs/performance.md"]
+
+#: files that must contain at least one runnable example — a doc suite
+#: whose examples silently vanished should fail, not pass vacuously
+MUST_HAVE_EXAMPLES = ["README.md", "docs/statistics.md"]
+
+OPTIONS = (doctest.ELLIPSIS
+           | doctest.NORMALIZE_WHITESPACE
+           | doctest.IGNORE_EXCEPTION_DETAIL)
+
+
+def check(verbose: bool = False) -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    exit_code = 0
+    for name in FILES:
+        path = ROOT / name
+        if not path.exists():
+            print(f"{name}: MISSING")
+            exit_code = 1
+            continue
+        result = doctest.testfile(str(path), module_relative=False,
+                                  optionflags=OPTIONS, verbose=verbose)
+        status = "ok" if result.failed == 0 else "FAIL"
+        print(f"{name}: {result.attempted} examples, "
+              f"{result.failed} failures [{status}]")
+        if result.failed:
+            exit_code = 1
+        if result.attempted == 0 and name in MUST_HAVE_EXAMPLES:
+            print(f"{name}: expected at least one runnable example")
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(check(verbose="-v" in sys.argv[1:]))
