@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-smoke bench-baseline bench-plan \
-	bench-plan-baseline bench-stream bench-stream-baseline
+	bench-plan-baseline bench-stream bench-stream-baseline \
+	bench-concurrency
 
 ## Tier-1 verification: docs doctests + the full unit/integration suite.
 test: docs-check
@@ -46,3 +47,10 @@ bench-stream:
 ## Refresh the committed streaming baseline after an intentional change.
 bench-stream-baseline:
 	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_regression.py --stream --update
+
+## Concurrency gate: 8 interactive readers + 1 bulk writer under a
+## wall-clock budget; snapshot isolation must deliver >= 2x the
+## aggregate read throughput of a serialized-lock control, with
+## concurrent results identical to single-threaded execution.
+bench-concurrency:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_concurrency.py

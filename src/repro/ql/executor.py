@@ -57,6 +57,11 @@ class ExecutionReport:
     streamed_queries: int = 0
     streamed_batches: int = 0
     streamed_rows: int = 0
+    #: the dataset snapshot epoch the (last) SPARQL execution was
+    #: pinned to — the consistency boundary this result observed; a
+    #: session can compare epochs across executions to tell whether
+    #: enrichment wrote to the endpoint in between
+    snapshot_epoch: Optional[int] = None
 
     @property
     def total_seconds(self) -> float:
@@ -138,6 +143,7 @@ class QLEngine:
                 report.sparql_lines = translation.optimized_lines
         report.execute_seconds = time.perf_counter() - started
         report.rows = len(table)
+        report.snapshot_epoch = table.snapshot_epoch
         cache_after = PLAN_CACHE.statistics()
         report.plan_cache_hits = cache_after["hits"] - cache_before["hits"]
         report.plan_cache_parameterized_hits = (

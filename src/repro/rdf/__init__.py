@@ -15,9 +15,21 @@ Quick tour:
 True
 """
 
+from repro.rdf.concurrency import (
+    CONCURRENCY,
+    ConcurrencyTelemetry,
+    CountedRLock,
+)
 from repro.rdf.dictionary import DictionaryOverlay, TermDictionary
 from repro.rdf.errors import ParseError, RDFError, SerializationError, TermError
-from repro.rdf.graph import Dataset, Graph, TriplePattern, UnionView
+from repro.rdf.graph import (
+    Dataset,
+    DatasetSnapshot,
+    Graph,
+    GraphSnapshot,
+    TriplePattern,
+    UnionView,
+)
 from repro.rdf.namespace import (
     DCT,
     DEFAULT_PREFIXES,
@@ -54,12 +66,17 @@ from repro.rdf.turtle import parse_turtle, serialize_turtle
 
 __all__ = [
     "BNode",
+    "CONCURRENCY",
+    "ConcurrencyTelemetry",
+    "CountedRLock",
     "DCT",
     "DEFAULT_PREFIXES",
     "Dataset",
+    "DatasetSnapshot",
     "DictionaryOverlay",
     "FOAF",
     "Graph",
+    "GraphSnapshot",
     "GraphStats",
     "IRI",
     "Literal",

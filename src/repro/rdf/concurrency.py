@@ -1,0 +1,200 @@
+"""Concurrency primitives and telemetry for the snapshot-epoch layer.
+
+The engine's consistency boundary is the **snapshot epoch** (see
+:mod:`repro.rdf.graph`): writers mutate under an exclusive per-dataset
+lock and bump the graph epoch; readers pin an immutable
+``GraphSnapshot`` / ``DatasetSnapshot`` for the duration of a query and
+never take the write lock at all.  This module holds the two pieces
+that protocol shares process-wide:
+
+* :class:`CountedRLock` — a reentrant lock whose *contended*
+  acquisitions are counted, so ``EXPLAIN`` can show how often writers
+  actually waited on each other (readers never contend on it);
+* :class:`ConcurrencyTelemetry` / :data:`CONCURRENCY` — the shared
+  counters the endpoint and ``EXPLAIN`` surface: active readers (a
+  gauge), the peak reader concurrency seen, snapshot pins split into
+  fresh builds vs epoch-cache reuses, copy-on-write events, and writer
+  waits.
+
+Lock order (must be respected by any new code path):
+
+1. the dataset / graph write lock (:class:`CountedRLock`; one shared
+   lock per :class:`~repro.rdf.graph.Dataset`, a private one per
+   standalone :class:`~repro.rdf.graph.Graph`);
+2. the term dictionary's intern lock
+   (:class:`~repro.rdf.dictionary.TermDictionary`), taken inside graph
+   mutations when a new term is first seen;
+3. the telemetry lock in this module (leaf — never held while calling
+   out).
+
+Telemetry is intentionally cheap: counters that are only ever bumped
+under a write lock (snapshot builds, COW copies) need no extra
+synchronization; the reader gauge and the counters bumped by unlocked
+readers (snapshot reuses, stale serves, writer waits) take the
+telemetry lock because those events genuinely race.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["CONCURRENCY", "ConcurrencyTelemetry", "CountedRLock"]
+
+
+class CountedRLock:
+    """A reentrant lock that counts contended acquisitions.
+
+    Wraps :class:`threading.RLock`; the fast path (uncontended acquire)
+    costs one extra non-blocking attempt.  Contended acquires — a
+    writer arriving while another writer (or a snapshot publication)
+    holds the lock — bump :attr:`ConcurrencyTelemetry.writer_waits`.
+    The rare *reader* paths that must block (a dataset's very first
+    pin) use :meth:`acquire_uncounted` so the writer-wait counter
+    keeps meaning what its name says.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True) -> bool:
+        if self._lock.acquire(blocking=False):
+            return True
+        if not blocking:
+            return False
+        CONCURRENCY.record_writer_wait()
+        return self._lock.acquire()
+
+    def acquire_uncounted(self) -> bool:
+        """Blocking acquire that never records a writer wait."""
+        return self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "CountedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._lock.release()
+
+    def __repr__(self) -> str:
+        return f"<CountedRLock {self._lock!r}>"
+
+
+class ConcurrencyTelemetry:
+    """Shared counters for the snapshot-epoch reader/writer protocol.
+
+    ``active_readers`` is a live gauge of queries currently evaluating
+    against a pinned snapshot; ``peak_readers`` is the highest value
+    that gauge has reached.  ``snapshot_builds`` counts snapshots
+    constructed fresh (the graph changed since the last pin),
+    ``snapshot_reuses`` counts pins served from the published-snapshot
+    cache, and ``stale_serves`` counts pins answered with the *last
+    published* state because a writer held the lock mid-batch (the
+    never-block guarantee); the sum of the three is the *snapshot pins*
+    figure EXPLAIN shows.  ``cow_copies`` counts copy-on-write events —
+    a writer re-cloning the id-keyed indexes because a published
+    snapshot still shares them.  ``writer_waits`` counts contended
+    write-lock acquisitions.
+    """
+
+    __slots__ = ("_lock", "active_readers", "peak_readers",
+                 "reader_queries", "snapshot_builds", "snapshot_reuses",
+                 "stale_serves", "cow_copies", "writer_waits")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.active_readers = 0
+        self.peak_readers = 0
+        self.reader_queries = 0
+        self.snapshot_builds = 0
+        self.snapshot_reuses = 0
+        self.stale_serves = 0
+        self.cow_copies = 0
+        self.writer_waits = 0
+
+    # -- reader gauge --------------------------------------------------------
+
+    def reader_enter(self) -> None:
+        """A query pinned a snapshot and started evaluating."""
+        with self._lock:
+            self.active_readers += 1
+            self.reader_queries += 1
+            if self.active_readers > self.peak_readers:
+                self.peak_readers = self.active_readers
+
+    def reader_exit(self) -> None:
+        with self._lock:
+            self.active_readers -= 1
+
+    # -- writer/snapshot events ----------------------------------------------
+    # builds and COW copies happen under a write lock; reuse and stale
+    # serves are bumped by *unlocked* readers, so they take the
+    # telemetry lock to avoid losing increments across a GIL switch
+
+    def record_snapshot_build(self) -> None:
+        self.snapshot_builds += 1
+
+    def record_snapshot_reuse(self) -> None:
+        with self._lock:
+            self.snapshot_reuses += 1
+
+    def record_snapshot_stale(self) -> None:
+        with self._lock:
+            self.stale_serves += 1
+
+    def record_cow_copy(self) -> None:
+        self.cow_copies += 1
+
+    def record_writer_wait(self) -> None:
+        with self._lock:
+            self.writer_waits += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def snapshot_pins(self) -> int:
+        """Total pins (fresh builds + cache reuses + stale serves)."""
+        return self.snapshot_builds + self.snapshot_reuses \
+            + self.stale_serves
+
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of every counter (for deltas in tests)."""
+        with self._lock:
+            return {
+                "active_readers": self.active_readers,
+                "peak_readers": self.peak_readers,
+                "reader_queries": self.reader_queries,
+                "snapshot_builds": self.snapshot_builds,
+                "snapshot_reuses": self.snapshot_reuses,
+                "stale_serves": self.stale_serves,
+                "snapshot_pins": (self.snapshot_builds
+                                  + self.snapshot_reuses
+                                  + self.stale_serves),
+                "cow_copies": self.cow_copies,
+                "writer_waits": self.writer_waits,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.active_readers = 0
+            self.peak_readers = 0
+            self.reader_queries = 0
+            self.snapshot_builds = 0
+            self.snapshot_reuses = 0
+            self.stale_serves = 0
+            self.cow_copies = 0
+            self.writer_waits = 0
+
+    def __repr__(self) -> str:
+        return (f"<ConcurrencyTelemetry active={self.active_readers} "
+                f"peak={self.peak_readers} pins={self.snapshot_pins} "
+                f"cow={self.cow_copies} waits={self.writer_waits}>")
+
+
+#: The process-wide concurrency counters (like ``STREAM_TELEMETRY``).
+CONCURRENCY = ConcurrencyTelemetry()

@@ -30,6 +30,7 @@ finishes.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.rdf.terms import Term
@@ -44,21 +45,39 @@ OVERLAY_BASE = 1 << 40
 
 
 class TermDictionary:
-    """An append-only intern table: term ↔ dense integer id."""
+    """An append-only intern table: term ↔ dense integer id.
 
-    __slots__ = ("_ids", "_terms")
+    Reads (``lookup`` / ``decode``) are lock-free: the table only ever
+    grows, a term's id never changes once assigned, and ids are
+    published to ``_ids`` only *after* the term is appended to
+    ``_terms`` — so any id another thread can observe already decodes.
+    First-sight interning takes a small mutex (double-checked, so the
+    hot path of re-encoding a known term stays a single dict probe);
+    this is the dictionary half of the snapshot-epoch reader/writer
+    protocol (see :mod:`repro.rdf.concurrency` for the lock order).
+    A reader pinned to a :class:`~repro.rdf.graph.GraphSnapshot` may
+    see terms interned *after* its snapshot — harmless, because ids
+    above the snapshot's high-water mark cannot appear in its frozen
+    indexes, so a pattern constant holding one simply matches nothing.
+    """
+
+    __slots__ = ("_ids", "_terms", "_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Term, int] = {}
         self._terms: List[Term] = []
+        self._lock = threading.Lock()
 
     def encode(self, term: Term) -> int:
         """The id for ``term``, interning it on first sight."""
         term_id = self._ids.get(term)
         if term_id is None:
-            term_id = len(self._terms)
-            self._ids[term] = term_id
-            self._terms.append(term)
+            with self._lock:
+                term_id = self._ids.get(term)
+                if term_id is None:
+                    term_id = len(self._terms)
+                    self._terms.append(term)
+                    self._ids[term] = term_id
         return term_id
 
     def lookup(self, term: Term) -> Optional[int]:

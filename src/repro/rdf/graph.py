@@ -20,12 +20,32 @@ Pattern positions use ``None`` as the wildcard:
 Raw id-level iteration (:meth:`Graph.triples_ids`) is the fast path the
 SPARQL evaluator's columnar join pipeline uses: it yields plain
 ``(s, p, o)`` integer tuples with no :class:`Triple` allocation.
+
+**Concurrency (snapshot epochs).**  Graphs follow a reader-writer
+protocol built on the mutation epoch: writers take an exclusive lock
+(one :class:`~repro.rdf.concurrency.CountedRLock` shared by all graphs
+of a :class:`Dataset`) for the duration of each mutation call — which
+makes :meth:`Graph.add_all` an atomic batch — and readers pin an
+immutable :class:`GraphSnapshot` / :class:`DatasetSnapshot` instead of
+locking at all.  Snapshots are published copy-on-write: pinning marks
+the live id-keyed indexes as shared, and the *next* mutation re-clones
+them before touching anything, so a pinned snapshot stays frozen
+forever while writes proceed.  Snapshots are cached per epoch, so an
+idle graph serves every reader the same object with no copying.
+
+>>> g2 = Graph()
+>>> _ = g2.add(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o"))
+>>> frozen = g2.snapshot()
+>>> _ = g2.add(IRI("http://e/s2"), IRI("http://e/p"), IRI("http://e/o"))
+>>> len(frozen), len(g2)
+(1, 2)
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.rdf.concurrency import CONCURRENCY, CountedRLock
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.errors import TermError
 from repro.rdf.namespace import NamespaceManager
@@ -44,6 +64,47 @@ IdTriple = Tuple[int, int, int]
 _Index = Dict[int, Dict[int, Set[int]]]
 
 _WILD: IdPattern = (None, None, None)
+
+
+def _pin_published_snapshot(owner):
+    """The shared pin algorithm for :class:`Graph` and :class:`Dataset`.
+
+    Four branches, in order: (1) lock-free fast path — the published
+    snapshot is current; (2) non-blocking refresh — the snapshot is
+    stale and the write lock is free, so republish; (3) stale serve —
+    a writer is mid-batch, hand back the latest *published* state
+    rather than stalling the reader; (4) blocking first pin — nothing
+    was ever published, wait for a quiescent instant (uncounted: this
+    is a reader, not a writer wait).
+
+    ``owner`` supplies ``_snapshot`` / ``_lock`` and the two varying
+    pieces: ``_snapshot_current(snap)`` and ``_publish_snapshot()``.
+    """
+    snap = owner._snapshot
+    if snap is not None and owner._snapshot_current(snap):
+        CONCURRENCY.record_snapshot_reuse()
+        return snap
+    if owner._lock.acquire(blocking=False):
+        try:
+            snap = owner._snapshot
+            if snap is not None and owner._snapshot_current(snap):
+                CONCURRENCY.record_snapshot_reuse()
+                return snap
+            return owner._publish_snapshot()
+        finally:
+            owner._lock.release()
+    if snap is not None:
+        CONCURRENCY.record_snapshot_stale()
+        return snap
+    owner._lock.acquire_uncounted()
+    try:
+        snap = owner._snapshot
+        if snap is not None and owner._snapshot_current(snap):
+            CONCURRENCY.record_snapshot_reuse()
+            return snap
+        return owner._publish_snapshot()
+    finally:
+        owner._lock.release()
 
 
 def _index_add(index: _Index, a: int, b: int, c: int) -> None:
@@ -128,7 +189,8 @@ class Graph(_GraphReadMixin):
 
     def __init__(self, identifier: Optional[IRI] = None,
                  namespace_manager: Optional[NamespaceManager] = None,
-                 dictionary: Optional[TermDictionary] = None) -> None:
+                 dictionary: Optional[TermDictionary] = None,
+                 lock: Optional[CountedRLock] = None) -> None:
         self.identifier = identifier
         self.namespace_manager = namespace_manager or NamespaceManager()
         #: term ↔ id intern table; shared across a Dataset's graphs.
@@ -143,13 +205,54 @@ class Graph(_GraphReadMixin):
         #: the cost-based SPARQL planner reads them in O(1).
         self.stats = GraphStats()
         #: mutation counter; bumped on every add/remove/clear.  Query
-        #: plan caches key on it so stale statistics age out.
+        #: plan caches key on it so stale statistics age out, and the
+        #: snapshot layer uses it as its consistency boundary.
         self.epoch = 0
         #: optional hook ``(graph, s_id, p_id, o_id) -> None`` installed
         #: by :class:`Dataset` to track cross-graph disjointness.
         self._on_add = None
+        #: the exclusive write lock (shared across a Dataset's member
+        #: graphs so multi-graph snapshots are consistent); mutations
+        #: and snapshot publication both take it, reads never do.
+        self._lock = lock if lock is not None else CountedRLock()
+        #: True while a published :class:`GraphSnapshot` still shares
+        #: this graph's index dicts — the next mutation re-clones them
+        #: (copy-on-write) before touching anything.
+        self._shared = False
+        #: the latest *published* snapshot; readers take it lock-free.
+        self._snapshot: Optional["GraphSnapshot"] = None
+        #: the :class:`Dataset` whose dirty flag mutations must raise
+        #: (set when the dataset creates or adopts this graph).
+        self._owner = None
 
     # -- mutation ------------------------------------------------------------
+
+    def locked(self) -> CountedRLock:
+        """The graph's exclusive write lock, as a context manager.
+
+        ``with graph.locked(): ...`` turns a sequence of mutations into
+        one atomic batch w.r.t. snapshot publication: no snapshot can
+        be pinned mid-sequence, because :meth:`snapshot` needs the same
+        lock.  (:meth:`add_all` already does this for bulk loads.)
+        """
+        return self._lock
+
+    def _unshare(self) -> None:
+        """Re-clone the index dicts a published snapshot still holds.
+
+        Called under the write lock by the first mutation after a
+        snapshot: the snapshot keeps the old structures (frozen
+        forever), the graph continues on fresh copies.  O(graph size),
+        but paid once per write-burst-after-pin, not per triple.
+        """
+        self._spo = {a: {b: set(c) for b, c in level.items()}
+                     for a, level in self._spo.items()}
+        self._pos = {a: {b: set(c) for b, c in level.items()}
+                     for a, level in self._pos.items()}
+        self._osp = {a: {b: set(c) for b, c in level.items()}
+                     for a, level in self._osp.items()}
+        self._shared = False
+        CONCURRENCY.record_cow_copy()
 
     def add(self, subject_or_triple: Union[Term, Triple, Tuple],
             predicate: Optional[Term] = None,
@@ -166,55 +269,119 @@ class Graph(_GraphReadMixin):
         else:
             s, p, o = subject_or_triple, predicate, obj
         s, p, o = make_triple(s, p, o)
-        encode = self.dictionary.encode
-        si, pi, oi = encode(s), encode(p), encode(o)
-        by_predicate = self._spo.get(si)
-        if by_predicate is not None and oi in by_predicate.get(pi, ()):
-            return self  # already present
-        new_subject = by_predicate is None or pi not in by_predicate
-        by_object = self._pos.get(pi)
-        new_object = by_object is None or oi not in by_object
-        _index_add(self._spo, si, pi, oi)
-        _index_add(self._pos, pi, oi, si)
-        _index_add(self._osp, oi, si, pi)
-        self._size += 1
-        self.stats.record_add(pi, new_subject, new_object)
-        self.epoch += 1
-        if self._on_add is not None:
-            self._on_add(self, si, pi, oi)
+        with self._lock:
+            encode = self.dictionary.encode
+            si, pi, oi = encode(s), encode(p), encode(o)
+            by_predicate = self._spo.get(si)
+            if by_predicate is not None and oi in by_predicate.get(pi, ()):
+                return self  # already present
+            if self._shared:
+                self._unshare()
+            new_subject = by_predicate is None or pi not in self._spo.get(
+                si, {})
+            by_object = self._pos.get(pi)
+            new_object = by_object is None or oi not in by_object
+            _index_add(self._spo, si, pi, oi)
+            _index_add(self._pos, pi, oi, si)
+            _index_add(self._osp, oi, si, pi)
+            self._size += 1
+            self.stats.record_add(pi, new_subject, new_object)
+            self.epoch += 1
+            if self._owner is not None:
+                self._owner._dirty = True
+            if self._on_add is not None:
+                self._on_add(self, si, pi, oi)
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> "Graph":
-        for triple in triples:
-            self.add(triple)
+        """Add many triples as one atomic batch.
+
+        The write lock is held across the whole iteration, so a reader
+        pinning a snapshot sees either none or all of the batch — the
+        unit of atomicity concurrent loads get for free.
+        """
+        with self._lock:
+            for triple in triples:
+                self.add(triple)
         return self
 
     def remove(self, pattern: TriplePattern) -> int:
         """Remove all triples matching ``pattern``; return how many."""
-        ids = self._encode_pattern(pattern)
-        if ids is None:
-            return 0
-        victims = list(self.triples_ids(ids))
-        for si, pi, oi in victims:
-            _index_remove(self._spo, si, pi, oi)
-            _index_remove(self._pos, pi, oi, si)
-            _index_remove(self._osp, oi, si, pi)
-            self.stats.record_remove(
-                pi,
-                lost_subject=pi not in self._spo.get(si, {}),
-                lost_object=oi not in self._pos.get(pi, {}))
-        if victims:
+        with self._lock:
+            ids = self._encode_pattern(pattern)
+            if ids is None:
+                return 0
+            victims = list(self.triples_ids(ids))
+            if not victims:
+                return 0
+            if self._shared:
+                self._unshare()
+            for si, pi, oi in victims:
+                _index_remove(self._spo, si, pi, oi)
+                _index_remove(self._pos, pi, oi, si)
+                _index_remove(self._osp, oi, si, pi)
+                self.stats.record_remove(
+                    pi,
+                    lost_subject=pi not in self._spo.get(si, {}),
+                    lost_object=oi not in self._pos.get(pi, {}))
             self._size -= len(victims)
             self.epoch += 1
-        return len(victims)
+            if self._owner is not None:
+                self._owner._dirty = True
+            return len(victims)
 
     def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
-        self.stats.clear()
-        self.epoch += 1
+        with self._lock:
+            if self._shared:
+                # a snapshot still owns the old structures: abandon
+                # them to it instead of clearing them in place
+                self._spo = {}
+                self._pos = {}
+                self._osp = {}
+                self._shared = False
+            else:
+                self._spo.clear()
+                self._pos.clear()
+                self._osp.clear()
+            self._size = 0
+            self.stats.clear()
+            self.epoch += 1
+            if self._owner is not None:
+                self._owner._dirty = True
+
+    # -- snapshots -----------------------------------------------------------
+
+    def _snapshot_current(self, snap: "GraphSnapshot") -> bool:
+        return snap.epoch == self.epoch
+
+    def _publish_snapshot(self) -> "GraphSnapshot":
+        """Build and publish a fresh snapshot (must hold the lock)."""
+        snap = GraphSnapshot(self)
+        self._snapshot = snap
+        self._shared = True
+        CONCURRENCY.record_snapshot_build()
+        return snap
+
+    def snapshot(self) -> "GraphSnapshot":
+        """Pin an immutable view of this graph.
+
+        **Readers never block on writers**: when the published snapshot
+        is current (epoch unchanged) it is returned from a lock-free
+        fast path; when it is stale, the pin *tries* the write lock and
+        republishes — but if a writer is mid-batch, the previous
+        published snapshot is served instead (consistent, merely as of
+        the last completed batch).  Only the very first pin of a graph
+        must wait for a quiescent instant
+        (:func:`_pin_published_snapshot` has the branch-by-branch
+        walkthrough).
+
+        Pinning is cheap by construction: the snapshot *shares* the
+        live index dicts and marks them copy-on-write, so publishing
+        copies only the small per-predicate counters.  While the graph
+        does not change, every reader gets the same object (and
+        therefore the same plan-cache identity).
+        """
+        return _pin_published_snapshot(self)
 
     # -- id-level fast paths -------------------------------------------------
 
@@ -440,19 +607,20 @@ class Graph(_GraphReadMixin):
 
     def copy(self) -> "Graph":
         """A mutable clone sharing this graph's term dictionary."""
-        clone = Graph(self.identifier, self.namespace_manager.copy(),
-                      dictionary=self.dictionary)
-        clone._spo = {a: {b: set(c) for b, c in level.items()}
-                      for a, level in self._spo.items()}
-        clone._pos = {a: {b: set(c) for b, c in level.items()}
-                      for a, level in self._pos.items()}
-        clone._osp = {a: {b: set(c) for b, c in level.items()}
-                      for a, level in self._osp.items()}
-        clone._size = self._size
-        clone.stats.cardinality = dict(self.stats.cardinality)
-        clone.stats.subjects = dict(self.stats.subjects)
-        clone.stats.objects = dict(self.stats.objects)
-        return clone
+        with self._lock:
+            clone = Graph(self.identifier, self.namespace_manager.copy(),
+                          dictionary=self.dictionary)
+            clone._spo = {a: {b: set(c) for b, c in level.items()}
+                          for a, level in self._spo.items()}
+            clone._pos = {a: {b: set(c) for b, c in level.items()}
+                          for a, level in self._pos.items()}
+            clone._osp = {a: {b: set(c) for b, c in level.items()}
+                          for a, level in self._osp.items()}
+            clone._size = self._size
+            clone.stats.cardinality = dict(self.stats.cardinality)
+            clone.stats.subjects = dict(self.stats.subjects)
+            clone.stats.objects = dict(self.stats.objects)
+            return clone
 
     def bind(self, prefix: str, namespace) -> None:
         self.namespace_manager.bind(prefix, namespace)
@@ -484,6 +652,86 @@ class Graph(_GraphReadMixin):
             parse_ntriples(text, self)
             return self
         raise TermError(f"unknown parse format: {format!r}")
+
+
+class GraphSnapshot(Graph):
+    """An immutable view of a :class:`Graph` at one mutation epoch.
+
+    Built (under the write lock) by :meth:`Graph.snapshot`: it adopts
+    the live id-keyed indexes by reference — the graph marks them
+    copy-on-write, so the first later mutation leaves this snapshot the
+    sole owner of the frozen structures — and copies the small
+    per-predicate statistics counters so the planner's estimates are
+    epoch-consistent too.  The shared term dictionary keeps growing
+    underneath (it is append-only), which is safe: ids interned after
+    the snapshot cannot appear in its frozen indexes.
+
+    The snapshot inherits every read path from :class:`Graph`
+    (``triples`` / ``triples_ids`` / ``count`` / ``statistics`` /
+    ``predicate_summary`` — value-aware summaries are rebuilt lazily
+    against the frozen indexes and cached per snapshot); mutation
+    entry points raise :class:`~repro.rdf.errors.TermError`.
+    """
+
+    def __init__(self, graph: Graph) -> None:  # called under graph._lock
+        self.identifier = graph.identifier
+        self.namespace_manager = graph.namespace_manager
+        self.dictionary = graph.dictionary
+        self._spo = graph._spo
+        self._pos = graph._pos
+        self._osp = graph._osp
+        self._size = graph._size
+        stats = GraphStats()
+        stats.cardinality = dict(graph.stats.cardinality)
+        stats.subjects = dict(graph.stats.subjects)
+        stats.objects = dict(graph.stats.objects)
+        # seed the value-aware summaries (shallow copy: the summary
+        # objects themselves are shared with the live graph) so an
+        # interleaved write/query workload keeps predicate_summary's
+        # O(1) counter revalidation instead of rebuilding per epoch.
+        # Sharing is safe: a summary is only ever *restamped* when the
+        # viewer's own counters match its content (so the content is
+        # valid for that viewer), and a rebuild replaces the dict
+        # entry in the rebuilder's private dict, never the shared
+        # object.
+        stats.summaries = dict(graph.stats.summaries)
+        self.stats = stats
+        self.epoch = graph.epoch
+        #: ids below this were interned when the snapshot was taken
+        self.dictionary_mark = len(graph.dictionary)
+        self._on_add = None
+        self._lock = graph._lock
+        self._shared = True
+        self._snapshot = None
+        self._owner = None
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A snapshot is already immutable: pinning it is the identity."""
+        return self
+
+    def copy(self) -> Graph:
+        """A mutable clone of the frozen state (same term dictionary)."""
+        return Graph.copy(self)
+
+    # -- writes are rejected -------------------------------------------------
+
+    def _read_only(self, *_args, **_kwargs):
+        raise TermError(
+            "graph snapshot is read-only: it pins one mutation epoch; "
+            "mutate the live Graph instead (or .copy() the snapshot)")
+
+    add = _read_only
+    add_all = _read_only
+    remove = _read_only
+    clear = _read_only
+    parse = _read_only
+    bind = _read_only
+    __iadd__ = _read_only
+
+    def __repr__(self) -> str:
+        name = self.identifier.value if self.identifier else "default"
+        return (f"<GraphSnapshot {name} @epoch {self.epoch} "
+                f"({self._size} triples)>")
 
 
 class UnionView(_GraphReadMixin):
@@ -620,10 +868,19 @@ class Dataset:
     def __init__(self) -> None:
         self.namespace_manager = NamespaceManager()
         self.dictionary = TermDictionary()
+        #: the exclusive write lock shared by every member graph —
+        #: one lock per dataset makes multi-graph snapshots consistent
+        #: (see :meth:`snapshot`) and keeps the lock order flat.
+        self._lock = CountedRLock()
         self._named: Dict[IRI, Graph] = {}
         self._disjoint = True
+        #: the latest *published* snapshot; readers take it lock-free.
+        self._snapshot: Optional["DatasetSnapshot"] = None
+        #: True when any member graph mutated (or membership changed)
+        #: since the last publication — the pin path's refresh signal.
+        self._dirty = True
         self.default = Graph(namespace_manager=self.namespace_manager,
-                             dictionary=self.dictionary)
+                             dictionary=self.dictionary, lock=self._lock)
 
     @property
     def default(self) -> Graph:
@@ -641,6 +898,12 @@ class Dataset:
                 "longer be comparable)")
         self._default = graph
         self.dictionary = graph.dictionary
+        #: adopt the graph under the dataset's lock so dataset-level
+        #: snapshots and this graph's mutations exclude each other
+        #: (setup-time operation: no mutation may be in flight)
+        graph._lock = self._lock
+        graph._owner = self
+        self._dirty = True
         if graph._on_add is None:
             graph._on_add = self._track_add
         else:
@@ -649,6 +912,15 @@ class Dataset:
             # keep duplicate suppression on
             self._disjoint = False
 
+    def locked(self) -> CountedRLock:
+        """The dataset-wide write lock, as a context manager.
+
+        Holding it turns multi-call mutations (several graphs, or
+        interleaved remove+add) into one atomic unit w.r.t. snapshot
+        pinning, exactly like :meth:`Graph.locked`.
+        """
+        return self._lock
+
     def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
         """Fetch (creating on demand) the graph with ``identifier``."""
         if identifier is None:
@@ -656,15 +928,25 @@ class Dataset:
         iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
         graph = self._named.get(iri)
         if graph is None:
-            graph = Graph(iri, self.namespace_manager,
-                          dictionary=self.dictionary)
-            graph._on_add = self._track_add
-            self._named[iri] = graph
+            with self._lock:
+                graph = self._named.get(iri)
+                if graph is None:
+                    graph = Graph(iri, self.namespace_manager,
+                                  dictionary=self.dictionary,
+                                  lock=self._lock)
+                    graph._on_add = self._track_add
+                    graph._owner = self
+                    self._named[iri] = graph
+                    self._dirty = True
         return graph
 
     def drop(self, identifier: Union[IRI, str]) -> bool:
         iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
-        return self._named.pop(iri, None) is not None
+        with self._lock:
+            dropped = self._named.pop(iri, None) is not None
+            if dropped:
+                self._dirty = True
+            return dropped
 
     def graphs(self) -> Iterator[Graph]:
         """All named graphs (the default graph is not included)."""
@@ -702,9 +984,124 @@ class Dataset:
         """
         return UnionView(self)
 
+    def _epoch_vector(self) -> tuple:
+        """Identity + epoch of every member graph (snapshot currency)."""
+        return ((id(self._default), self._default.epoch),) + tuple(
+            (id(graph), graph.epoch) for graph in self._named.values())
+
+    def _snapshot_current(self, snap: "DatasetSnapshot") -> bool:
+        return not self._dirty
+
+    def _publish_snapshot(self) -> "DatasetSnapshot":
+        """Build and publish a fresh snapshot (must hold the lock)."""
+        snap = DatasetSnapshot(self)
+        self._snapshot = snap
+        self._dirty = False
+        return snap
+
+    def snapshot(self) -> "DatasetSnapshot":
+        """Pin a consistent, immutable view of every member graph.
+
+        Publication happens under the shared write lock, so the member
+        snapshots all belong to one instant — no mutation can
+        interleave between the default graph's pin and a named
+        graph's.  **Pinning itself never blocks on writers**: a clean
+        published snapshot is returned lock-free; a stale one triggers
+        a *non-blocking* refresh attempt, and while a writer is
+        mid-batch readers are served the latest published state (the
+        last completed batch) instead of stalling behind the load
+        (:func:`_pin_published_snapshot` has the branch-by-branch
+        walkthrough).  While nothing changes, every reader shares one
+        snapshot object (and its plan-cache identity).
+        """
+        return _pin_published_snapshot(self)
+
     def __len__(self) -> int:
         return len(self.default) + sum(len(g) for g in self._named.values())
 
     def __contains__(self, identifier: Union[IRI, str]) -> bool:
         iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
         return iri in self._named
+
+
+class DatasetSnapshot:
+    """A consistent, immutable view of a :class:`Dataset`.
+
+    Exposes the read surface :class:`~repro.sparql.evaluator.DatasetContext`
+    consumes — ``default`` / ``graph()`` / ``graphs()`` /
+    ``graphs_disjoint`` / ``dictionary`` — backed by per-graph
+    :class:`GraphSnapshot`\\ s pinned at one instant, so a whole query
+    (including every streamed batch it pulls) evaluates against exactly
+    one epoch vector no matter what writers do meanwhile.
+
+    ``epoch`` is the sum of the member graphs' epochs — the scalar the
+    endpoint reports as a query's *snapshot epoch* — and ``epochs`` is
+    the full identity+epoch vector used for cache currency.
+    """
+
+    __slots__ = ("namespace_manager", "dictionary", "dictionary_mark",
+                 "graphs_disjoint", "epochs", "epoch", "_default",
+                 "_named", "_empty")
+
+    def __init__(self, dataset: Dataset) -> None:  # called under the lock
+        self.namespace_manager = dataset.namespace_manager
+        self.dictionary = dataset.dictionary
+        self.dictionary_mark = len(dataset.dictionary)
+        self._default = dataset._default.snapshot()
+        self._named: Dict[IRI, GraphSnapshot] = {
+            iri: graph.snapshot()
+            for iri, graph in dataset._named.items()}
+        self.graphs_disjoint = dataset._disjoint
+        self.epochs = dataset._epoch_vector()
+        self.epoch = sum(epoch for _, epoch in self.epochs)
+        #: lazily built, shared empty view for unknown identifiers
+        self._empty: Optional[GraphSnapshot] = None
+
+    @property
+    def default(self) -> GraphSnapshot:
+        return self._default
+
+    def graph(self, identifier: Optional[Union[IRI, str]] = None
+              ) -> GraphSnapshot:
+        """The pinned graph with ``identifier``.
+
+        Unlike :meth:`Dataset.graph` this never creates anything: an
+        identifier the dataset did not hold at pin time yields a fresh
+        empty read-only graph (queries against it match nothing).
+        """
+        if identifier is None:
+            return self._default
+        iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
+        graph = self._named.get(iri)
+        if graph is None:
+            # one shared empty view serves every unknown identifier
+            # (lazily built; a benign last-writer-wins race when two
+            # readers build it at once) — no per-call allocation, no
+            # phantom snapshot-build telemetry per lookup
+            empty = self._empty
+            if empty is None:
+                empty = Graph(namespace_manager=self.namespace_manager,
+                              dictionary=self.dictionary).snapshot()
+                self._empty = empty
+            return empty
+        return graph
+
+    def graphs(self) -> Iterator[GraphSnapshot]:
+        """All pinned named graphs (the default graph is not included)."""
+        return iter(self._named.values())
+
+    def snapshot(self) -> "DatasetSnapshot":
+        """A snapshot is already immutable: pinning it is the identity."""
+        return self
+
+    def __len__(self) -> int:
+        return len(self._default) + sum(
+            len(g) for g in self._named.values())
+
+    def __contains__(self, identifier: Union[IRI, str]) -> bool:
+        iri = identifier if isinstance(identifier, IRI) else IRI(identifier)
+        return iri in self._named
+
+    def __repr__(self) -> str:
+        return (f"<DatasetSnapshot @epoch {self.epoch} "
+                f"({1 + len(self._named)} graphs, {len(self)} triples)>")

@@ -18,12 +18,14 @@ The endpoint also reproduces two operational aspects the paper leans on:
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.rdf.graph import Dataset, Graph
+from repro.rdf.concurrency import CONCURRENCY
+from repro.rdf.graph import Dataset, DatasetSnapshot, Graph
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
 from repro.sparql.algebra import (
     AskQuery,
@@ -102,6 +104,10 @@ class EndpointStatistics:
     streamed_selects: int = 0
     streamed_batches: int = 0
     streamed_rows: int = 0
+    #: the dataset snapshot epoch the most recent read query was
+    #: pinned to (sum of member-graph epochs; ``None`` before the
+    #: first query) — the QL execution report copies it out
+    last_snapshot_epoch: Optional[int] = None
 
     def reset(self) -> None:
         self.selects = 0
@@ -115,10 +121,25 @@ class EndpointStatistics:
         self.streamed_selects = 0
         self.streamed_batches = 0
         self.streamed_rows = 0
+        self.last_snapshot_epoch = None
 
 
 class LocalEndpoint:
-    """An in-process SPARQL 1.1 endpoint over a named-graph dataset."""
+    """An in-process SPARQL 1.1 endpoint over a named-graph dataset.
+
+    The read path (:meth:`select` / :meth:`ask` / :meth:`construct` /
+    :meth:`describe` / :meth:`query`) is **thread-safe and
+    snapshot-isolated**: each request pins a
+    :class:`~repro.rdf.graph.DatasetSnapshot` at its current epoch and
+    evaluates entirely against that frozen view, so parallel SELECTs
+    never block each other and a concurrent :meth:`update` /
+    :meth:`insert_triples` can never tear a streamed result — the next
+    query simply pins the next epoch.  The pinned epoch is recorded on
+    the returned :class:`ResultTable` (``snapshot_epoch``) and in
+    :attr:`EndpointStatistics.last_snapshot_epoch`; process-wide
+    reader/writer counters live in :data:`repro.rdf.concurrency.CONCURRENCY`
+    and are rendered by :meth:`explain`.
+    """
 
     def __init__(self, dataset: Optional[Dataset] = None,
                  limits: Optional[EndpointLimits] = None,
@@ -136,33 +157,57 @@ class LocalEndpoint:
         #: parsed tree's BGP nodes keep their cached plan signatures.
         self._parse_cache: "OrderedDict[str, object]" = OrderedDict()
         self._parse_cache_size = 256
-        self._suppress_parse_count = False
+        #: guards the parse cache's LRU reordering and the statistics
+        #: counters (both shared mutable state under parallel queries);
+        #: never held while a query evaluates.
+        self._stats_lock = threading.Lock()
+        #: per-thread flag: query() dispatch suppresses the inner
+        #: parse-count its re-read would cause (thread-local, since
+        #: parallel requests must not suppress each other's counts)
+        self._tls = threading.local()
 
     def _parsed(self, query_text: str):
         """Parse ``query_text`` through the endpoint's LRU parse cache.
 
         Hit/miss statistics count once per request: :meth:`query`'s
-        dispatch suppresses the inner re-read it causes.
+        dispatch suppresses the inner re-read it causes.  Parsing a
+        miss happens outside the lock; two threads racing on the same
+        new text both parse, and the second insert harmlessly wins.
         """
-        count = not self._suppress_parse_count
-        cached = self._parse_cache.get(query_text)
-        if cached is not None:
-            self._parse_cache.move_to_end(query_text)
-            if count:
-                self.statistics.parse_cache_hits += 1
-            return cached
+        count = not getattr(self._tls, "suppress_parse_count", False)
+        with self._stats_lock:
+            cached = self._parse_cache.get(query_text)
+            if cached is not None:
+                self._parse_cache.move_to_end(query_text)
+                if count:
+                    self.statistics.parse_cache_hits += 1
+                return cached
         query = parse_query(query_text)
-        if count:
-            self.statistics.parse_cache_misses += 1
-        self._parse_cache[query_text] = query
-        while len(self._parse_cache) > self._parse_cache_size:
-            self._parse_cache.popitem(last=False)
+        with self._stats_lock:
+            if count:
+                self.statistics.parse_cache_misses += 1
+            self._parse_cache[query_text] = query
+            while len(self._parse_cache) > self._parse_cache_size:
+                self._parse_cache.popitem(last=False)
         return query
+
+    def _pin(self) -> DatasetSnapshot:
+        """Pin the dataset snapshot one read request evaluates against."""
+        snapshot = self.dataset.snapshot()
+        with self._stats_lock:
+            self.statistics.last_snapshot_epoch = snapshot.epoch
+        return snapshot
 
     # -- read path -------------------------------------------------------------
 
     def select(self, query_text: str) -> ResultTable:
-        """Run a SELECT query and return its result table."""
+        """Run a SELECT query and return its result table.
+
+        The query is pinned to one dataset snapshot for its whole
+        evaluation (every streamed batch included), runs without any
+        lock, and the table it returns carries the pinned epoch as
+        ``table.snapshot_epoch``.
+        """
         import re as _re
         if self.limits.forbid_having and _re.search(
                 r"\bHAVING\b", query_text, _re.IGNORECASE):
@@ -172,18 +217,26 @@ class LocalEndpoint:
         query = self._parsed(query_text)
         if not isinstance(query, SelectQuery):
             raise EndpointError("select() requires a SELECT query")
-        context = DatasetContext(self.dataset, self.default_as_union)
+        snapshot = self._pin()
+        context = DatasetContext(snapshot, self.default_as_union)
         stream_before = STREAM_TELEMETRY.snapshot()
-        table = evaluate_select(query, context)
+        CONCURRENCY.reader_enter()
+        try:
+            table = evaluate_select(query, context)
+        finally:
+            CONCURRENCY.reader_exit()
+        table.snapshot_epoch = snapshot.epoch
         elapsed = time.perf_counter() - started
-        self.statistics.selects += 1
-        self.statistics.total_seconds += elapsed
-        self.statistics.streamed_selects += (
-            STREAM_TELEMETRY.queries - stream_before["queries"])
-        self.statistics.streamed_batches += (
-            STREAM_TELEMETRY.batches - stream_before["batches"])
-        self.statistics.streamed_rows += (
-            STREAM_TELEMETRY.rows - stream_before["rows"])
+        stream_after = STREAM_TELEMETRY.snapshot()
+        with self._stats_lock:
+            self.statistics.selects += 1
+            self.statistics.total_seconds += elapsed
+            self.statistics.streamed_selects += (
+                stream_after["queries"] - stream_before["queries"])
+            self.statistics.streamed_batches += (
+                stream_after["batches"] - stream_before["batches"])
+            self.statistics.streamed_rows += (
+                stream_after["rows"] - stream_before["rows"])
         self._log("select", query_text, elapsed, len(table))
         if (self.limits.max_result_rows is not None
                 and len(table) > self.limits.max_result_rows):
@@ -193,16 +246,21 @@ class LocalEndpoint:
         return table
 
     def ask(self, query_text: str) -> bool:
-        """Run an ASK query."""
+        """Run an ASK query (snapshot-pinned like :meth:`select`)."""
         started = time.perf_counter()
         query = self._parsed(query_text)
         if not isinstance(query, AskQuery):
             raise EndpointError("ask() requires an ASK query")
-        context = DatasetContext(self.dataset, self.default_as_union)
-        result = evaluate_ask(query, context)
+        context = DatasetContext(self._pin(), self.default_as_union)
+        CONCURRENCY.reader_enter()
+        try:
+            result = evaluate_ask(query, context)
+        finally:
+            CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
-        self.statistics.asks += 1
-        self.statistics.total_seconds += elapsed
+        with self._stats_lock:
+            self.statistics.asks += 1
+            self.statistics.total_seconds += elapsed
         self._log("ask", query_text, elapsed, int(result))
         return result
 
@@ -212,11 +270,16 @@ class LocalEndpoint:
         query = self._parsed(query_text)
         if not isinstance(query, ConstructQuery):
             raise EndpointError("construct() requires a CONSTRUCT query")
-        context = DatasetContext(self.dataset, self.default_as_union)
-        graph = evaluate_construct(query, context)
+        context = DatasetContext(self._pin(), self.default_as_union)
+        CONCURRENCY.reader_enter()
+        try:
+            graph = evaluate_construct(query, context)
+        finally:
+            CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
-        self.statistics.selects += 1
-        self.statistics.total_seconds += elapsed
+        with self._stats_lock:
+            self.statistics.selects += 1
+            self.statistics.total_seconds += elapsed
         self._log("construct", query_text, elapsed, len(graph))
         return graph
 
@@ -226,11 +289,16 @@ class LocalEndpoint:
         query = self._parsed(query_text)
         if not isinstance(query, DescribeQuery):
             raise EndpointError("describe() requires a DESCRIBE query")
-        context = DatasetContext(self.dataset, self.default_as_union)
-        graph = evaluate_describe(query, context)
+        context = DatasetContext(self._pin(), self.default_as_union)
+        CONCURRENCY.reader_enter()
+        try:
+            graph = evaluate_describe(query, context)
+        finally:
+            CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
-        self.statistics.selects += 1
-        self.statistics.total_seconds += elapsed
+        with self._stats_lock:
+            self.statistics.selects += 1
+            self.statistics.total_seconds += elapsed
         self._log("describe", query_text, elapsed, len(graph))
         return graph
 
@@ -239,10 +307,12 @@ class LocalEndpoint:
 
         Returns a :class:`ResultTable` for SELECT, ``bool`` for ASK and
         a :class:`Graph` for CONSTRUCT/DESCRIBE — mirroring what a
-        protocol client gets back from a real endpoint.
+        protocol client gets back from a real endpoint.  Safe to call
+        from many threads at once: each dispatch suppresses only its
+        own thread's duplicate parse count.
         """
         query = self._parsed(query_text)
-        self._suppress_parse_count = True
+        self._tls.suppress_parse_count = True
         try:
             if isinstance(query, SelectQuery):
                 return self.select(query_text)
@@ -252,7 +322,7 @@ class LocalEndpoint:
                 return self.construct(query_text)
             return self.describe(query_text)
         finally:
-            self._suppress_parse_count = False
+            self._tls.suppress_parse_count = False
 
     # -- write path --------------------------------------------------------------
 
@@ -264,8 +334,9 @@ class LocalEndpoint:
         for operation in operations:
             touched += self._apply(operation)
         elapsed = time.perf_counter() - started
-        self.statistics.updates += 1
-        self.statistics.total_seconds += elapsed
+        with self._stats_lock:
+            self.statistics.updates += 1
+            self.statistics.total_seconds += elapsed
         self._log("update", update_text, elapsed, touched)
         return touched
 
@@ -275,9 +346,10 @@ class LocalEndpoint:
         target = self.dataset.graph(graph) if graph is not None \
             else self.dataset.default
         before = len(target)
-        target.add_all(triples)
+        target.add_all(triples)  # one atomic batch w.r.t. snapshots
         added = len(target) - before
-        self.statistics.triples_inserted += added
+        with self._stats_lock:
+            self.statistics.triples_inserted += added
         return added
 
     # -- update operations ---------------------------------------------------------
@@ -313,7 +385,8 @@ class LocalEndpoint:
             self.dataset.default.clear()
             for graph in list(self.dataset.graphs()):
                 graph.clear()
-        self.statistics.triples_deleted += removed
+        with self._stats_lock:
+            self.statistics.triples_deleted += removed
         return removed
 
     def _modify(self, operation: ModifyOp) -> int:
@@ -373,7 +446,8 @@ class LocalEndpoint:
             except Exception as error:
                 raise UpdateError(f"cannot insert quad: {error}")
             added += len(target) - before
-        self.statistics.triples_inserted += added
+        with self._stats_lock:
+            self.statistics.triples_inserted += added
         return added
 
     def _delete_quads(self, quads: List[Quad], binding: Dict[str, Term],
@@ -392,7 +466,8 @@ class LocalEndpoint:
                 removed += self.dataset.default.remove((s, p, o))
                 for graph in self.dataset.graphs():
                     removed += graph.remove((s, p, o))
-        self.statistics.triples_deleted += removed
+        with self._stats_lock:
+            self.statistics.triples_deleted += removed
         return removed
 
     # -- persistence -------------------------------------------------------------
@@ -411,22 +486,26 @@ class LocalEndpoint:
         before = len(self.dataset)
         parse_trig(text, self.dataset)
         added = len(self.dataset) - before
-        self.statistics.triples_inserted += added
+        with self._stats_lock:
+            self.statistics.triples_inserted += added
         return added
 
     # -- introspection ---------------------------------------------------------
 
     def explain(self, query_text: str, analyze: bool = False) -> str:
-        """Render the evaluation plan for ``query_text`` with estimates
-        and the shared plan cache's hit/miss statistics.
+        """Render the evaluation plan for ``query_text`` with estimates,
+        the shared plan cache's hit/miss statistics and the concurrency
+        counters (active readers, snapshot pins, writer waits).
 
         ``analyze=True`` executes the query's pattern and annotates
         every join step with its actual row count, so mis-estimates of
         the cost-based planner are visible next to its predictions.
+        Planning and analysis run against a pinned snapshot, exactly
+        like the query itself would.
         """
         from repro.sparql.explain import explain
-        return explain(query_text, self.dataset, cache_stats=True,
-                       analyze=analyze)
+        return explain(query_text, self.dataset.snapshot(),
+                       cache_stats=True, analyze=analyze)
 
     def graph(self, identifier: Optional[Union[IRI, str]] = None) -> Graph:
         """Direct access to a stored graph (tests and tooling)."""

@@ -56,6 +56,7 @@ guarantees by construction).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.rdf.graph import Dataset, Graph
@@ -160,23 +161,40 @@ class StreamTelemetry:
     QL execution report read deltas of these around each request, so
     callers can verify a workload streamed (and how much it pulled)
     without enabling the probe counter.
+
+    Updates go through :meth:`record_query` / :meth:`record_batch`
+    under a small mutex (one acquisition per *batch*, not per row):
+    the snapshot-isolated endpoint streams several SELECTs in
+    parallel, and unsynchronized ``+=`` would silently drop counts.
     """
 
-    __slots__ = ("queries", "batches", "rows")
+    __slots__ = ("queries", "batches", "rows", "_lock")
 
     def __init__(self) -> None:
         self.queries = 0
         self.batches = 0
         self.rows = 0
+        self._lock = threading.Lock()
+
+    def record_query(self) -> None:
+        with self._lock:
+            self.queries += 1
+
+    def record_batch(self, rows: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.rows += rows
 
     def reset(self) -> None:
-        self.queries = 0
-        self.batches = 0
-        self.rows = 0
+        with self._lock:
+            self.queries = 0
+            self.batches = 0
+            self.rows = 0
 
     def snapshot(self) -> Dict[str, int]:
-        return {"queries": self.queries, "batches": self.batches,
-                "rows": self.rows}
+        with self._lock:
+            return {"queries": self.queries, "batches": self.batches,
+                    "rows": self.rows}
 
 
 #: The shared streaming-telemetry counters.
@@ -343,6 +361,11 @@ class DatasetContext:
     the default graph becomes the merge of the ``FROM`` graphs (empty
     if only ``FROM NAMED`` is given) and ``GRAPH`` patterns range over
     the ``FROM NAMED`` graphs only.
+
+    ``dataset`` may be a live :class:`~repro.rdf.graph.Dataset` or a
+    pinned :class:`~repro.rdf.graph.DatasetSnapshot` (the endpoint's
+    snapshot-isolated read path passes the latter, so every source this
+    context hands out reads one frozen epoch).
     """
 
     def __init__(self, dataset: Dataset,
@@ -862,8 +885,7 @@ class PatternEvaluator:
         """Solution batches for a streamable subtree, with telemetry."""
         telemetry = STREAM_TELEMETRY
         for table in self._stream(node, source, batch):
-            telemetry.batches += 1
-            telemetry.rows += len(table.rows)
+            telemetry.record_batch(len(table.rows))
             yield table
 
     def _stream(self, node: PatternNode, source: GraphSource,
@@ -1705,7 +1727,7 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
     if STREAMING_ENABLED and trace is None and would_stream(query, source):
         # LIMIT pushdown: pull join batches only until enough output
         # rows exist, instead of materializing the full binding table
-        STREAM_TELEMETRY.queries += 1
+        STREAM_TELEMETRY.record_query()
         return _stream_select(query, evaluator, source, eval_context)
     solutions = evaluator.solutions(query.pattern, source)
 

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.rdf.graph import Dataset
+from repro.rdf.concurrency import CONCURRENCY
+from repro.rdf.graph import Dataset, DatasetSnapshot
 from repro.sparql.algebra import (
     AskQuery,
     BGP,
@@ -281,12 +282,21 @@ def plan_cache_statistics() -> dict:
 
 def _cache_stats_lines() -> List[str]:
     stats = PLAN_CACHE.statistics()
+    concurrency = CONCURRENCY.snapshot()
     return [
         f"plan cache: entries={stats['entries']} hits={stats['hits']} "
         f"(exact={stats['hits_exact']}, "
         f"parameterized={stats['hits_parameterized']}) "
         f"misses={stats['misses']} evictions={stats['evictions']} "
-        f"bracket_replans={stats['bracket_replans']}"
+        f"bracket_replans={stats['bracket_replans']}",
+        f"concurrency: active_readers={concurrency['active_readers']} "
+        f"peak={concurrency['peak_readers']} "
+        f"snapshot_pins={concurrency['snapshot_pins']} "
+        f"(builds={concurrency['snapshot_builds']}, "
+        f"reuses={concurrency['snapshot_reuses']}, "
+        f"stale={concurrency['stale_serves']}) "
+        f"cow_copies={concurrency['cow_copies']} "
+        f"writer_waits={concurrency['writer_waits']}",
     ]
 
 
@@ -303,14 +313,17 @@ def _collect_traces(query: Query, context: DatasetContext
     return _index_traces(evaluator.trace)
 
 
-def explain_query(query: Query, dataset: Optional[Dataset] = None,
+def explain_query(query: Query,
+                  dataset: Optional[Union[Dataset, DatasetSnapshot]] = None,
                   cache_stats: bool = False, analyze: bool = False) -> str:
     """Render a parsed query's physical plan.
 
-    Estimates appear when a dataset is supplied; ``analyze=True``
-    additionally *executes* the query's pattern and annotates each join
-    step with its actual row count and strategy; ``cache_stats=True``
-    appends the shared plan cache's hit/miss counters.
+    Estimates appear when a dataset (or a pinned
+    :class:`~repro.rdf.graph.DatasetSnapshot`) is supplied;
+    ``analyze=True`` additionally *executes* the query's pattern and
+    annotates each join step with its actual row count and strategy;
+    ``cache_stats=True`` appends the shared plan cache's hit/miss
+    counters and the snapshot-concurrency counters.
     """
     source: Optional[GraphSource] = None
     traces: Optional[_TraceIndex] = None
@@ -343,7 +356,8 @@ def explain_query(query: Query, dataset: Optional[Dataset] = None,
     return "\n".join(lines)
 
 
-def explain(query_text: str, dataset: Optional[Dataset] = None,
+def explain(query_text: str,
+            dataset: Optional[Union[Dataset, DatasetSnapshot]] = None,
             cache_stats: bool = False, analyze: bool = False) -> str:
     """Parse ``query_text`` and render its plan."""
     return explain_query(parse_query(query_text), dataset,

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -736,11 +737,18 @@ class PlanCache:
     planner.  Set :attr:`parameterized` to ``False`` to key plans on
     their exact constants again (used by benchmarks to measure what the
     sharing is worth).
+
+    The cache is **thread-safe**: every lookup/insert takes a small
+    internal mutex (the LRU's ``OrderedDict`` reordering is not safe
+    under concurrent readers, and the snapshot-isolated endpoint runs
+    SELECTs in parallel).  Two threads missing on the same key may both
+    plan and both insert — the second insert wins, both plans are
+    valid, and no lock is held while planning.
     """
 
     __slots__ = ("maxsize", "_entries", "hits_exact", "hits_parameterized",
                  "misses", "evictions", "parameterized",
-                 "bracket_replans", "_shape_bands")
+                 "bracket_replans", "_shape_bands", "_lock")
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = maxsize
@@ -760,67 +768,73 @@ class PlanCache:
         #: shape key -> set of band vectors already planned (bounded;
         #: diagnostic backing for ``bracket_replans``).
         self._shape_bands: Dict[tuple, set] = {}
+        self._lock = threading.Lock()
 
     def note_bands(self, shape_key: tuple, bands: tuple) -> None:
         """Record that ``shape_key`` is being (re)planned under
         ``bands``; counts a bracket replan when the same shape was
         already planned under a different band vector."""
-        if len(self._shape_bands) > 4 * self.maxsize:
-            self._shape_bands.clear()
-        seen = self._shape_bands.get(shape_key)
-        if seen is None:
-            self._shape_bands[shape_key] = {bands}
-        elif bands not in seen:
-            seen.add(bands)
-            self.bracket_replans += 1
+        with self._lock:
+            if len(self._shape_bands) > 4 * self.maxsize:
+                self._shape_bands.clear()
+            seen = self._shape_bands.get(shape_key)
+            if seen is None:
+                self._shape_bands[shape_key] = {bands}
+            elif bands not in seen:
+                seen.add(bands)
+                self.bracket_replans += 1
 
     @property
     def hits(self) -> int:
         return self.hits_exact + self.hits_parameterized
 
     def get(self, key: tuple, params: tuple = ()) -> Optional[PhysicalPlan]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        plan, build_params = entry
-        if params == build_params:
-            self.hits_exact += 1
-        else:
-            self.hits_parameterized += 1
-        return plan
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            plan, build_params = entry
+            if params == build_params:
+                self.hits_exact += 1
+            else:
+                self.hits_parameterized += 1
+            return plan
 
     def put(self, key: tuple, plan: PhysicalPlan,
             params: tuple = ()) -> None:
-        self._entries[key] = (plan, params)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = (plan, params)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits_exact = 0
-        self.hits_parameterized = 0
-        self.misses = 0
-        self.evictions = 0
-        self.bracket_replans = 0
-        self._shape_bands.clear()
+        with self._lock:
+            self._entries.clear()
+            self.hits_exact = 0
+            self.hits_parameterized = 0
+            self.misses = 0
+            self.evictions = 0
+            self.bracket_replans = 0
+            self._shape_bands.clear()
 
     def statistics(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "hits_exact": self.hits_exact,
-            "hits_parameterized": self.hits_parameterized,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "bracket_replans": self.bracket_replans,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "hits_exact": self.hits_exact,
+                "hits_parameterized": self.hits_parameterized,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bracket_replans": self.bracket_replans,
+            }
 
     def __repr__(self) -> str:
         return (f"<PlanCache {len(self._entries)}/{self.maxsize} entries, "
@@ -957,7 +971,10 @@ def get_plan(node: BGP, bound_names: frozenset, source) -> PhysicalPlan:
         source_key = (id(source), getattr(source, "epoch", None))
     # per-node bands memo, keyed by source identity+epoch so a BGP
     # evaluated against several sources (GRAPH iteration) keeps every
-    # source's bands hot; bounded because epochs retire old keys
+    # source's bands hot; bounded because epochs retire old keys.
+    # Parsed trees are shared across concurrent queries (endpoint parse
+    # cache): the point reads/writes here are GIL-atomic, and two
+    # threads racing to fill a key derive the same value.
     bands_cache = getattr(node, "_bands_cache", None)
     if bands_cache is None:
         bands_cache = node._bands_cache = {}

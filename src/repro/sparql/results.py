@@ -18,7 +18,17 @@ Row = Tuple[Optional[Term], ...]
 
 
 class ResultTable:
-    """An immutable SELECT result."""
+    """An immutable SELECT result.
+
+    ``snapshot_epoch`` is filled in by the endpoint's snapshot-isolated
+    read path: the dataset epoch the query was pinned to (``None`` for
+    tables produced outside an endpoint).  Concurrency tests use it to
+    assert that every row of a result is consistent with exactly one
+    snapshot.
+    """
+
+    #: dataset snapshot epoch this result was evaluated against
+    snapshot_epoch: Optional[int] = None
 
     def __init__(self, variables: Sequence[str],
                  rows: Sequence[Sequence[Optional[Term]]]) -> None:

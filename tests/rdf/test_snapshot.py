@@ -1,0 +1,246 @@
+"""Snapshot-epoch protocol: GraphSnapshot / DatasetSnapshot semantics.
+
+The concurrency *storm* lives in ``tests/concurrency``; this module
+pins down the single-threaded contract the storm relies on — frozen
+reads, copy-on-write publication, per-epoch caching, read-only
+enforcement, and the telemetry counters.
+"""
+
+import pytest
+
+from repro.rdf.concurrency import CONCURRENCY
+from repro.rdf.errors import TermError
+from repro.rdf.graph import Dataset, Graph, GraphSnapshot
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+def iri(name: str) -> IRI:
+    return IRI(EX + name)
+
+
+def build_graph(n: int = 5) -> Graph:
+    g = Graph()
+    for i in range(n):
+        g.add(iri(f"s{i}"), iri("p"), iri(f"o{i}"))
+    return g
+
+
+class TestGraphSnapshot:
+    def test_snapshot_is_frozen_under_adds(self):
+        g = build_graph(3)
+        snap = g.snapshot()
+        g.add(iri("s9"), iri("p"), iri("o9"))
+        assert len(snap) == 3
+        assert len(g) == 4
+        assert (iri("s9"), iri("p"), iri("o9")) not in snap
+        assert (iri("s9"), iri("p"), iri("o9")) in g
+
+    def test_snapshot_is_frozen_under_removes(self):
+        g = build_graph(3)
+        snap = g.snapshot()
+        g.remove((iri("s0"), None, None))
+        assert len(snap) == 3
+        assert (iri("s0"), iri("p"), iri("o0")) in snap
+
+    def test_snapshot_is_frozen_under_clear(self):
+        g = build_graph(3)
+        snap = g.snapshot()
+        g.clear()
+        assert len(snap) == 3
+        assert len(g) == 0
+        assert snap.count((None, iri("p"), None)) == 3
+
+    def test_snapshot_cached_per_epoch(self):
+        g = build_graph(2)
+        assert g.snapshot() is g.snapshot()
+        g.add(iri("x"), iri("p"), iri("y"))
+        fresh = g.snapshot()
+        assert fresh is g.snapshot()
+
+    def test_snapshot_epoch_matches_graph_epoch(self):
+        g = build_graph(2)
+        snap = g.snapshot()
+        assert snap.epoch == g.epoch
+        g.add(iri("x"), iri("p"), iri("y"))
+        assert g.snapshot().epoch == g.epoch > snap.epoch
+
+    def test_snapshot_rejects_writes(self):
+        snap = build_graph(1).snapshot()
+        with pytest.raises(TermError):
+            snap.add(iri("a"), iri("p"), iri("b"))
+        with pytest.raises(TermError):
+            snap.remove((None, None, None))
+        with pytest.raises(TermError):
+            snap.clear()
+        with pytest.raises(TermError):
+            snap += [(iri("a"), iri("p"), iri("b"))]
+        with pytest.raises(TermError):
+            snap.parse("")
+
+    def test_snapshot_statistics_are_frozen(self):
+        g = build_graph(4)
+        snap = g.snapshot()
+        pid = g.dictionary.lookup(iri("p"))
+        g.add(iri("s9"), iri("p"), iri("o9"))
+        assert snap.stats.cardinality[pid] == 4
+        assert g.stats.cardinality[pid] == 5
+        # the planner's statistics view over the snapshot is frozen too
+        assert snap.statistics().predicate_cardinality(iri("p")) == 4
+
+    def test_snapshot_predicate_summary_reads_frozen_indexes(self):
+        g = build_graph(4)
+        snap = g.snapshot()
+        pid = g.dictionary.lookup(iri("p"))
+        g.add(iri("s9"), iri("p"), iri("o9"))
+        summary = snap.predicate_summary(pid)
+        assert summary.cardinality == 4
+        assert summary.epoch == snap.epoch
+        # cached: the same object on re-read
+        assert snap.predicate_summary(pid) is summary
+
+    def test_snapshot_seeds_existing_summaries(self):
+        """Pinning must not throw away already-built value-aware
+        summaries: an interleaved write/query workload keeps the O(1)
+        counter revalidation instead of rebuilding per epoch."""
+        g = build_graph(4)
+        pid = g.dictionary.lookup(iri("p"))
+        live_summary = g.predicate_summary(pid)
+        assert g.snapshot().predicate_summary(pid) is live_summary
+        # a mutation on an *unrelated* predicate restamps, not rebuilds
+        g.add(iri("s0"), iri("q"), iri("o0"))
+        assert g.snapshot().predicate_summary(pid) is live_summary
+
+    def test_snapshot_of_snapshot_is_identity(self):
+        snap = build_graph(1).snapshot()
+        assert snap.snapshot() is snap
+
+    def test_snapshot_copy_is_mutable_and_detached(self):
+        g = build_graph(2)
+        snap = g.snapshot()
+        clone = snap.copy()
+        clone.add(iri("n"), iri("p"), iri("m"))
+        assert len(clone) == 3
+        assert len(snap) == 2
+        assert len(g) == 2
+
+    def test_terms_interned_after_pin_do_not_leak_into_snapshot(self):
+        g = build_graph(2)
+        snap = g.snapshot()
+        mark = snap.dictionary_mark
+        g.add(iri("new-subject"), iri("p"), Literal("new-object"))
+        assert len(g.dictionary) > mark
+        # the new constant resolves in the shared dictionary but can
+        # match nothing in the frozen indexes
+        assert snap.count((iri("new-subject"), None, None)) == 0
+
+    def test_cow_copy_counted_once_per_write_burst(self):
+        g = build_graph(2)
+        before = CONCURRENCY.snapshot()["cow_copies"]
+        g.snapshot()
+        g.add(iri("a1"), iri("p"), iri("b1"))
+        g.add(iri("a2"), iri("p"), iri("b2"))
+        g.add(iri("a3"), iri("p"), iri("b3"))
+        after = CONCURRENCY.snapshot()["cow_copies"]
+        assert after - before == 1
+
+    def test_add_all_is_one_atomic_batch(self):
+        g = build_graph(1)
+        snap = g.snapshot()
+        g.add_all([(iri("a"), iri("p"), iri("b")),
+                   (iri("c"), iri("p"), iri("d"))])
+        assert len(snap) == 1
+        assert len(g.snapshot()) == 3
+
+
+class TestDatasetSnapshot:
+    def test_members_pinned_consistently(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        named = ds.graph(EX + "g1")
+        named.add(iri("a"), iri("p"), iri("b"))
+        snap = ds.snapshot()
+        named.add(iri("a2"), iri("p"), iri("b2"))
+        ds.default.add(iri("s2"), iri("p"), iri("o2"))
+        assert len(snap) == 2
+        assert len(snap.default) == 1
+        assert len(snap.graph(EX + "g1")) == 1
+        assert len(ds) == 4
+
+    def test_epoch_is_sum_of_member_epochs(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        ds.graph(EX + "g1").add(iri("a"), iri("p"), iri("b"))
+        snap = ds.snapshot()
+        assert snap.epoch == ds.default.epoch + ds.graph(EX + "g1").epoch
+
+    def test_cached_until_any_member_changes(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        snap = ds.snapshot()
+        assert ds.snapshot() is snap
+        ds.graph(EX + "g1").add(iri("a"), iri("p"), iri("b"))
+        assert ds.snapshot() is not snap
+
+    def test_new_named_graph_invalidates_cached_snapshot(self):
+        ds = Dataset()
+        snap = ds.snapshot()
+        ds.graph(EX + "fresh")  # creation alone changes membership
+        assert ds.snapshot() is not snap
+
+    def test_unknown_graph_reads_empty_without_creating(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        snap = ds.snapshot()
+        ghost = snap.graph(EX + "ghost")
+        assert isinstance(ghost, GraphSnapshot)
+        assert len(ghost) == 0
+        # the live dataset must not have gained the graph
+        assert (EX + "ghost") not in ds
+
+    def test_disjointness_flag_is_pinned(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        snap = ds.snapshot()
+        assert snap.graphs_disjoint is True
+        # duplicating a triple into a named graph flips the live flag
+        ds.graph(EX + "g1").add(iri("s"), iri("p"), iri("o"))
+        assert ds.graphs_disjoint is False
+        assert snap.graphs_disjoint is True
+
+    def test_dataset_locked_makes_multi_call_batches_atomic(self):
+        ds = Dataset()
+        ds.default.add(iri("s"), iri("p"), iri("o"))
+        with ds.locked():
+            ds.default.remove((iri("s"), None, None))
+            ds.default.add(iri("s"), iri("p"), iri("o2"))
+            # a snapshot pinned *inside* the lock is by the same thread
+            # (reentrant), so it sees the half-applied state — the
+            # guarantee is about other threads, exercised in
+            # tests/concurrency; here we just check the lock nests.
+            assert len(ds.default) == 1
+        snap = ds.snapshot()
+        assert snap.default.count((iri("s"), None, None)) == 1
+
+
+class TestTelemetry:
+    def test_pins_split_into_builds_and_reuses(self):
+        g = build_graph(1)
+        before = CONCURRENCY.snapshot()
+        g.snapshot()
+        g.snapshot()
+        g.add(iri("z"), iri("p"), iri("w"))
+        g.snapshot()
+        delta = {key: value - before[key]
+                 for key, value in CONCURRENCY.snapshot().items()}
+        assert delta["snapshot_builds"] == 2
+        assert delta["snapshot_reuses"] == 1
+        assert delta["snapshot_pins"] == 3
+
+    def test_reader_gauge_balances(self):
+        before = CONCURRENCY.snapshot()["active_readers"]
+        CONCURRENCY.reader_enter()
+        assert CONCURRENCY.snapshot()["active_readers"] == before + 1
+        CONCURRENCY.reader_exit()
+        assert CONCURRENCY.snapshot()["active_readers"] == before

@@ -113,9 +113,24 @@ def test_cache_stats_include_bracket_replans():
     ep = LocalEndpoint()
     ep.dataset.default.add(
         IRI(EX + "s"), IRI(EX + "p"), IRI(EX + "o"))
-    stats_line = ep.explain(
-        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }}").splitlines()[-1]
-    assert "bracket_replans=" in stats_line
+    lines = ep.explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }}").splitlines()
+    cache_line = next(line for line in lines
+                      if line.startswith("plan cache:"))
+    assert "bracket_replans=" in cache_line
+
+
+def test_cache_stats_include_concurrency_counters():
+    ep = LocalEndpoint()
+    ep.dataset.default.add(
+        IRI(EX + "s"), IRI(EX + "p"), IRI(EX + "o"))
+    lines = ep.explain(
+        f"SELECT ?s WHERE {{ ?s <{EX}p> ?o }}").splitlines()
+    concurrency_line = next(line for line in lines
+                            if line.startswith("concurrency:"))
+    assert "snapshot_pins=" in concurrency_line
+    assert "writer_waits=" in concurrency_line
+    assert "active_readers=0" in concurrency_line
 
 
 def test_endpoint_explain_method(dataset):

@@ -113,7 +113,8 @@ class TestExplainStatistics:
         ep.select(QUERY)
         plan = ep.explain(QUERY)
         assert "plan cache:" in plan
-        stats_line = plan.splitlines()[-1]
+        stats_line = next(line for line in plan.splitlines()
+                          if line.startswith("plan cache:"))
         assert "hits=" in stats_line and "misses=" in stats_line
         hits = int(stats_line.split("hits=")[1].split()[0])
         assert hits >= 1

@@ -478,7 +478,8 @@ class TestExplainAnalyze:
         ep.select(query)
         ep.select(query)
         plan = ep.explain(query)
-        stats_line = plan.splitlines()[-1]
+        stats_line = next(line for line in plan.splitlines()
+                          if line.startswith("plan cache:"))
         assert "exact=" in stats_line
         assert "parameterized=" in stats_line
 

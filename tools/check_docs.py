@@ -30,7 +30,8 @@ FILES = ["README.md", "docs/architecture.md", "docs/statistics.md",
 
 #: files that must contain at least one runnable example — a doc suite
 #: whose examples silently vanished should fail, not pass vacuously
-MUST_HAVE_EXAMPLES = ["README.md", "docs/statistics.md"]
+MUST_HAVE_EXAMPLES = ["README.md", "docs/architecture.md",
+                      "docs/statistics.md"]
 
 OPTIONS = (doctest.ELLIPSIS
            | doctest.NORMALIZE_WHITESPACE
