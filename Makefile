@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-smoke bench-baseline bench-plan \
 	bench-plan-baseline bench-stream bench-stream-baseline \
-	bench-concurrency
+	bench-concurrency bench-resilience bench-resilience-baseline
 
 ## Tier-1 verification: docs doctests + the full unit/integration suite.
 test: docs-check
@@ -54,3 +54,15 @@ bench-stream-baseline:
 ## concurrent results identical to single-threaded execution.
 bench-concurrency:
 	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_concurrency.py
+
+## Resilience gate: healthy readers share the endpoint with injected
+## hanging queries, a crashing bulk writer and an admission burst;
+## every fault must surface as a typed governed error, healthy p99
+## must stay within 3x of fault-free, crashed batches must roll back
+## completely, and concurrent results must match single-threaded.
+bench-resilience:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_resilience.py
+
+## Refresh the committed resilience reference numbers.
+bench-resilience-baseline:
+	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_resilience.py --update

@@ -105,6 +105,11 @@ def measure() -> dict:
 
     cube = build_qb_graph(GeneratorConfig(observations=OBSERVATIONS,
                                           seed=SEED))
+    # flush any pending gen-2 sweep of the (large, long-lived) demo
+    # heap: this window is ~20ms single-shot, so a deterministic GC
+    # pause landing inside it would read as a 2-3x phantom regression
+    import gc
+    gc.collect()
     started = time.perf_counter()
     normalize_graph(cube)
     metrics["e10/normalize"] = round(time.perf_counter() - started, 4)

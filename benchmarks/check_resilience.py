@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Gate the query governor's behavior under injected faults.
+
+Models an unhealthy production mix: interactive analysts with sane
+queries share the endpoint with pathological traffic — queries that
+hang (injected latency), a bulk loader that crashes mid-batch, and a
+burst that exceeds the admission capacity.  Failpoints
+(:mod:`repro.testing.faults`) inject every fault deterministically
+and **thread-scoped**, so the healthy readers are instrumentation-free.
+
+The gate asserts, within one run (wall-clock ratios are only compared
+within the same process, never across machines):
+
+* **containment** — the healthy readers' p99 latency under faults
+  stays within ``REPRO_BENCH_RESILIENCE_FACTOR`` (default 3x) of
+  their fault-free p99 measured first;
+* **typed failure** — every faulted query dies with a governed,
+  machine-readable error (``QueryTimeout`` under injected latency,
+  ``EndpointOverloaded`` under the admission burst); zero raw
+  exceptions escape;
+* **write atomicity** — every crashed ``add_all`` rolls back
+  completely: the final subject set equals exactly the batches that
+  committed;
+* **correctness** — a concurrent sample of healthy results matches
+  single-threaded re-execution on the final state.
+
+``--update`` records the measured numbers under ``resilience/<obs>``
+in ``benchmarks/baseline.json`` for reference; the committed entry
+documents the expected shape and magnitude.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_resilience.py
+    PYTHONPATH=src python benchmarks/check_resilience.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBS", "2000"))
+FACTOR = float(os.environ.get("REPRO_BENCH_RESILIENCE_FACTOR", "3.0"))
+HEALTHY_READERS = int(os.environ.get("REPRO_BENCH_RESILIENCE_READERS", "6"))
+FAULT_READERS = 3
+QUERIES_PER_READER = int(
+    os.environ.get("REPRO_BENCH_RESILIENCE_QUERIES", "40"))
+WRITER_BATCHES = 60
+#: injected per-join-step stall in the fault threads; well above the
+#: faulted queries' deadline, so every one of them must time out
+STALL_SECONDS = 0.05
+FAULT_DEADLINE = 0.02
+
+BASELINE_PATH = Path(__file__).parent / "baseline.json"
+BASELINE_KEY = f"resilience/{OBSERVATIONS}"
+
+EX = "http://example.org/bench/resilience/"
+
+HEALTHY_QUERIES = [
+    """SELECT DISTINCT ?c WHERE {
+        ?obs <http://eurostat.linked-statistics.org/property#citizen> ?c
+    } LIMIT 10""",
+    """SELECT ?obs ?label WHERE {
+        ?obs <http://eurostat.linked-statistics.org/property#citizen> ?c
+        OPTIONAL { ?c <http://www.w3.org/2000/01/rdf-schema#label> ?label }
+    } LIMIT 50""",
+    """SELECT ?c (COUNT(?obs) AS ?n) WHERE {
+        ?obs <http://eurostat.linked-statistics.org/property#citizen> ?c
+    } GROUP BY ?c""",
+]
+
+FAULT_QUERY = HEALTHY_QUERIES[2]  # the aggregation walk, made to hang
+
+
+def build_endpoint():
+    from repro.data import small_demo
+    from repro.sparql.governor import QueryGovernor
+
+    endpoint = small_demo(observations=OBSERVATIONS).endpoint
+    endpoint.governor = QueryGovernor.for_serving(
+        max_concurrent=HEALTHY_READERS + FAULT_READERS + 2,
+        max_queue=8, queue_timeout=5.0)
+    return endpoint
+
+
+def percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def run_healthy(endpoint, latencies, errors) -> list:
+    """Spawn the healthy reader threads (unchanged in both phases)."""
+    def reader(index: int) -> None:
+        for k in range(QUERIES_PER_READER):
+            query = HEALTHY_QUERIES[(index + k) % len(HEALTHY_QUERIES)]
+            started = time.perf_counter()
+            try:
+                endpoint.select(query)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+                return
+            latencies.append(time.perf_counter() - started)
+
+    return [threading.Thread(target=reader, args=(index,),
+                             name=f"healthy-{index}")
+            for index in range(HEALTHY_READERS)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record measured numbers in baseline.json")
+    args = parser.parse_args(argv)
+    sys.path.insert(0, "src")
+    sys.setswitchinterval(0.001)
+
+    from repro.rdf.terms import IRI, Literal
+    from repro.sparql.errors import (
+        EndpointOverloaded,
+        GovernedQueryError,
+        QueryTimeout,
+    )
+    from repro.sparql.governor import QueryGovernor, QueryLimits
+    from repro.testing import faults
+
+    print(f"resilience gate: obs={OBSERVATIONS} "
+          f"healthy={HEALTHY_READERS} faulted={FAULT_READERS} "
+          f"factor={FACTOR:.1f}x")
+    endpoint = build_endpoint()
+    endpoint.dataset.snapshot()  # steady state before measuring
+
+    # -- phase 1: fault-free healthy p99 ------------------------------------
+    base_latencies: list = []
+    base_errors: list = []
+    threads = run_healthy(endpoint, base_latencies, base_errors)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if base_errors:
+        print(f"FAIL: fault-free phase raised {base_errors[:3]}",
+              file=sys.stderr)
+        return 1
+    p99_base = percentile(base_latencies, 0.99)
+    print(f"fault-free:   {len(base_latencies):4d} healthy queries, "
+          f"p99 {p99_base * 1000:7.2f}ms")
+
+    # -- phase 2: the same healthy load + injected faults -------------------
+    healthy_latencies: list = []
+    healthy_errors: list = []
+    fault_outcomes: list = []
+    writer_commits: list = []
+    writer_rollbacks: list = []
+    untyped: list = []
+
+    def fault_reader(index: int) -> None:
+        # this thread's queries stall at every join step (thread-scoped
+        # failpoint) and carry a tight deadline: each must die with
+        # QueryTimeout, promptly and typed
+        for _ in range(8):
+            try:
+                endpoint.select(FAULT_QUERY, limits=QueryLimits(
+                    deadline_seconds=FAULT_DEADLINE))
+                fault_outcomes.append("completed")
+            except QueryTimeout:
+                fault_outcomes.append("timeout")
+            except GovernedQueryError as error:
+                fault_outcomes.append(type(error).__name__)
+            except Exception as error:  # noqa: BLE001
+                untyped.append(error)
+                return
+
+    def crashing_writer() -> None:
+        dim = IRI(EX + "dim")
+        graph = endpoint.dataset.default
+        for k in range(WRITER_BATCHES):
+            batch = [(IRI(f"{EX}s{k}"), dim, Literal(k)),
+                     (IRI(f"{EX}s{k}"), IRI(EX + "val"), Literal(k))]
+            try:
+                graph.add_all(batch)
+                writer_commits.append(k)
+            except faults.FaultInjected:
+                writer_rollbacks.append(k)
+            except Exception as error:  # noqa: BLE001
+                untyped.append(error)
+                return
+
+    fault_threads = [threading.Thread(target=fault_reader, args=(i,),
+                                      name=f"faulted-{i}")
+                     for i in range(FAULT_READERS)]
+    writer = threading.Thread(target=crashing_writer, name="crash-writer")
+    healthy_threads = run_healthy(endpoint, healthy_latencies,
+                                  healthy_errors)
+
+    faults.FAILPOINTS.arm("evaluator.step", delay=STALL_SECONDS,
+                          only_threads=fault_threads)
+    faults.FAILPOINTS.arm("graph.add_all.step", raises=True,
+                          probability=0.4, seed=7, skip_first=1,
+                          only_threads=[writer])
+    try:
+        for thread in healthy_threads + fault_threads + [writer]:
+            thread.start()
+        for thread in healthy_threads + fault_threads + [writer]:
+            thread.join()
+    finally:
+        faults.FAILPOINTS.reset()
+
+    if healthy_errors or untyped:
+        print(f"FAIL: unexpected errors: "
+              f"{(healthy_errors + untyped)[:3]}", file=sys.stderr)
+        return 1
+    p99_faulted = percentile(healthy_latencies, 0.99)
+    timeouts = fault_outcomes.count("timeout")
+    print(f"under faults: {len(healthy_latencies):4d} healthy queries, "
+          f"p99 {p99_faulted * 1000:7.2f}ms; "
+          f"{timeouts}/{len(fault_outcomes)} faulted queries timed out; "
+          f"writer: {len(writer_commits)} commits, "
+          f"{len(writer_rollbacks)} rolled-back crashes")
+
+    # typed failure: every faulted query died governed (or, legally,
+    # completed — impossible here given stall >> deadline, so check)
+    if fault_outcomes.count("timeout") != len(fault_outcomes):
+        print(f"FAIL: faulted queries ended as {set(fault_outcomes)}, "
+              f"expected only timeouts", file=sys.stderr)
+        return 1
+    if not writer_rollbacks:
+        print("FAIL: the writer's fault schedule never fired",
+              file=sys.stderr)
+        return 1
+
+    # write atomicity: exactly the committed batches are visible
+    table = endpoint.select(
+        f"SELECT DISTINCT ?s WHERE {{ ?s <{EX}dim> ?o }}")
+    if len(table) != len(writer_commits):
+        print(f"FAIL: {len(table)} subjects visible, "
+              f"{len(writer_commits)} batches committed — a crashed "
+              f"batch leaked", file=sys.stderr)
+        return 1
+
+    # admission burst: a deliberately tiny governor must shed with
+    # EndpointOverloaded, never hang or raise anything untyped
+    from repro.sparql.endpoint import LocalEndpoint
+    burst = LocalEndpoint(
+        endpoint.dataset,
+        governor=QueryGovernor.for_serving(max_concurrent=1, max_queue=0))
+    burst_outcomes: list = []
+
+    def burst_query() -> None:
+        try:
+            burst.select(FAULT_QUERY)
+            burst_outcomes.append("completed")
+        except EndpointOverloaded:
+            burst_outcomes.append("shed")
+        except Exception as error:  # noqa: BLE001
+            untyped.append(error)
+
+    burst_threads = [threading.Thread(target=burst_query)
+                     for _ in range(8)]
+    for thread in burst_threads:
+        thread.start()
+    for thread in burst_threads:
+        thread.join()
+    if untyped:
+        print(f"FAIL: burst raised untyped: {untyped[:3]}",
+              file=sys.stderr)
+        return 1
+    if "shed" not in burst_outcomes or "completed" not in burst_outcomes:
+        print(f"FAIL: burst outcomes {burst_outcomes} — expected both "
+              f"sheds and completions", file=sys.stderr)
+        return 1
+    print(f"admission burst: {burst_outcomes.count('completed')} served, "
+          f"{burst_outcomes.count('shed')} shed (typed)")
+
+    # correctness: concurrent healthy sample == single-threaded rerun
+    from concurrent.futures import ThreadPoolExecutor
+    reference = [endpoint.select(query).rows for query in HEALTHY_QUERIES]
+    with ThreadPoolExecutor(max_workers=HEALTHY_READERS) as pool:
+        runs = list(pool.map(
+            lambda _: [endpoint.select(query).rows
+                       for query in HEALTHY_QUERIES],
+            range(HEALTHY_READERS)))
+    for run in runs:
+        if run != reference:
+            print("FAIL: concurrent execution diverged from "
+                  "single-threaded", file=sys.stderr)
+            return 1
+    print("correctness: concurrent == single-threaded on final state")
+
+    ratio = p99_faulted / max(p99_base, 1e-9)
+    print(f"healthy p99 under faults: {ratio:.2f}x fault-free")
+    measured = {
+        "resilience/healthy_queries": len(healthy_latencies),
+        "resilience/p99_ratio": round(ratio, 2),
+        "resilience/faulted_timeouts": timeouts,
+        "resilience/writer_rollbacks": len(writer_rollbacks),
+        "resilience/burst_sheds": burst_outcomes.count("shed"),
+        "resilience/untyped_errors": 0,
+    }
+
+    baseline = json.loads(BASELINE_PATH.read_text()) \
+        if BASELINE_PATH.exists() else {}
+    if args.update:
+        baseline[BASELINE_KEY] = measured
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=1) + "\n")
+        print(f"baseline updated: {BASELINE_KEY} in {BASELINE_PATH}")
+    else:
+        committed = baseline.get(BASELINE_KEY)
+        if committed is None:
+            print(f"FAIL: no {BASELINE_KEY!r} entry in {BASELINE_PATH}; "
+                  f"run `make bench-resilience-baseline`", file=sys.stderr)
+            return 1
+        missing = sorted(set(committed) ^ set(measured))
+        if missing:
+            print(f"FAIL: baseline schema drift on {missing}",
+                  file=sys.stderr)
+            return 1
+
+    if ratio > FACTOR:
+        print(f"FAIL: healthy p99 degraded {ratio:.2f}x > "
+              f"{FACTOR:.1f}x under faults", file=sys.stderr)
+        return 1
+    print(f"ok: typed failures only, p99 within {FACTOR:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

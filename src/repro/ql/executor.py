@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Union
 
 from repro.rdf.terms import IRI
 from repro.sparql.endpoint import LocalEndpoint
-from repro.sparql.errors import EndpointError
+from repro.sparql.errors import EndpointError, GovernedQueryError
+from repro.sparql.governor import QueryLimits
 from repro.sparql.results import ResultTable
 from repro.qb4olap.model import CubeSchema
 from repro.ql.ast import QLProgram
@@ -62,6 +63,18 @@ class ExecutionReport:
     #: session can compare epochs across executions to tell whether
     #: enrichment wrote to the endpoint in between
     snapshot_epoch: Optional[int] = None
+    #: ``True`` when the governor cut the execution short and the
+    #: caller opted into partial results (``allow_partial``): the cube
+    #: is built from an incomplete row set
+    truncated: bool = False
+    #: endpoint governor activity during this execution (deltas of the
+    #: endpoint's ``governor_*`` statistics): admissions, sheds and
+    #: governed verdicts attributable to this QL program's queries
+    governor_admitted: int = 0
+    governor_shed: int = 0
+    governor_timeouts: int = 0
+    governor_budget_kills: int = 0
+    governor_truncated_serves: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -89,6 +102,15 @@ class QLEngine:
 
     # -- pipeline stages ----------------------------------------------------------
 
+    @staticmethod
+    def _check_cancelled(limits: Optional[QueryLimits]) -> None:
+        """Observe a caller-held cancellation token between stages."""
+        if limits is not None and limits.token is not None \
+                and limits.token.cancelled:
+            from repro.sparql.errors import QueryCancelled
+            raise QueryCancelled(
+                f"QL execution cancelled: {limits.token.reason}")
+
     def parse(self, text: str) -> QLProgram:
         return parse_ql(text)
 
@@ -113,37 +135,71 @@ class QLEngine:
         return program, simplified, simplification, translation, report
 
     def execute(self, program: Union[str, QLProgram],
-                variant: str = "auto") -> QLResult:
-        """Run a QL program; ``variant`` ∈ direct/optimized/auto."""
+                variant: str = "auto",
+                limits: Optional[QueryLimits] = None) -> QLResult:
+        """Run a QL program; ``variant`` ∈ direct/optimized/auto.
+
+        ``limits`` govern the SPARQL execution (deadline, budgets,
+        cancellation token — see
+        :class:`~repro.sparql.governor.QueryLimits`).  Governed
+        verdicts are **final**: a query killed by its deadline or
+        budget is *not* retried through the alternative translation
+        (the endpoint didn't reject the query's shape — the governor
+        rejected its cost, and the alternative would pay it again).
+        """
         if variant not in ("direct", "optimized", "auto"):
             raise ValueError(f"unknown variant {variant!r}")
+        self._check_cancelled(limits)
         (_, simplified, _, translation, report) = self.prepare(program)
+        self._check_cancelled(limits)  # before the expensive stage
 
         from repro.sparql.evaluator import STREAM_TELEMETRY
         from repro.sparql.optimizer import PLAN_CACHE
         cache_before = PLAN_CACHE.statistics()
         stream_before = STREAM_TELEMETRY.snapshot()
+        stats = self.endpoint.statistics
+        gov_before = (stats.governor_admitted, stats.governor_shed,
+                      stats.governor_timeouts, stats.governor_budget_kills,
+                      stats.governor_truncated_serves)
         started = time.perf_counter()
-        if variant == "direct":
-            table = self.endpoint.select(translation.direct)
-            report.variant = "direct"
-            report.sparql_lines = translation.direct_lines
-        elif variant == "optimized":
-            table = self.endpoint.select(translation.optimized)
-            report.variant = "optimized"
-            report.sparql_lines = translation.optimized_lines
-        else:
-            try:
-                table = self.endpoint.select(translation.direct)
+        try:
+            if variant == "direct":
+                table = self.endpoint.select(translation.direct,
+                                             limits=limits)
                 report.variant = "direct"
                 report.sparql_lines = translation.direct_lines
-            except EndpointError:
-                table = self.endpoint.select(translation.optimized)
-                report.variant = "optimized (fallback)"
+            elif variant == "optimized":
+                table = self.endpoint.select(translation.optimized,
+                                             limits=limits)
+                report.variant = "optimized"
                 report.sparql_lines = translation.optimized_lines
-        report.execute_seconds = time.perf_counter() - started
+            else:
+                try:
+                    table = self.endpoint.select(translation.direct,
+                                                 limits=limits)
+                    report.variant = "direct"
+                    report.sparql_lines = translation.direct_lines
+                except GovernedQueryError:
+                    raise  # a governed verdict is final, not a workaround cue
+                except EndpointError:
+                    table = self.endpoint.select(translation.optimized,
+                                                 limits=limits)
+                    report.variant = "optimized (fallback)"
+                    report.sparql_lines = translation.optimized_lines
+        finally:
+            report.execute_seconds = time.perf_counter() - started
+            report.governor_admitted = (
+                stats.governor_admitted - gov_before[0])
+            report.governor_shed = stats.governor_shed - gov_before[1]
+            report.governor_timeouts = (
+                stats.governor_timeouts - gov_before[2])
+            report.governor_budget_kills = (
+                stats.governor_budget_kills - gov_before[3])
+            report.governor_truncated_serves = (
+                stats.governor_truncated_serves - gov_before[4])
         report.rows = len(table)
         report.snapshot_epoch = table.snapshot_epoch
+        report.truncated = bool(getattr(table, "truncated", False))
         cache_after = PLAN_CACHE.statistics()
         report.plan_cache_hits = cache_after["hits"] - cache_before["hits"]
         report.plan_cache_parameterized_hits = (
@@ -172,6 +228,8 @@ class QLEngine:
 
 
 def execute_ql(endpoint: LocalEndpoint, schema: CubeSchema,
-               text: str, variant: str = "auto") -> QLResult:
+               text: str, variant: str = "auto",
+               limits: Optional[QueryLimits] = None) -> QLResult:
     """One-call convenience used by examples."""
-    return QLEngine(endpoint, schema).execute(text, variant=variant)
+    return QLEngine(endpoint, schema).execute(text, variant=variant,
+                                              limits=limits)

@@ -56,6 +56,7 @@ from repro.rdf.stats import (
     build_predicate_summary,
 )
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, make_triple
+from repro.testing import faults as _faults
 
 TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
 IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
@@ -294,15 +295,34 @@ class Graph(_GraphReadMixin):
         return self
 
     def add_all(self, triples: Iterable[Union[Triple, Tuple]]) -> "Graph":
-        """Add many triples as one atomic batch.
+        """Add many triples as one atomic batch — **all or nothing**.
 
         The write lock is held across the whole iteration, so a reader
-        pinning a snapshot sees either none or all of the batch — the
-        unit of atomicity concurrent loads get for free.
+        pinning a snapshot sees either none or all of the batch.  If
+        any element fails mid-batch (a malformed term, an injected
+        fault), the triples already added are rolled back and the
+        epoch restored before the exception propagates — safe because
+        the lock was held throughout, so no intermediate epoch was
+        ever published to a reader.
         """
         with self._lock:
-            for triple in triples:
-                self.add(triple)
+            epoch_before = self.epoch
+            added: List[Triple] = []
+            try:
+                for triple in triples:
+                    if _faults.ACTIVE:
+                        _faults.fire("graph.add_all.step")
+                    if isinstance(triple, tuple) and len(triple) == 3:
+                        triple = make_triple(*triple)
+                    size_before = self._size
+                    self.add(triple)
+                    if self._size != size_before:
+                        added.append(triple)
+            except BaseException:
+                for triple in reversed(added):
+                    self.remove(triple)
+                self.epoch = epoch_before
+                raise
         return self
 
     def remove(self, pattern: TriplePattern) -> int:

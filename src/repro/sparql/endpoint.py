@@ -21,6 +21,7 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -34,7 +35,23 @@ from repro.sparql.algebra import (
     SelectQuery,
     Var,
 )
-from repro.sparql.errors import EndpointError, UpdateError
+from repro.sparql.errors import (
+    EndpointError,
+    EndpointOverloaded,
+    QueryCancelled,
+    QueryExecutionError,
+    QueryTimeout,
+    ResourceExhausted,
+    SPARQLError,
+    UpdateError,
+)
+from repro.sparql.governor import (
+    GOVERNOR,
+    GovernorContext,
+    QueryGovernor,
+    QueryLimits,
+)
+from repro.testing import faults as _faults
 from repro.sparql.evaluator import (
     STREAM_TELEMETRY,
     DatasetContext,
@@ -108,6 +125,21 @@ class EndpointStatistics:
     #: pinned to (sum of member-graph epochs; ``None`` before the
     #: first query) — the QL execution report copies it out
     last_snapshot_epoch: Optional[int] = None
+    #: governor counters (this endpoint only; the process-wide view is
+    #: :data:`repro.sparql.governor.GOVERNOR`): requests admitted by
+    #: the slot controller, the subset that waited in the bounded
+    #: queue, requests shed with ``EndpointOverloaded``, governed
+    #: verdicts (deadline / budget / cancellation), partial results
+    #: served under ``allow_partial``, and raw engine exceptions
+    #: mapped into ``QueryExecutionError``
+    governor_admitted: int = 0
+    governor_queued: int = 0
+    governor_shed: int = 0
+    governor_timeouts: int = 0
+    governor_budget_kills: int = 0
+    governor_cancelled: int = 0
+    governor_truncated_serves: int = 0
+    governor_internal_errors: int = 0
 
     def reset(self) -> None:
         self.selects = 0
@@ -122,6 +154,14 @@ class EndpointStatistics:
         self.streamed_batches = 0
         self.streamed_rows = 0
         self.last_snapshot_epoch = None
+        self.governor_admitted = 0
+        self.governor_queued = 0
+        self.governor_shed = 0
+        self.governor_timeouts = 0
+        self.governor_budget_kills = 0
+        self.governor_cancelled = 0
+        self.governor_truncated_serves = 0
+        self.governor_internal_errors = 0
 
 
 class LocalEndpoint:
@@ -144,9 +184,15 @@ class LocalEndpoint:
     def __init__(self, dataset: Optional[Dataset] = None,
                  limits: Optional[EndpointLimits] = None,
                  default_as_union: bool = True,
-                 keep_query_log: bool = False) -> None:
+                 keep_query_log: bool = False,
+                 governor: Optional[QueryGovernor] = None) -> None:
         self.dataset = dataset or Dataset()
         self.limits = limits or EndpointLimits()
+        #: optional resource governance: default per-query limits plus
+        #: admission control (see :mod:`repro.sparql.governor`); with
+        #: ``None`` the read path runs exactly as before, and per-call
+        #: ``limits=`` arguments still govern individual queries
+        self.governor = governor
         self.default_as_union = default_as_union
         self.keep_query_log = keep_query_log
         self.query_log: List[QueryLogEntry] = []
@@ -182,6 +228,8 @@ class LocalEndpoint:
                 if count:
                     self.statistics.parse_cache_hits += 1
                 return cached
+        if _faults.ACTIVE:
+            _faults.fire("endpoint.parse")
         query = parse_query(query_text)
         with self._stats_lock:
             if count:
@@ -198,15 +246,125 @@ class LocalEndpoint:
             self.statistics.last_snapshot_epoch = snapshot.epoch
         return snapshot
 
+    # -- governance --------------------------------------------------------------
+
+    def _governed(self, limits: Optional[QueryLimits]) -> Optional[GovernorContext]:
+        """Build the per-request :class:`GovernorContext`, or ``None``.
+
+        Per-call ``limits`` merge field-by-field over the endpoint
+        governor's defaults; a request with no effective limit at all
+        runs the exact pre-governor fast path (no context object, no
+        batch-boundary checks).
+        """
+        if self.governor is not None:
+            effective = self.governor.effective(limits)
+        else:
+            effective = limits
+        if effective is None or effective.unlimited:
+            return None
+        return GovernorContext(effective)
+
+    @contextmanager
+    def _admitted(self, query_text: str):
+        """Take an admission slot for one read request (if the endpoint
+        has an :class:`AdmissionController`); sheds with
+        :class:`EndpointOverloaded` when slots and queue are full."""
+        admission = self.governor.admission if self.governor else None
+        if admission is None:
+            yield
+            return
+        try:
+            slot = admission.admit()
+        except EndpointOverloaded as error:
+            if error.query is None:
+                error.query = query_text
+            GOVERNOR.record("shed")
+            with self._stats_lock:
+                self.statistics.governor_shed += 1
+            raise
+        GOVERNOR.record("admitted")
+        if slot.waited:
+            GOVERNOR.record("queued")
+        with self._stats_lock:
+            self.statistics.governor_admitted += 1
+            if slot.waited:
+                self.statistics.governor_queued += 1
+        try:
+            yield
+        finally:
+            slot.release()
+
+    @contextmanager
+    def _mapped_errors(self, query_text: str,
+                       gov: Optional[GovernorContext] = None):
+        """Map everything escaping one read evaluation into the typed
+        taxonomy.
+
+        Governed verdicts pass through (with the query text attached
+        and their counters bumped); any *raw* engine exception — a
+        ``KeyError`` from a malformed plan, a ``RecursionError`` from a
+        pathological expression — is wrapped into
+        :class:`QueryExecutionError` so callers always catch
+        :class:`SPARQLError` subclasses, never bare internals.
+        """
+        try:
+            yield
+        except EndpointError as error:
+            if error.query is None:
+                error.query = query_text
+            counter = None
+            if isinstance(error, QueryTimeout):
+                counter = ("timeouts", "governor_timeouts")
+            elif isinstance(error, ResourceExhausted):
+                counter = ("budget_kills", "governor_budget_kills")
+            elif isinstance(error, QueryCancelled):
+                counter = ("cancelled", "governor_cancelled")
+            if counter is not None:
+                GOVERNOR.record(counter[0])
+                with self._stats_lock:
+                    setattr(self.statistics, counter[1],
+                            getattr(self.statistics, counter[1]) + 1)
+            raise
+        except SPARQLError:
+            raise  # parse/expression errors are already typed
+        except Exception as error:
+            GOVERNOR.record("mapped_internal_errors")
+            with self._stats_lock:
+                self.statistics.governor_internal_errors += 1
+            raise QueryExecutionError(
+                f"internal error evaluating query: "
+                f"{type(error).__name__}: {error}",
+                query=query_text,
+                telemetry=gov.telemetry() if gov is not None else {},
+            ) from error
+
+    def _served_truncated(self, gov: Optional[GovernorContext],
+                          table: ResultTable) -> None:
+        """Count a partial serve and flag the table if the governor
+        truncated this streamable query under ``allow_partial``."""
+        if gov is not None and gov.truncated:
+            table.truncated = True
+            GOVERNOR.record("truncated_serves")
+            with self._stats_lock:
+                self.statistics.governor_truncated_serves += 1
+
     # -- read path -------------------------------------------------------------
 
-    def select(self, query_text: str) -> ResultTable:
+    def select(self, query_text: str,
+               limits: Optional[QueryLimits] = None) -> ResultTable:
         """Run a SELECT query and return its result table.
 
         The query is pinned to one dataset snapshot for its whole
         evaluation (every streamed batch included), runs without any
         lock, and the table it returns carries the pinned epoch as
         ``table.snapshot_epoch``.
+
+        ``limits`` govern this call (merged over the endpoint
+        governor's defaults when one is configured): deadline, row and
+        memory budgets raise the typed taxonomy of
+        :mod:`repro.sparql.errors` — or, with ``allow_partial`` on a
+        streamable query, return the rows gathered so far flagged
+        ``table.truncated``.
         """
         import re as _re
         if self.limits.forbid_having and _re.search(
@@ -214,17 +372,23 @@ class LocalEndpoint:
             raise EndpointError(
                 "this endpoint does not support HAVING clauses")
         started = time.perf_counter()
-        query = self._parsed(query_text)
+        with self._mapped_errors(query_text):
+            query = self._parsed(query_text)
         if not isinstance(query, SelectQuery):
             raise EndpointError("select() requires a SELECT query")
-        snapshot = self._pin()
-        context = DatasetContext(snapshot, self.default_as_union)
-        stream_before = STREAM_TELEMETRY.snapshot()
-        CONCURRENCY.reader_enter()
-        try:
-            table = evaluate_select(query, context)
-        finally:
-            CONCURRENCY.reader_exit()
+        with self._admitted(query_text):
+            gov = self._governed(limits)
+            snapshot = self._pin()
+            context = DatasetContext(snapshot, self.default_as_union,
+                                     governor=gov)
+            stream_before = STREAM_TELEMETRY.snapshot()
+            CONCURRENCY.reader_enter()
+            try:
+                with self._mapped_errors(query_text, gov):
+                    table = evaluate_select(query, context)
+            finally:
+                CONCURRENCY.reader_exit()
+        self._served_truncated(gov, table)
         table.snapshot_epoch = snapshot.epoch
         elapsed = time.perf_counter() - started
         stream_after = STREAM_TELEMETRY.snapshot()
@@ -245,18 +409,24 @@ class LocalEndpoint:
                 f"{self.limits.max_result_rows}")
         return table
 
-    def ask(self, query_text: str) -> bool:
+    def ask(self, query_text: str,
+            limits: Optional[QueryLimits] = None) -> bool:
         """Run an ASK query (snapshot-pinned like :meth:`select`)."""
         started = time.perf_counter()
-        query = self._parsed(query_text)
+        with self._mapped_errors(query_text):
+            query = self._parsed(query_text)
         if not isinstance(query, AskQuery):
             raise EndpointError("ask() requires an ASK query")
-        context = DatasetContext(self._pin(), self.default_as_union)
-        CONCURRENCY.reader_enter()
-        try:
-            result = evaluate_ask(query, context)
-        finally:
-            CONCURRENCY.reader_exit()
+        with self._admitted(query_text):
+            gov = self._governed(limits)
+            context = DatasetContext(self._pin(), self.default_as_union,
+                                     governor=gov)
+            CONCURRENCY.reader_enter()
+            try:
+                with self._mapped_errors(query_text, gov):
+                    result = evaluate_ask(query, context)
+            finally:
+                CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.statistics.asks += 1
@@ -264,18 +434,24 @@ class LocalEndpoint:
         self._log("ask", query_text, elapsed, int(result))
         return result
 
-    def construct(self, query_text: str) -> Graph:
+    def construct(self, query_text: str,
+                  limits: Optional[QueryLimits] = None) -> Graph:
         """Run a CONSTRUCT query and return the built graph."""
         started = time.perf_counter()
-        query = self._parsed(query_text)
+        with self._mapped_errors(query_text):
+            query = self._parsed(query_text)
         if not isinstance(query, ConstructQuery):
             raise EndpointError("construct() requires a CONSTRUCT query")
-        context = DatasetContext(self._pin(), self.default_as_union)
-        CONCURRENCY.reader_enter()
-        try:
-            graph = evaluate_construct(query, context)
-        finally:
-            CONCURRENCY.reader_exit()
+        with self._admitted(query_text):
+            gov = self._governed(limits)
+            context = DatasetContext(self._pin(), self.default_as_union,
+                                     governor=gov)
+            CONCURRENCY.reader_enter()
+            try:
+                with self._mapped_errors(query_text, gov):
+                    graph = evaluate_construct(query, context)
+            finally:
+                CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.statistics.selects += 1
@@ -283,18 +459,24 @@ class LocalEndpoint:
         self._log("construct", query_text, elapsed, len(graph))
         return graph
 
-    def describe(self, query_text: str) -> Graph:
+    def describe(self, query_text: str,
+                 limits: Optional[QueryLimits] = None) -> Graph:
         """Run a DESCRIBE query and return the description graph."""
         started = time.perf_counter()
-        query = self._parsed(query_text)
+        with self._mapped_errors(query_text):
+            query = self._parsed(query_text)
         if not isinstance(query, DescribeQuery):
             raise EndpointError("describe() requires a DESCRIBE query")
-        context = DatasetContext(self._pin(), self.default_as_union)
-        CONCURRENCY.reader_enter()
-        try:
-            graph = evaluate_describe(query, context)
-        finally:
-            CONCURRENCY.reader_exit()
+        with self._admitted(query_text):
+            gov = self._governed(limits)
+            context = DatasetContext(self._pin(), self.default_as_union,
+                                     governor=gov)
+            CONCURRENCY.reader_enter()
+            try:
+                with self._mapped_errors(query_text, gov):
+                    graph = evaluate_describe(query, context)
+            finally:
+                CONCURRENCY.reader_exit()
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.statistics.selects += 1
@@ -302,25 +484,28 @@ class LocalEndpoint:
         self._log("describe", query_text, elapsed, len(graph))
         return graph
 
-    def query(self, query_text: str):
+    def query(self, query_text: str,
+              limits: Optional[QueryLimits] = None):
         """Run any read query; dispatches on the parsed query form.
 
         Returns a :class:`ResultTable` for SELECT, ``bool`` for ASK and
         a :class:`Graph` for CONSTRUCT/DESCRIBE — mirroring what a
         protocol client gets back from a real endpoint.  Safe to call
         from many threads at once: each dispatch suppresses only its
-        own thread's duplicate parse count.
+        own thread's duplicate parse count.  ``limits`` pass through to
+        the dispatched method.
         """
-        query = self._parsed(query_text)
+        with self._mapped_errors(query_text):
+            query = self._parsed(query_text)
         self._tls.suppress_parse_count = True
         try:
             if isinstance(query, SelectQuery):
-                return self.select(query_text)
+                return self.select(query_text, limits=limits)
             if isinstance(query, AskQuery):
-                return self.ask(query_text)
+                return self.ask(query_text, limits=limits)
             if isinstance(query, ConstructQuery):
-                return self.construct(query_text)
-            return self.describe(query_text)
+                return self.construct(query_text, limits=limits)
+            return self.describe(query_text, limits=limits)
         finally:
             self._tls.suppress_parse_count = False
 

@@ -1,10 +1,29 @@
-"""Exception hierarchy for the SPARQL engine."""
+"""Exception hierarchy for the SPARQL engine.
+
+Every endpoint-level error carries a **machine-readable code**
+(``error.code``), the offending query text when known (``error.query``)
+and the telemetry the governor had gathered when the query died
+(``error.telemetry``) — callers can branch on codes instead of parsing
+messages, and operators see how far a killed query got.
+
+The governed sub-taxonomy (:class:`QueryTimeout`,
+:class:`QueryCancelled`, :class:`ResourceExhausted`,
+:class:`EndpointOverloaded`, :class:`QueryExecutionError`) shares the
+:class:`GovernedQueryError` base: these are *final* verdicts about one
+request — the QL executor's auto-fallback must re-raise them instead of
+retrying the alternative translation.
+"""
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 
 class SPARQLError(Exception):
     """Base class for all SPARQL engine errors."""
+
+    #: machine-readable error class, stable across message rewordings
+    code: str = "sparql_error"
 
 
 class QuerySyntaxError(SPARQLError):
@@ -12,6 +31,8 @@ class QuerySyntaxError(SPARQLError):
 
     Mirrors :class:`repro.rdf.errors.ParseError` with positional info.
     """
+
+    code = "syntax_error"
 
     def __init__(self, message: str, line: int | None = None) -> None:
         self.line = line
@@ -29,15 +50,89 @@ class ExpressionError(SPARQLError):
     catches this exception at those boundaries.
     """
 
+    code = "expression_error"
+
 
 class EvaluationError(SPARQLError):
     """A non-recoverable problem during query evaluation (engine bug or
     unsupported feature reached at runtime)."""
 
+    code = "evaluation_error"
+
 
 class UpdateError(SPARQLError):
     """A SPARQL Update request failed."""
 
+    code = "update_error"
+
 
 class EndpointError(SPARQLError):
-    """Endpoint-level failure: unknown graph, exceeded result limits, ..."""
+    """Endpoint-level failure: unknown graph, exceeded result limits, ...
+
+    ``code`` identifies the error class machine-readably; ``query`` is
+    the offending request text (filled in by the endpoint when the
+    raise site did not know it); ``telemetry`` is whatever progress the
+    governor had recorded — rows produced, index entries scanned,
+    elapsed seconds — so a killed query reports how far it got.
+    """
+
+    code = "endpoint_error"
+
+    def __init__(self, message: str, *, code: Optional[str] = None,
+                 query: Optional[str] = None,
+                 telemetry: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.query = query
+        self.telemetry = dict(telemetry) if telemetry else {}
+
+
+class GovernedQueryError(EndpointError):
+    """A final, per-request verdict from the query governor.
+
+    The QL executor's ``variant="auto"`` fallback retries the
+    alternative translation on *capability* failures (e.g. the HAVING
+    restriction) but re-raises these: a timed-out or shed query would
+    only fail again, slower.
+    """
+
+    code = "governed_error"
+
+
+class QueryTimeout(GovernedQueryError):
+    """The query exceeded its wall-clock deadline."""
+
+    code = "query_timeout"
+
+
+class QueryCancelled(GovernedQueryError):
+    """The query's cancellation token was triggered by the caller."""
+
+    code = "query_cancelled"
+
+
+class ResourceExhausted(GovernedQueryError):
+    """The query exceeded a row or binding-memory budget."""
+
+    code = "resource_exhausted"
+
+
+class EndpointOverloaded(GovernedQueryError):
+    """Admission control shed the query: every concurrent-query slot
+    was busy and the bounded wait queue was full (or the queue wait
+    timed out).  Clients should back off and retry."""
+
+    code = "endpoint_overloaded"
+
+
+class QueryExecutionError(GovernedQueryError):
+    """A raw parser/evaluator exception escaped the engine.
+
+    The endpoint maps bare ``KeyError`` / ``RecursionError`` / ... into
+    this typed wrapper (original exception chained as ``__cause__``),
+    so callers always see the endpoint taxonomy, never an engine
+    internal.
+    """
+
+    code = "internal_error"

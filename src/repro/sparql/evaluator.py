@@ -62,6 +62,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.rdf.graph import Dataset, Graph
 from repro.rdf.stats import StatisticsView
 from repro.rdf.terms import IRI, Literal, Term, Triple
+from repro.testing import faults as _faults
 from repro.sparql.algebra import (
     AskQuery,
     BGP,
@@ -87,7 +88,12 @@ from repro.sparql.bindings import (
     concat as table_concat,
     visible_slots as table_visible_slots,
 )
-from repro.sparql.errors import EvaluationError, ExpressionError
+from repro.sparql.errors import (
+    EvaluationError,
+    ExpressionError,
+    QueryTimeout,
+    ResourceExhausted,
+)
 from repro.sparql.expressions import (
     Aggregate,
     ArithmeticExpression,
@@ -366,16 +372,24 @@ class DatasetContext:
     pinned :class:`~repro.rdf.graph.DatasetSnapshot` (the endpoint's
     snapshot-isolated read path passes the latter, so every source this
     context hands out reads one frozen epoch).
+
+    ``governor`` is the optional per-request
+    :class:`~repro.sparql.governor.GovernorContext`: when set, the
+    evaluator checks it cooperatively at every batch boundary (and
+    sub-queries inherit it through :meth:`scoped`), so one limits
+    object governs the whole request tree.
     """
 
     def __init__(self, dataset: Dataset,
                  default_as_union: bool = True,
                  from_graphs: Optional[List[IRI]] = None,
-                 from_named: Optional[List[IRI]] = None) -> None:
+                 from_named: Optional[List[IRI]] = None,
+                 governor=None) -> None:
         self.dataset = dataset
         self.default_as_union = default_as_union
         self.from_graphs = list(from_graphs) if from_graphs else []
         self.from_named = list(from_named) if from_named else []
+        self.governor = governor
 
     @property
     def has_dataset_clause(self) -> bool:
@@ -387,7 +401,8 @@ class DatasetContext:
         if not from_graphs and not from_named:
             return self
         return DatasetContext(self.dataset, self.default_as_union,
-                              from_graphs, from_named)
+                              from_graphs, from_named,
+                              governor=self.governor)
 
     def default_source(self, from_graphs: Optional[List[IRI]] = None
                        ) -> GraphSource:
@@ -482,6 +497,16 @@ class PatternEvaluator:
                  eval_context: Optional[EvalContext] = None) -> None:
         self.context = context
         self.eval_context = eval_context or EvalContext()
+        #: per-request governor (deadline/budget/cancellation checks at
+        #: batch boundaries); ``None`` on ungoverned requests, so the
+        #: fast path costs one ``is not None`` test per boundary
+        self._gov = getattr(context, "governor", None)
+        if self._gov is not None:
+            # a dead-on-arrival request (cancelled token, expired
+            # deadline) dies here, before any evaluation work — this
+            # also covers lazy early-exit paths (ASK) that may finish
+            # without ever reaching a batch boundary
+            self._gov.check()
         #: per-query overlay: computed BIND/VALUES terms intern into a
         #: discardable overflow id range, never into the base dictionary
         self._dict = context.dataset.dictionary.overlay()
@@ -577,15 +602,22 @@ class PatternEvaluator:
             name for name in table.names if not name.startswith("#"))
         plan = get_plan(node, bound, source)
         trace = self.trace
+        gov = self._gov
         for position, step in enumerate(plan.steps):
             if not table.rows:
                 break
+            if _faults.ACTIVE:
+                _faults.fire("evaluator.step")
             pattern = patterns[step.index]
             rows_in = len(table.rows)
             if isinstance(pattern, PathPatternNode):
                 table = self._step_path(pattern, source, table)
             else:
                 table = self._step_triple(pattern, source, table)
+            if gov is not None:
+                # batch-boundary governance: account the produced
+                # binding cells, then check deadline/cancellation
+                gov.charge_rows(len(table.rows), max(1, len(table.names)))
             if trace is not None:
                 trace.append(StepTrace(node, position, step, rows_in,
                                        len(table.rows),
@@ -682,6 +714,10 @@ class PatternEvaluator:
         match_ids = source.match_ids
         if PROBE_COUNTER.active:
             match_ids = _counted(match_ids)
+        if self._gov is not None:
+            # long index scans (the hash-join build) stay interruptible
+            # between batch boundaries: one deadline check per stride
+            match_ids = self._gov.metered(match_ids)
 
         if not probe_slots:
             # no shared variables: one scan, applied to every row
@@ -884,8 +920,13 @@ class PatternEvaluator:
                       batch: int = 512) -> Iterator[BindingTable]:
         """Solution batches for a streamable subtree, with telemetry."""
         telemetry = STREAM_TELEMETRY
+        gov = self._gov
         for table in self._stream(node, source, batch):
             telemetry.record_batch(len(table.rows))
+            if _faults.ACTIVE:
+                _faults.fire("evaluator.batch")
+            if gov is not None:
+                gov.charge_rows(len(table.rows), max(1, len(table.names)))
             yield table
 
     def _stream(self, node: PatternNode, source: GraphSource,
@@ -962,6 +1003,8 @@ class PatternEvaluator:
         match_ids = source.match_ids
         if PROBE_COUNTER.active:
             match_ids = _counted(match_ids)
+        if self._gov is not None:
+            match_ids = self._gov.metered(match_ids)
         rows: List[tuple] = []
         for match in match_ids(base):
             if d_checks and any(match[a] != match[b] for a, b in d_checks):
@@ -991,6 +1034,8 @@ class PatternEvaluator:
         matches or a ``None`` pad, independently of other rows), the
         batch pipeline once with the full required-side table.
         """
+        if self._gov is not None:
+            self._gov.check()
         self._marker_count += 1
         marker = f"#lj{self._marker_count}"
         seeded = BindingTable(
@@ -1327,6 +1372,8 @@ class PatternEvaluator:
     def _iter_bgp_step(self, patterns, order: List[int], step: int,
                        source: GraphSource, binding: Binding
                        ) -> Iterator[Binding]:
+        if _faults.ACTIVE:
+            _faults.fire("evaluator.step")
         pattern = patterns[order[step]]
         last = step == len(order) - 1
         if isinstance(pattern, PathPatternNode):
@@ -1338,7 +1385,10 @@ class PatternEvaluator:
                         patterns, order, step + 1, source, extended)
             return
         concrete = substituted(pattern, binding)
+        gov = self._gov
         for triple in source.match(concrete):
+            if gov is not None:
+                gov.tick_scan()
             extended = _try_extend(binding, pattern, triple)
             if extended is None:
                 continue
@@ -1660,48 +1710,64 @@ def _stream_select(query: SelectQuery, evaluator: PatternEvaluator,
     batch = max(64, min(512, needed))
     has_expressions = any(item.expression is not None
                           for item in query.projection or [])
-    if has_expressions:
-        seen: set = set()
-        last: object = _NO_ROW
-        for binding in evaluator.iter_stream_solutions(
-                query.pattern, source, batch):
-            _apply_projection_expressions(query, binding, eval_context)
-            row = tuple(binding.get(name) for name in names)
-            if distinct:
-                if row in seen:
-                    continue
-                seen.add(row)
-            elif reduced:
-                if row == last:
-                    continue
-                last = row
-            rows.append(row)
-            if len(rows) >= needed:
-                break
-    else:
-        decode = evaluator._dict.decode
-        seen_ids: set = set()
-        last_ids: object = _NO_ROW
-        done = False
-        for table in evaluator.stream_tables(query.pattern, source, batch):
-            for id_row in table.iter_onto(names):
+    gov = evaluator._gov
+    allow_partial = gov is not None and gov.limits.allow_partial
+    truncated = False
+    try:
+        if has_expressions:
+            seen: set = set()
+            last: object = _NO_ROW
+            for binding in evaluator.iter_stream_solutions(
+                    query.pattern, source, batch):
+                _apply_projection_expressions(query, binding, eval_context)
+                row = tuple(binding.get(name) for name in names)
                 if distinct:
-                    if id_row in seen_ids:
+                    if row in seen:
                         continue
-                    seen_ids.add(id_row)
+                    seen.add(row)
                 elif reduced:
-                    if id_row == last_ids:
+                    if row == last:
                         continue
-                    last_ids = id_row
-                rows.append(tuple(
-                    None if cell is None else decode(cell)
-                    for cell in id_row))
+                    last = row
+                rows.append(row)
                 if len(rows) >= needed:
-                    done = True
                     break
-            if done:
-                break
-    return ResultTable(names, rows[query.offset:])
+        else:
+            decode = evaluator._dict.decode
+            seen_ids: set = set()
+            last_ids: object = _NO_ROW
+            done = False
+            for table in evaluator.stream_tables(query.pattern, source,
+                                                 batch):
+                for id_row in table.iter_onto(names):
+                    if distinct:
+                        if id_row in seen_ids:
+                            continue
+                        seen_ids.add(id_row)
+                    elif reduced:
+                        if id_row == last_ids:
+                            continue
+                        last_ids = id_row
+                    rows.append(tuple(
+                        None if cell is None else decode(cell)
+                        for cell in id_row))
+                    if len(rows) >= needed:
+                        done = True
+                        break
+                if done:
+                    break
+    except (QueryTimeout, ResourceExhausted):
+        # graceful degradation (opt-in, streamable queries only): the
+        # rows gathered so far are each individually correct — serve
+        # them flagged as truncated instead of discarding the work
+        if not allow_partial:
+            raise
+        truncated = True
+        gov.truncated = True
+    result = ResultTable(names, rows[query.offset:])
+    if truncated:
+        result.truncated = True
+    return result
 
 
 def evaluate_select(query: SelectQuery, context: DatasetContext,

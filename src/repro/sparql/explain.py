@@ -281,8 +281,10 @@ def plan_cache_statistics() -> dict:
 
 
 def _cache_stats_lines() -> List[str]:
+    from repro.sparql.governor import GOVERNOR
     stats = PLAN_CACHE.statistics()
     concurrency = CONCURRENCY.snapshot()
+    governor = GOVERNOR.snapshot()
     return [
         f"plan cache: entries={stats['entries']} hits={stats['hits']} "
         f"(exact={stats['hits_exact']}, "
@@ -297,6 +299,13 @@ def _cache_stats_lines() -> List[str]:
         f"stale={concurrency['stale_serves']}) "
         f"cow_copies={concurrency['cow_copies']} "
         f"writer_waits={concurrency['writer_waits']}",
+        f"governor: admitted={governor['admitted']} "
+        f"queued={governor['queued']} shed={governor['shed']} "
+        f"timeouts={governor['timeouts']} "
+        f"cancelled={governor['cancelled']} "
+        f"budget_kills={governor['budget_kills']} "
+        f"truncated={governor['truncated_serves']} "
+        f"internal={governor['mapped_internal_errors']}",
     ]
 
 

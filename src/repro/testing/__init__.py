@@ -1,0 +1,1 @@
+"""Deterministic testing utilities (fault injection)."""

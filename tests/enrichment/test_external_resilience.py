@@ -1,0 +1,147 @@
+"""External-fetch resilience: retries, breaker, timeouts, partial rows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enrichment.external import (
+    ExternalFetchError,
+    ExternalSource,
+    FetchPolicy,
+    import_member_triples,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.endpoint import LocalEndpoint
+from repro.sparql.errors import QueryTimeout
+from repro.sparql.governor import CircuitOpenError
+from repro.testing import faults
+
+EX = "http://example.org/ref/"
+MEMBER = IRI(EX + "member1")
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.FAILPOINTS.reset()
+    yield
+    faults.FAILPOINTS.reset()
+
+
+def make_source(**policy_fields) -> ExternalSource:
+    graph = Graph()
+    graph.add(MEMBER, IRI(EX + "name"), Literal("Member One"))
+    graph.add(MEMBER, IRI(EX + "kind"), Literal("demo"))
+    policy_fields.setdefault("base_delay", 0.001)
+    policy_fields.setdefault("max_delay", 0.002)
+    policy = FetchPolicy(**policy_fields)
+    source = ExternalSource.from_graph("testref", graph, policy=policy)
+    source.sleep = lambda _seconds: None  # retries run instantly
+    return source
+
+
+class TestRetries:
+    def test_fetch_succeeds_without_faults(self):
+        source = make_source()
+        triples = source.describe_member(MEMBER)
+        assert len(triples) == 2
+
+    def test_transient_faults_are_retried_through(self):
+        source = make_source(attempts=3)
+        with faults.failpoint("external.fetch", raises=True,
+                              max_hits=2) as point:
+            triples = source.describe_member(MEMBER)
+        assert len(triples) == 2
+        assert point.fired == 2  # two failures, third attempt landed
+
+    def test_exhausted_retries_raise_typed_error(self):
+        source = make_source(attempts=3, breaker_threshold=100)
+        with faults.failpoint("external.fetch", raises=True) as point:
+            with pytest.raises(ExternalFetchError) as info:
+                source.describe_member(MEMBER)
+        assert point.fired == 3  # bounded: exactly `attempts` tries
+        assert info.value.source == "testref"
+        assert info.value.attempts == 3
+        assert info.value.code == "external_fetch_failed"
+
+    def test_backoff_schedule_is_exponential_and_bounded(self):
+        delays = []
+        source = make_source(attempts=4, base_delay=0.1, max_delay=0.25,
+                             breaker_threshold=100)
+        source.sleep = delays.append
+        with faults.failpoint("external.fetch", raises=True):
+            with pytest.raises(ExternalFetchError):
+                source.describe_member(MEMBER)
+        assert delays == [0.1, 0.2, 0.25]  # doubled, then capped
+
+
+class TestPerAttemptTimeout:
+    def test_hung_fetch_dies_with_query_timeout(self):
+        # injected latency + a tiny governed deadline: the simulated
+        # remote query times out cooperatively instead of hanging
+        source = make_source(attempts=1, attempt_deadline=0.01,
+                             breaker_threshold=100)
+        with faults.failpoint("external.fetch", delay=0.05):
+            with pytest.raises(ExternalFetchError) as info:
+                source.describe_member(MEMBER)
+        assert isinstance(info.value.__cause__, QueryTimeout)
+
+    def test_no_deadline_policy_skips_governed_limits(self):
+        source = make_source(attempt_deadline=None)
+        assert len(source.describe_member(MEMBER)) == 2
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_after_threshold_and_fails_fast(self):
+        source = make_source(attempts=2, breaker_threshold=2)
+        with faults.failpoint("external.fetch", raises=True) as point:
+            with pytest.raises(ExternalFetchError):
+                source.describe_member(MEMBER)  # 2 failures -> open
+            with pytest.raises(CircuitOpenError):
+                source.describe_member(MEMBER)  # no fetch attempted
+        assert point.fired == 2
+        assert source.breaker.state == "open"
+
+    def test_breaker_recovers_after_cooldown(self):
+        clock = [0.0]
+        source = make_source(attempts=1, breaker_threshold=1,
+                             breaker_cooldown=10.0)
+        source.breaker._clock = lambda: clock[0]
+        with faults.failpoint("external.fetch", raises=True, max_hits=1):
+            with pytest.raises(ExternalFetchError):
+                source.describe_member(MEMBER)
+            assert source.breaker.state == "open"
+            clock[0] = 11.0  # cooldown elapsed: probe allowed
+            assert len(source.describe_member(MEMBER)) == 2
+        assert source.breaker.state == "closed"
+
+
+class TestPartialBatches:
+    def test_clipped_fetch_yields_partial_description(self):
+        source = make_source()
+        with faults.failpoint("external.fetch.rows", keep_rows=1):
+            triples = source.describe_member(MEMBER)
+        assert len(triples) == 1  # partial batch, each row still valid
+        assert triples[0].subject == MEMBER
+
+    def test_import_survives_partial_batches(self):
+        source = make_source()
+        local = LocalEndpoint()
+        with faults.failpoint("external.fetch.rows", keep_rows=1):
+            added = import_member_triples(local, source, [MEMBER],
+                                          follow_objects=False)
+        assert added == 1
+
+
+class TestBackwardCompatibility:
+    def test_from_graph_default_policy(self):
+        graph = Graph()
+        graph.add(MEMBER, IRI(EX + "name"), Literal("x"))
+        source = ExternalSource.from_graph("plain", graph)
+        assert source.policy.attempts == 3
+        assert source.breaker is not None
+        assert len(source.describe_member(MEMBER)) == 1
+
+    def test_non_iri_member_is_still_empty(self):
+        source = make_source()
+        assert source.describe_member(Literal("not an IRI")) == []
