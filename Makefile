@@ -3,7 +3,8 @@ export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-smoke bench-baseline bench-plan \
 	bench-plan-baseline bench-stream bench-stream-baseline \
-	bench-concurrency bench-resilience bench-resilience-baseline
+	bench-concurrency bench-resilience bench-resilience-baseline \
+	bench-join bench-join-baseline
 
 ## Tier-1 verification: docs doctests + the full unit/integration suite.
 test: docs-check
@@ -66,3 +67,15 @@ bench-resilience:
 ## Refresh the committed resilience reference numbers.
 bench-resilience-baseline:
 	REPRO_BENCH_OBS=2000 $(PYTHON) benchmarks/check_resilience.py --update
+
+## Columnar-storage gate: >=5x triple-pattern scan throughput vs the
+## legacy dict backend at 100k observations, compaction latency under
+## its ceiling, and a 1M-observation bulk load + E3-shaped aggregation
+## inside the governor's default deadline.  Throughput history lands in
+## benchmarks/join_baseline.json.
+bench-join:
+	$(PYTHON) benchmarks/check_join.py
+
+## Refresh the recorded join/compaction throughput history.
+bench-join-baseline:
+	$(PYTHON) benchmarks/check_join.py --update

@@ -1,9 +1,17 @@
 """Shared benchmark fixtures.
 
-Scale knob: ``REPRO_BENCH_OBS`` (default 20 000 observations) — set to
-80000 to reproduce the paper's full demo subset.  All fixtures are
-session-scoped; enrichment benchmarks that need pristine endpoints
-build their own smaller ones.
+Scale knobs:
+
+* ``REPRO_BENCH_OBS`` (default 20 000 observations) — set to 80000 to
+  reproduce the paper's full demo subset;
+* ``REPRO_BENCH_SCALE`` (default 1) — a multiplier applied on top of
+  ``REPRO_BENCH_OBS``, so one environment variable sweeps the whole
+  suite from the smoke default to the columnar store's 100k–1M-row
+  range (``REPRO_BENCH_SCALE=50`` → 1M observations) without editing
+  fixture code.
+
+All fixtures are session-scoped; enrichment benchmarks that need
+pristine endpoints build their own smaller ones.
 
 Each bench also appends its paper-shaped rows to
 ``benchmarks/results/<exp>.txt`` so the regenerated series survive the
@@ -19,7 +27,9 @@ import pytest
 
 from repro.demo import EnrichedDemo, prepare_enriched_demo
 
-BENCH_OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBS", "20000"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+BENCH_OBSERVATIONS = int(
+    int(os.environ.get("REPRO_BENCH_OBS", "20000")) * BENCH_SCALE)
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"

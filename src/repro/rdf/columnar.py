@@ -1,0 +1,273 @@
+"""Array-backed columnar triple storage (dictionary-encoded columns).
+
+This module holds the *compacted* half of the engine's storage layer:
+:class:`TripleColumns` keeps one immutable copy of a graph's triples as
+dictionary-encoded (s, p, o) integer arrays materialized in the three
+access orders the SPARQL evaluator needs — SPO, POS and OSP — each
+sorted lexicographically by its key prefix.  Every triple-pattern shape
+is then a **prefix range** of exactly one order, answered with staged
+binary searches (:func:`numpy.searchsorted`) instead of pointer-chasing
+the dict-of-dict-of-set indexes:
+
+======================  =======  ==============================
+pattern                 order    bound prefix
+======================  =======  ==============================
+``(s, p, o)``           SPO      ``s, p, o`` (membership)
+``(s, p, ?)``           SPO      ``s, p``
+``(s, ?, ?)``           SPO      ``s``
+``(s, ?, o)``           OSP      ``o, s``
+``(?, p, o)``           POS      ``p, o``
+``(?, p, ?)``           POS      ``p``
+``(?, ?, o)``           OSP      ``o``
+``(?, ?, ?)``           SPO      — (everything)
+======================  =======  ==============================
+
+Counts are ``hi - lo`` of the located range — O(log n) for any shape —
+and scans materialize the range as column slices (numpy views, zero
+copy), which is what the evaluator's vectorized batch pipeline and the
+merge-join grouping consume.
+
+The columns are **immutable by construction**: mutation lives in the
+owning :class:`~repro.rdf.graph.Graph`'s small dict-backed delta
+overlay (the legacy SPO/POS/OSP dicts, now holding only uncompacted
+writes) plus a tombstone set for removals of compacted triples.
+:meth:`TripleColumns.merged` folds delta + tombstones into a fresh
+sorted generation at compaction time; pinned snapshots keep the old
+generation by reference, so a compaction never disturbs a reader —
+this is what makes snapshot pinning of the bulk data literally free.
+
+Ids are stored in the smallest integer dtype that fits (int32 for any
+realistic dictionary, int64 beyond), and probe values outside the
+stored id range — including per-query overlay ids, which live at
+``1 << 40`` and can never be stored — short-circuit to an empty range
+before touching numpy.
+
+>>> cols = TripleColumns.build([(0, 1, 2), (0, 1, 3), (4, 1, 2)])
+>>> cols.count((0, 1, None)), cols.count((None, 1, 2))
+(2, 2)
+>>> list(cols.scan((None, None, 2)))
+[(0, 1, 2), (4, 1, 2)]
+>>> cols.contains(4, 1, 2), cols.contains(4, 1, 3)
+(True, False)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+IdTriple = Tuple[int, int, int]
+IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
+
+__all__ = ["TripleColumns", "concat_arrays"]
+
+#: positional column index of each order's sort-key sequence
+_ORDER_KEYS = {"spo": (0, 1, 2), "pos": (1, 2, 0), "osp": (2, 0, 1)}
+
+
+def _dtype_for(max_id: int):
+    """Smallest signed integer dtype able to hold ``max_id``."""
+    return np.int32 if max_id < np.iinfo(np.int32).max else np.int64
+
+
+def concat_arrays(parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate ``(S, P, O)`` array triples (union-source scans)."""
+    if len(parts) == 1:
+        return parts[0]
+    return (np.concatenate([part[0] for part in parts]),
+            np.concatenate([part[1] for part in parts]),
+            np.concatenate([part[2] for part in parts]))
+
+
+class TripleColumns:
+    """One immutable, sorted, dictionary-encoded triple generation.
+
+    ``size`` is the triple count; ``n_subjects`` / ``n_predicates`` /
+    ``n_objects`` are exact distinct counts over the stored triples
+    (computed once at build time from the sorted key columns, so the
+    statistics layer reads them in O(1)).
+    """
+
+    __slots__ = ("size", "_ceiling", "_orders",
+                 "n_subjects", "n_predicates", "n_objects")
+
+    def __init__(self, s: np.ndarray, p: np.ndarray, o: np.ndarray) -> None:
+        # ``s, p, o`` may arrive in any row order; each access order
+        # gets its own gathered positional copy so range scans are
+        # contiguous reads with no indirection.
+        self.size = int(len(s))
+        self._orders: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+        if self.size == 0:
+            empty = np.empty(0, dtype=np.int32)
+            self._orders = {name: (empty, empty, empty)
+                            for name in _ORDER_KEYS}
+            self._ceiling = -1
+            self.n_subjects = self.n_predicates = self.n_objects = 0
+            return
+        high = int(max(s.max(), p.max(), o.max()))
+        dtype = _dtype_for(high)
+        s = np.ascontiguousarray(s, dtype=dtype)
+        p = np.ascontiguousarray(p, dtype=dtype)
+        o = np.ascontiguousarray(o, dtype=dtype)
+        self._ceiling = high
+        self._orders = {}
+        base = (s, p, o)
+        for name, (first, second, third) in _ORDER_KEYS.items():
+            # np.lexsort sorts by the *last* key first
+            perm = np.lexsort((base[third], base[second], base[first]))
+            self._orders[name] = (s[perm], p[perm], o[perm])
+        spo_s, spo_p, _ = self._orders["spo"]
+        pos_p = self._orders["pos"][1]
+        osp_o = self._orders["osp"][2]
+        self.n_subjects = _run_count(spo_s)
+        self.n_predicates = _run_count(pos_p)
+        self.n_objects = _run_count(osp_o)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, triples: Iterable[IdTriple]) -> "TripleColumns":
+        """Columns from an iterable of ``(s, p, o)`` id triples."""
+        rows = list(triples)
+        if not rows:
+            empty = np.empty(0, dtype=np.int32)
+            return cls(empty, empty, empty)
+        data = np.asarray(rows, dtype=np.int64)
+        return cls(data[:, 0], data[:, 1], data[:, 2])
+
+    def merged(self, delta_spo: Dict[int, Dict[int, Set[int]]],
+               tombstones: Set[IdTriple]) -> "TripleColumns":
+        """A fresh generation: these columns minus ``tombstones`` plus
+        the delta overlay's triples.  The receiver is left untouched
+        (pinned snapshots keep reading it)."""
+        s, p, o = self._orders["spo"]
+        if tombstones and self.size:
+            keep = np.ones(self.size, dtype=bool)
+            for ts, tp, to in tombstones:
+                lo, hi = self._range("spo", (ts, tp, to))
+                if lo < hi:
+                    keep[lo] = False
+            s, p, o = s[keep], p[keep], o[keep]
+        extra = [(si, pi, oi)
+                 for si, by_predicate in delta_spo.items()
+                 for pi, objects in by_predicate.items()
+                 for oi in objects]
+        if extra:
+            data = np.asarray(extra, dtype=np.int64)
+            s = np.concatenate([s.astype(np.int64, copy=False), data[:, 0]])
+            p = np.concatenate([p.astype(np.int64, copy=False), data[:, 1]])
+            o = np.concatenate([o.astype(np.int64, copy=False), data[:, 2]])
+        return TripleColumns(s, p, o)
+
+    # -- range location ------------------------------------------------------
+
+    def _route(self, pattern: IdPattern) -> Tuple[str, Tuple[int, ...]]:
+        """The ``(order, bound key prefix)`` answering ``pattern``."""
+        s, p, o = pattern
+        if s is not None:
+            if p is None and o is not None:
+                return "osp", (o, s)
+            if p is None:
+                return "spo", (s,)
+            if o is None:
+                return "spo", (s, p)
+            return "spo", (s, p, o)
+        if p is not None:
+            if o is None:
+                return "pos", (p,)
+            return "pos", (p, o)
+        if o is not None:
+            return "osp", (o,)
+        return "spo", ()
+
+    def _range(self, order: str, prefix: Tuple[int, ...]) -> Tuple[int, int]:
+        """``[lo, hi)`` of the rows whose key columns match ``prefix``."""
+        lo, hi = 0, self.size
+        if not prefix:
+            return lo, hi
+        cols = self._orders[order]
+        for key_index, value in zip(_ORDER_KEYS[order], prefix):
+            if value < 0 or value > self._ceiling:
+                return 0, 0  # never stored (covers overlay ids)
+            segment = cols[key_index][lo:hi]
+            left = int(np.searchsorted(segment, value, "left"))
+            right = int(np.searchsorted(segment, value, "right"))
+            hi = lo + right
+            lo = lo + left
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    # -- reads ---------------------------------------------------------------
+
+    def count(self, pattern: IdPattern) -> int:
+        """Exact match count — staged binary search, never a scan."""
+        order, prefix = self._route(pattern)
+        lo, hi = self._range(order, prefix)
+        return hi - lo
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        return self.count((s, p, o)) > 0
+
+    def arrays(self, pattern: IdPattern
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The matching rows as positional ``(S, P, O)`` column views
+        (zero-copy slices of the chosen order)."""
+        order, prefix = self._route(pattern)
+        lo, hi = self._range(order, prefix)
+        s, p, o = self._orders[order]
+        return s[lo:hi], p[lo:hi], o[lo:hi]
+
+    def scan(self, pattern: IdPattern) -> Iterator[IdTriple]:
+        """Matching ``(s, p, o)`` triples as plain-int tuples."""
+        s, p, o = self.arrays(pattern)
+        return zip(s.tolist(), p.tolist(), o.tolist())
+
+    # -- statistics support --------------------------------------------------
+
+    def predicate_slice(self, predicate_id: int
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(subjects, objects)`` column views of one predicate's rows."""
+        lo, hi = self._range("pos", (predicate_id,))
+        s, _, o = self._orders["pos"]
+        return s[lo:hi], o[lo:hi]
+
+    def predicate_value_counts(self, predicate_id: int
+                               ) -> Tuple[Dict[int, int], Dict[int, int], int]:
+        """``(subject_counts, object_counts, cardinality)`` for one
+        predicate, computed vectorized (one ``np.unique`` per side)."""
+        subjects, objects = self.predicate_slice(predicate_id)
+        if not len(subjects):
+            return {}, {}, 0
+        subject_values, subject_tallies = np.unique(subjects,
+                                                    return_counts=True)
+        object_values, object_tallies = np.unique(objects,
+                                                  return_counts=True)
+        return (dict(zip(subject_values.tolist(), subject_tallies.tolist())),
+                dict(zip(object_values.tolist(), object_tallies.tolist())),
+                int(len(subjects)))
+
+    def has_subject(self, subject_id: int) -> bool:
+        return self.count((subject_id, None, None)) > 0
+
+    def has_predicate(self, predicate_id: int) -> bool:
+        return self.count((None, predicate_id, None)) > 0
+
+    def has_object(self, object_id: int) -> bool:
+        return self.count((None, None, object_id)) > 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        dtype = self._orders["spo"][0].dtype
+        return f"<TripleColumns {self.size} triples, dtype {dtype}>"
+
+
+def _run_count(sorted_array: np.ndarray) -> int:
+    """Distinct values in a sorted array (count of value runs)."""
+    if not len(sorted_array):
+        return 0
+    return int(np.count_nonzero(sorted_array[1:] != sorted_array[:-1])) + 1

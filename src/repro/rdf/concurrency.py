@@ -104,7 +104,8 @@ class ConcurrencyTelemetry:
 
     __slots__ = ("_lock", "active_readers", "peak_readers",
                  "reader_queries", "snapshot_builds", "snapshot_reuses",
-                 "stale_serves", "cow_copies", "writer_waits")
+                 "stale_serves", "cow_copies", "writer_waits",
+                 "compactions")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -116,6 +117,7 @@ class ConcurrencyTelemetry:
         self.stale_serves = 0
         self.cow_copies = 0
         self.writer_waits = 0
+        self.compactions = 0
 
     # -- reader gauge --------------------------------------------------------
 
@@ -150,6 +152,10 @@ class ConcurrencyTelemetry:
     def record_cow_copy(self) -> None:
         self.cow_copies += 1
 
+    def record_compaction(self) -> None:
+        """The delta overlay was folded into a fresh column generation."""
+        self.compactions += 1
+
     def record_writer_wait(self) -> None:
         with self._lock:
             self.writer_waits += 1
@@ -177,6 +183,7 @@ class ConcurrencyTelemetry:
                                   + self.stale_serves),
                 "cow_copies": self.cow_copies,
                 "writer_waits": self.writer_waits,
+                "compactions": self.compactions,
             }
 
     def reset(self) -> None:
@@ -189,6 +196,7 @@ class ConcurrencyTelemetry:
             self.stale_serves = 0
             self.cow_copies = 0
             self.writer_waits = 0
+            self.compactions = 0
 
     def __repr__(self) -> str:
         return (f"<ConcurrencyTelemetry active={self.active_readers} "

@@ -241,18 +241,34 @@ def _split_mcv(counts: Dict[int, int]
 def build_predicate_summary(graph, predicate_id: int) -> PredicateSummary:
     """Build the value-aware summary for one predicate of ``graph``.
 
-    Reads the predicate's POS bucket once: object counts are the bucket
-    set sizes, subject counts are tallied from the same sets, so the
-    build is O(cardinality of the predicate) and touches no other
-    index.
+    Reads both storage tiers once: the compacted columns answer with a
+    vectorized group-count over the predicate's POS range
+    (:meth:`~repro.rdf.columnar.TripleColumns.predicate_value_counts`),
+    the delta overlay's POS bucket is tallied on top, and pending
+    tombstones are subtracted — so the build is O(cardinality of the
+    predicate) and touches no other index.
     """
-    by_object = graph._pos.get(predicate_id, {})
-    object_counts: Dict[int, int] = {}
-    subject_counts: Dict[int, int] = {}
-    cardinality = 0
-    for object_id, subjects in by_object.items():
+    columns = getattr(graph, "_columns", None)
+    if columns is not None:
+        subject_counts, object_counts, cardinality = \
+            columns.predicate_value_counts(predicate_id)
+        for ts, tp, to in getattr(graph, "_tombstones", ()):
+            if tp != predicate_id:
+                continue
+            cardinality -= 1
+            for counts, key in ((subject_counts, ts), (object_counts, to)):
+                left = counts.get(key, 0) - 1
+                if left > 0:
+                    counts[key] = left
+                else:
+                    counts.pop(key, None)
+    else:
+        subject_counts = {}
+        object_counts = {}
+        cardinality = 0
+    for object_id, subjects in graph._pos.get(predicate_id, {}).items():
         size = len(subjects)
-        object_counts[object_id] = size
+        object_counts[object_id] = object_counts.get(object_id, 0) + size
         cardinality += size
         for subject_id in subjects:
             subject_counts[subject_id] = \
@@ -367,13 +383,13 @@ class StatisticsView:
 
     def subject_count(self) -> int:
         """Distinct subjects (summed across graphs; an upper bound)."""
-        return sum(len(g._spo) for g in self.graphs)
+        return sum(g.distinct_subject_count() for g in self.graphs)
 
     def object_count(self) -> int:
-        return sum(len(g._osp) for g in self.graphs)
+        return sum(g.distinct_object_count() for g in self.graphs)
 
     def predicate_count(self) -> int:
-        return sum(len(g._pos) for g in self.graphs)
+        return sum(g.distinct_predicate_count() for g in self.graphs)
 
     # -- per-predicate counters ----------------------------------------------
 

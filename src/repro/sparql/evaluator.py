@@ -59,6 +59,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.rdf.columnar import concat_arrays
 from repro.rdf.graph import Dataset, Graph
 from repro.rdf.stats import StatisticsView
 from repro.rdf.terms import IRI, Literal, Term, Triple
@@ -259,6 +262,13 @@ class GraphSource:
     def match_ids(self, pattern: IdPattern) -> Iterator[IdTriple]:
         raise NotImplementedError
 
+    def match_arrays(self, pattern: IdPattern):
+        """The matches as positional ``(S, P, O)`` numpy arrays, or
+        ``None`` when this source cannot serve the pattern vectorized
+        (no columnar generation yet, pending tombstones, overlapping
+        union members).  ``None`` sends the caller to ``match_ids``."""
+        return None
+
     def estimate(self, pattern) -> int:
         raise NotImplementedError
 
@@ -289,6 +299,9 @@ class SingleGraphSource(GraphSource):
 
     def match_ids(self, pattern: IdPattern) -> Iterator[IdTriple]:
         return self.graph.triples_ids(pattern)
+
+    def match_arrays(self, pattern: IdPattern):
+        return self.graph.match_arrays(pattern)
 
     def estimate(self, pattern) -> int:
         return self.graph.estimate(pattern)
@@ -345,6 +358,21 @@ class UnionGraphSource(GraphSource):
                 if ids not in seen:
                     seen.add(ids)
                     yield ids
+
+    def match_arrays(self, pattern: IdPattern):
+        if not self.graphs:
+            return None
+        if len(self.graphs) == 1:
+            return self.graphs[0].match_arrays(pattern)
+        if not self.disjoint:
+            return None  # dedup needs per-triple set probes
+        parts = []
+        for graph in self.graphs:
+            arrays = graph.match_arrays(pattern)
+            if arrays is None:
+                return None
+            parts.append(arrays)
+        return concat_arrays(parts)
 
     def estimate(self, pattern) -> int:
         return sum(graph.estimate(pattern) for graph in self.graphs)
@@ -700,6 +728,84 @@ class PatternEvaluator:
                 spec.append(("c", term_id))
         return spec, new_names, probe_slots, dead
 
+    def _vector_matches(self, source: GraphSource, base: IdPattern):
+        """Vectorized ``(S, P, O)`` match arrays for ``base``, or
+        ``None`` to fall back to ``match_ids``.  Accounted exactly like
+        the per-entry scan: every matched index entry bumps the probe
+        counter and the governor's scan meter."""
+        arrays = source.match_arrays(base)
+        if arrays is None:
+            return None
+        entries = int(len(arrays[0]))
+        if PROBE_COUNTER.active:
+            PROBE_COUNTER.entries += entries
+        if self._gov is not None:
+            self._gov.charge_scan(entries)
+        return arrays
+
+    @staticmethod
+    def _masked_columns(arrays, n_positions, d_checks):
+        """Apply repeated-variable equality (``d`` spec entries) as one
+        boolean mask; return the new-variable columns post-mask plus
+        the surviving row count."""
+        mask = None
+        for position, first in d_checks:
+            eq = arrays[position] == arrays[first]
+            mask = eq if mask is None else mask & eq
+        cols = [arrays[position] for position in n_positions]
+        if mask is not None:
+            cols = [col[mask] for col in cols]
+            survivors = int(np.count_nonzero(mask))
+        else:
+            survivors = int(len(arrays[0]))
+        return cols, survivors
+
+    @staticmethod
+    def _build_hash_memo(arrays, v_positions, n_positions, d_checks,
+                         single, ext_memo) -> None:
+        """Bucket extension tuples per distinct join key, vectorized.
+
+        The matched range is sorted by its key columns (stable argsort /
+        lexsort), so each distinct key becomes one contiguous run — the
+        grouping a sorted-merge join consumes — and the runs are sliced
+        straight into the memo without per-row Python dispatch.
+        """
+        mask = None
+        for position, first in d_checks:
+            eq = arrays[position] == arrays[first]
+            mask = eq if mask is None else mask & eq
+        key_cols = [arrays[position] for position in v_positions]
+        ext_cols = [arrays[position] for position in n_positions]
+        if mask is not None:
+            key_cols = [col[mask] for col in key_cols]
+            ext_cols = [col[mask] for col in ext_cols]
+        total = int(len(key_cols[0]))
+        if not total:
+            return
+        if len(key_cols) == 1:
+            order = np.argsort(key_cols[0], kind="stable")
+        else:
+            order = np.lexsort(tuple(reversed(key_cols)))
+        key_cols = [col[order] for col in key_cols]
+        ext_cols = [col[order] for col in ext_cols]
+        changed = np.zeros(total, dtype=bool)
+        for col in key_cols:
+            changed[1:] |= col[1:] != col[:-1]
+        bounds = [0] + np.flatnonzero(changed).tolist() + [total]
+        keys_list = [col.tolist() for col in key_cols]
+        exts_list = [col.tolist() for col in ext_cols]
+        for index in range(len(bounds) - 1):
+            lo, hi = bounds[index], bounds[index + 1]
+            if single:
+                key = keys_list[0][lo]
+            else:
+                key = tuple(col[lo] for col in keys_list)
+            if exts_list:
+                ext_memo[key] = list(zip(*[col[lo:hi]
+                                           for col in exts_list]))
+            else:
+                ext_memo[key] = [()] * (hi - lo)
+
     def _step_triple(self, pattern: TriplePatternNode, source: GraphSource,
                      table: BindingTable) -> BindingTable:
         spec, new_names, probe_slots, dead = self._compile_positions(
@@ -722,18 +828,31 @@ class PatternEvaluator:
         if not probe_slots:
             # no shared variables: one scan, applied to every row
             self._last_strategy = "scan"
-            exts = []
-            for match in match_ids(base):
-                ok = True
-                ext = []
-                for position, (kind, value) in enumerate(spec):
-                    if kind == "n":
-                        ext.append(match[position])
-                    elif kind == "d" and match[position] != match[value]:
-                        ok = False
-                        break
-                if ok:
-                    exts.append(tuple(ext))
+            arrays = self._vector_matches(source, base)
+            if arrays is not None:
+                cols, survivors = self._masked_columns(
+                    arrays,
+                    [position for position, (kind, _) in enumerate(spec)
+                     if kind == "n"],
+                    [(position, value) for position, (kind, value)
+                     in enumerate(spec) if kind == "d"])
+                if cols:
+                    exts = list(zip(*[col.tolist() for col in cols]))
+                else:
+                    exts = [()] * survivors
+            else:
+                exts = []
+                for match in match_ids(base):
+                    ok = True
+                    ext = []
+                    for position, (kind, value) in enumerate(spec):
+                        if kind == "n":
+                            ext.append(match[position])
+                        elif kind == "d" and match[position] != match[value]:
+                            ok = False
+                            break
+                    if ok:
+                        exts.append(tuple(ext))
             out_rows = [row + ext for row in rows for ext in exts]
             return BindingTable(out_names, out_rows)
 
@@ -789,28 +908,37 @@ class PatternEvaluator:
         self._last_strategy = "hash" if use_hash else "probe"
         ext_memo: Dict = {}
         if use_hash:
-            # bucket extension tuples directly off one index scan
-            for match in match_ids(base):
-                if d_checks and any(match[a] != match[b]
-                                    for a, b in d_checks):
-                    continue
-                if single:
-                    key = match[v_pos0]
-                else:
-                    key = tuple(match[position] for position in v_positions)
-                if n_count == 1:
-                    ext = (match[np0],)
-                elif n_count == 2:
-                    ext = (match[np0], match[np1])
-                elif n_count == 0:
-                    ext = ()
-                else:
-                    ext = tuple(match[position] for position in n_positions)
-                got = ext_memo.get(key)
-                if got is None:
-                    ext_memo[key] = [ext]
-                else:
-                    got.append(ext)
+            # bucket extension tuples directly off one index scan; a
+            # columnar source serves the whole range as arrays and the
+            # buckets come from sorted-run grouping (merge-join style)
+            arrays = self._vector_matches(source, base)
+            if arrays is not None:
+                self._build_hash_memo(arrays, v_positions, n_positions,
+                                      d_checks, single, ext_memo)
+            else:
+                for match in match_ids(base):
+                    if d_checks and any(match[a] != match[b]
+                                        for a, b in d_checks):
+                        continue
+                    if single:
+                        key = match[v_pos0]
+                    else:
+                        key = tuple(match[position]
+                                    for position in v_positions)
+                    if n_count == 1:
+                        ext = (match[np0],)
+                    elif n_count == 2:
+                        ext = (match[np0], match[np1])
+                    elif n_count == 0:
+                        ext = ()
+                    else:
+                        ext = tuple(match[position]
+                                    for position in n_positions)
+                    got = ext_memo.get(key)
+                    if got is None:
+                        ext_memo[key] = [ext]
+                    else:
+                        got.append(ext)
 
         raw_memo: Dict = {}  # distinct key -> raw matches (capture rows)
         emit = self._emit
@@ -1000,6 +1128,30 @@ class PatternEvaluator:
                        if kind == "n"]
         d_checks = [(position, value) for position, (kind, value)
                     in enumerate(spec) if kind == "d"]
+        arrays = source.match_arrays(base)
+        if arrays is not None:
+            # vectorized scan, windowed so early termination (LIMIT)
+            # still leaves the tail untouched and unaccounted: probes
+            # and governor charges land per consumed window only
+            counter = PROBE_COUNTER
+            gov = self._gov
+            total = int(len(arrays[0]))
+            for start in range(0, total, batch):
+                stop = min(start + batch, total)
+                if counter.active:
+                    counter.entries += stop - start
+                if gov is not None:
+                    gov.charge_scan(stop - start)
+                window = tuple(col[start:stop] for col in arrays)
+                cols, survivors = self._masked_columns(
+                    window, n_positions, d_checks)
+                if cols:
+                    chunk = list(zip(*[col.tolist() for col in cols]))
+                else:
+                    chunk = [()] * survivors
+                if chunk:
+                    yield BindingTable(names, chunk)
+            return
         match_ids = source.match_ids
         if PROBE_COUNTER.active:
             match_ids = _counted(match_ids)

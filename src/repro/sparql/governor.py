@@ -207,6 +207,18 @@ class GovernorContext:
         if self.scanned % self._stride == 0:
             self.check()
 
+    def charge_scan(self, entries: int) -> None:
+        """Account ``entries`` scanned index entries at once (the
+        vectorized scan path produces a whole range per call instead of
+        per-entry ticks).  The deadline check fires on the same stride
+        boundaries :meth:`tick_scan` would have hit."""
+        if entries <= 0:
+            return
+        before = self.scanned
+        self.scanned = before + entries
+        if before // self._stride != self.scanned // self._stride:
+            self.check()
+
     def metered(self, match_ids) -> Callable:
         """Wrap a ``match_ids`` callable so its scans tick the governor."""
         def wrapped(pattern) -> Iterator:

@@ -237,16 +237,16 @@ class TestStorm:
 
     def test_graph_statistics_invariants_hold(self, storm_result):
         graph = storm_result["storm"].endpoint.dataset.default
-        # v1 counters must agree exactly with the live index contents
+        # v1 counters must agree exactly with the stored contents
+        # (both tiers: compacted columns + delta overlay)
         for pid, cardinality in graph.stats.cardinality.items():
-            actual = sum(
-                len(subjects)
-                for subjects in graph._pos.get(pid, {}).values())
-            assert cardinality == actual
+            assert cardinality == graph.count_ids((None, pid, None))
         assert sum(graph.stats.cardinality.values()) == len(graph)
-        # distinct counters match the index bucket sizes
+        # distinct counters match the distinct objects actually stored
         for pid, distinct in graph.stats.objects.items():
-            assert distinct == len(graph._pos.get(pid, {}))
+            actual = len({oi for _, _, oi
+                          in graph.triples_ids((None, pid, None))})
+            assert distinct == actual
 
     def test_endpoint_statistics_counted_every_query(self, storm_result):
         endpoint = storm_result["storm"].endpoint

@@ -1,0 +1,164 @@
+"""Unit tests for the columnar triple tier (:mod:`repro.rdf.columnar`).
+
+Every pattern shape is checked against a brute-force reference scan,
+so the staged binary-search routing cannot silently serve the wrong
+order; the merge (delta + tombstones) and dtype/ceiling edges get the
+same treatment.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rdf.columnar import TripleColumns, concat_arrays
+from repro.rdf.dictionary import OVERLAY_BASE
+
+
+def reference_scan(triples, pattern):
+    s, p, o = pattern
+    return sorted(t for t in triples
+                  if (s is None or t[0] == s)
+                  and (p is None or t[1] == p)
+                  and (o is None or t[2] == o))
+
+
+def all_patterns(triples):
+    """Every shape over a handful of present and absent ids."""
+    present = random.Random(7).sample(sorted(triples), min(5, len(triples)))
+    probes = [(s, p, o) for s, p, o in present] + [(9999, 9999, 9999)]
+    shapes = []
+    for s, p, o in probes:
+        shapes += [
+            (None, None, None), (s, None, None), (None, p, None),
+            (None, None, o), (s, p, None), (s, None, o), (None, p, o),
+            (s, p, o),
+        ]
+    return shapes
+
+
+@pytest.fixture(scope="module")
+def triples():
+    rng = random.Random(42)
+    return {(rng.randrange(40), rng.randrange(8), rng.randrange(60))
+            for _ in range(600)}
+
+
+@pytest.fixture(scope="module")
+def columns(triples):
+    return TripleColumns.build(triples)
+
+
+class TestPatternRouting:
+    def test_every_shape_matches_reference(self, columns, triples):
+        for pattern in all_patterns(triples):
+            expected = reference_scan(triples, pattern)
+            assert sorted(columns.scan(pattern)) == expected, pattern
+            assert columns.count(pattern) == len(expected), pattern
+
+    def test_arrays_agree_with_scan(self, columns, triples):
+        for pattern in all_patterns(triples):
+            s, p, o = columns.arrays(pattern)
+            rows = sorted(zip(s.tolist(), p.tolist(), o.tolist()))
+            assert rows == sorted(columns.scan(pattern))
+
+    def test_contains(self, columns, triples):
+        some = next(iter(triples))
+        assert columns.contains(*some)
+        assert not columns.contains(10**6, 1, 1)
+
+    def test_distinct_counts(self, columns, triples):
+        assert columns.n_subjects == len({t[0] for t in triples})
+        assert columns.n_predicates == len({t[1] for t in triples})
+        assert columns.n_objects == len({t[2] for t in triples})
+
+    def test_len_and_repr(self, columns, triples):
+        assert len(columns) == len(triples)
+        assert "TripleColumns" in repr(columns)
+
+
+class TestMerge:
+    def test_delta_and_tombstones_fold(self, triples):
+        base = TripleColumns.build(triples)
+        victims = set(random.Random(1).sample(sorted(triples), 25))
+        delta = {}
+        added = {(1000 + i, i % 4, 2000 + i) for i in range(50)}
+        for s, p, o in added:
+            delta.setdefault(s, {}).setdefault(p, set()).add(o)
+        merged = base.merged(delta, victims)
+        expected = (triples - victims) | added
+        assert sorted(merged.scan((None, None, None))) == sorted(expected)
+        # the receiver is untouched (pinned snapshots keep reading it)
+        assert len(base) == len(triples)
+
+    def test_merge_empty_delta_drops_only_tombstones(self, triples):
+        base = TripleColumns.build(triples)
+        victim = next(iter(triples))
+        merged = base.merged({}, {victim})
+        assert len(merged) == len(triples) - 1
+        assert not merged.contains(*victim)
+
+    def test_tombstone_for_absent_triple_is_ignored(self, triples):
+        base = TripleColumns.build(triples)
+        merged = base.merged({}, {(987654, 1, 2)})
+        assert len(merged) == len(base)
+
+
+class TestDtypeAndCeiling:
+    def test_small_ids_pack_into_int32(self, columns):
+        assert columns.arrays((None, None, None))[0].dtype == np.int32
+
+    def test_huge_ids_need_int64(self):
+        big = 1 << 40
+        cols = TripleColumns.build([(big, 1, 2)])
+        assert cols.arrays((None, None, None))[0].dtype == np.int64
+        assert cols.contains(big, 1, 2)
+
+    def test_overlay_ids_probe_empty_without_overflow(self, columns):
+        # per-query overlay ids live at 1 << 40: far outside any stored
+        # int32 id, they must short-circuit, not wrap through a cast
+        probe = OVERLAY_BASE + 17
+        assert columns.count((probe, None, None)) == 0
+        assert columns.count((None, probe, None)) == 0
+        assert columns.count((None, None, probe)) == 0
+        assert not columns.contains(probe, probe, probe)
+
+    def test_negative_ids_probe_empty(self, columns):
+        assert columns.count((-5, None, None)) == 0
+
+
+class TestEmptyAndHelpers:
+    def test_empty_columns(self):
+        empty = TripleColumns.build([])
+        assert len(empty) == 0
+        assert empty.count((None, None, None)) == 0
+        assert list(empty.scan((1, 2, 3))) == []
+        assert empty.n_subjects == 0
+
+    def test_predicate_value_counts(self, columns, triples):
+        for pid in {t[1] for t in triples}:
+            subject_counts, object_counts, cardinality = \
+                columns.predicate_value_counts(pid)
+            rows = [t for t in triples if t[1] == pid]
+            assert cardinality == len(rows)
+            assert subject_counts == {
+                s: sum(1 for t in rows if t[0] == s)
+                for s in {t[0] for t in rows}}
+            assert object_counts == {
+                o: sum(1 for t in rows if t[2] == o)
+                for o in {t[2] for t in rows}}
+        assert columns.predicate_value_counts(424242) == ({}, {}, 0)
+
+    def test_has_value_probes(self, columns, triples):
+        some = next(iter(triples))
+        assert columns.has_subject(some[0])
+        assert columns.has_predicate(some[1])
+        assert columns.has_object(some[2])
+        assert not columns.has_subject(876543)
+
+    def test_concat_arrays(self, columns):
+        part = columns.arrays((None, 1, None))
+        merged = concat_arrays([part, part])
+        assert len(merged[0]) == 2 * len(part[0])
+        single = concat_arrays([part])
+        assert single[0] is part[0]
