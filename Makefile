@@ -1,14 +1,31 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-smoke bench-baseline bench-plan \
-	bench-plan-baseline bench-stream bench-stream-baseline \
-	bench-concurrency bench-resilience bench-resilience-baseline \
-	bench-join bench-join-baseline
+.PHONY: test lint lint-baseline docs-check bench bench-smoke \
+	bench-baseline bench-plan bench-plan-baseline bench-stream \
+	bench-stream-baseline bench-concurrency bench-resilience \
+	bench-resilience-baseline bench-join bench-join-baseline
 
-## Tier-1 verification: docs doctests + the full unit/integration suite.
-test: docs-check
+## Tier-1 verification: static analysis + docs doctests + the full
+## unit/integration suite.
+test: lint docs-check
 	$(PYTHON) -m pytest -x -q
+
+## Static analysis gate: the repo-aware AST lint rules (against
+## tools/analysis/baseline.json), the PhysicalPlan verifier over the
+## generated E1-E11 + differential query corpus, and strict typing on
+## the core modules (mypy --strict when installed, the annotation
+## fallback otherwise).  Also covered by tests/test_analysis_gate.py,
+## so plain pytest catches violations too.
+lint:
+	$(PYTHON) tools/analysis/run_lint.py
+	$(PYTHON) tools/analysis/plan_verifier.py
+	$(PYTHON) tools/analysis/strict_typing.py
+
+## Accept the current lint findings into the checked-in baseline
+## (justify every new entry in the PR).
+lint-baseline:
+	$(PYTHON) tools/analysis/run_lint.py --update-baseline
 
 ## Run the doctests embedded in README.md and docs/*.md (also covered
 ## by tests/test_docs.py, so plain pytest catches stale docs too).

@@ -66,7 +66,7 @@ __all__ = ["TripleColumns", "concat_arrays"]
 _ORDER_KEYS = {"spo": (0, 1, 2), "pos": (1, 2, 0), "osp": (2, 0, 1)}
 
 
-def _dtype_for(max_id: int):
+def _dtype_for(max_id: int) -> type:
     """Smallest signed integer dtype able to hold ``max_id``."""
     return np.int32 if max_id < np.iinfo(np.int32).max else np.int64
 

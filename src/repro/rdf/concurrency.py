@@ -78,7 +78,7 @@ class CountedRLock:
         self.acquire()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self._lock.release()
 
     def __repr__(self) -> str:

@@ -58,9 +58,12 @@ plan-cache key space small (see ``selectivity bands`` in
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.rdf.terms import Term
+
+if TYPE_CHECKING:  # import cycle: graph.py imports this module
+    from repro.rdf.graph import Graph
 
 __all__ = [
     "GraphStats",
@@ -238,7 +241,8 @@ def _split_mcv(counts: Dict[int, int]
     return mcv, ranked[MCV_SIZE:]
 
 
-def build_predicate_summary(graph, predicate_id: int) -> PredicateSummary:
+def build_predicate_summary(graph: "Graph",
+                            predicate_id: int) -> PredicateSummary:
     """Build the value-aware summary for one predicate of ``graph``.
 
     Reads both storage tiers once: the compacted columns answer with a
@@ -489,7 +493,7 @@ class StatisticsView:
                 f"{self.triple_count()} triples>")
 
 
-def statistics_for(source) -> Optional[StatisticsView]:
+def statistics_for(source: object) -> Optional[StatisticsView]:
     """The :class:`StatisticsView` of any plannable source.
 
     Graphs, union views and the evaluator's graph sources all expose a

@@ -233,7 +233,8 @@ class _TurtleParser:
 
     def _blank_node_property_list(self) -> BNode:
         open_token = self._next()  # consume '['
-        assert open_token.text == "["
+        if open_token.text != "[":
+            raise ParseError("expected '['", open_token.line)
         node = BNode()
         token = self._peek()
         if token.kind == "PUNCT" and token.text == "]":
@@ -245,7 +246,8 @@ class _TurtleParser:
 
     def _collection(self) -> Term:
         open_token = self._next()  # consume '('
-        assert open_token.text == "("
+        if open_token.text != "(":
+            raise ParseError("expected '('", open_token.line)
         items: List[Term] = []
         while True:
             token = self._peek()

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.rdf.concurrency import CONCURRENCY
+from repro.rdf.errors import TermError
 from repro.rdf.graph import Dataset, DatasetSnapshot, Graph
 from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
 from repro.sparql.algebra import (
@@ -327,7 +328,9 @@ class LocalEndpoint:
             raise
         except SPARQLError:
             raise  # parse/expression errors are already typed
-        except Exception as error:
+        # This handler IS the sanctioned taxonomy boundary: the one
+        # place untyped engine failures become QueryExecutionError.
+        except Exception as error:  # repro: allow[error-taxonomy]
             GOVERNOR.record("mapped_internal_errors")
             with self._stats_lock:
                 self.statistics.governor_internal_errors += 1
@@ -628,8 +631,8 @@ class LocalEndpoint:
             before = len(target)
             try:
                 target.add(s, p, o)
-            except Exception as error:
-                raise UpdateError(f"cannot insert quad: {error}")
+            except (TermError, TypeError, ValueError) as error:
+                raise UpdateError(f"cannot insert quad: {error}") from error
             added += len(target) - before
         with self._stats_lock:
             self.statistics.triples_inserted += added

@@ -37,8 +37,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, Optional
 
 from repro.sparql.errors import (
     EndpointOverloaded,
@@ -219,9 +219,9 @@ class GovernorContext:
         if before // self._stride != self.scanned // self._stride:
             self.check()
 
-    def metered(self, match_ids) -> Callable:
+    def metered(self, match_ids: Callable[..., Iterable]) -> Callable:
         """Wrap a ``match_ids`` callable so its scans tick the governor."""
-        def wrapped(pattern) -> Iterator:
+        def wrapped(pattern: object) -> Iterator:
             for ids in match_ids(pattern):
                 self.tick_scan()
                 yield ids
@@ -247,7 +247,7 @@ class _AdmissionSlot:
     def __enter__(self) -> "_AdmissionSlot":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.release()
 
 
@@ -329,17 +329,13 @@ class QueryGovernor:
     the optional concurrent-slot controller.
     """
 
-    defaults: QueryLimits = None  # type: ignore[assignment]
+    defaults: QueryLimits = field(default_factory=QueryLimits)
     admission: Optional[AdmissionController] = None
-
-    def __post_init__(self) -> None:
-        if self.defaults is None:
-            self.defaults = QueryLimits()
 
     @classmethod
     def for_serving(cls, max_concurrent: int = 8, max_queue: int = 16,
                     queue_timeout: Optional[float] = 1.0,
-                    **limit_fields) -> "QueryGovernor":
+                    **limit_fields: object) -> "QueryGovernor":
         """A production-shaped governor in one call."""
         return cls(defaults=QueryLimits(**limit_fields),
                    admission=AdmissionController(
@@ -467,7 +463,8 @@ def retry_with_backoff(operation: Callable[[], object], *,
                        max_delay: float = 1.0,
                        retry_on: tuple = (Exception,),
                        breaker: Optional[CircuitBreaker] = None,
-                       sleep: Callable[[float], None] = time.sleep):
+                       sleep: Callable[[float], None] = time.sleep
+                       ) -> object:
     """Run ``operation`` with bounded exponential-backoff retries.
 
     Delays are ``base_delay * 2**attempt`` capped at ``max_delay`` —
@@ -494,4 +491,8 @@ def retry_with_backoff(operation: Callable[[], object], *,
         if breaker is not None:
             breaker.record_success()
         return result
-    raise last  # type: ignore[misc]
+    if last is None:
+        # only reachable with attempts < 1: the loop never ran, so
+        # there is no operation outcome to report
+        raise ValueError("retry_with_backoff needs attempts >= 1")
+    raise last

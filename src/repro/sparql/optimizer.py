@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import logging
 import math
+import os
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -105,6 +106,14 @@ CONSTANT_AWARE = True
 #: one cached plan, so the cache grows per *order of magnitude* of
 #: skew, not per constant.
 SELECTIVITY_BAND_BASE = 8
+
+#: Debug flag: verify every freshly planned :class:`PhysicalPlan`
+#: against the IR well-formedness conditions before it enters the plan
+#: cache (:mod:`repro.sparql.plan_verifier`).  Off by default — CI
+#: exercises the same checks offline over a generated corpus; set the
+#: ``REPRO_VERIFY_PLANS`` environment variable (any non-empty value
+#: other than ``0``) to pay one verification per cache insert.
+VERIFY_PLANS = os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
 
 
 def selectivity_band(estimate: float) -> int:
@@ -994,6 +1003,11 @@ def get_plan(node: BGP, bound_names: frozenset, source) -> PhysicalPlan:
     if plan is None:
         plan = plan_physical(node.patterns, source, relevant)
         plan.bands = bands
+        if VERIFY_PLANS:
+            # debug-flag hook: verify the IR before the plan becomes
+            # reusable state (one check per cache insert, not per query)
+            from repro.sparql.plan_verifier import verify_plan
+            verify_plan(plan, node.patterns, relevant)
         PLAN_CACHE.note_bands(shape_key, bands)
         PLAN_CACHE.put(key, plan, params)
     return plan

@@ -1,0 +1,297 @@
+"""Good/bad fixture pairs for every lint rule.
+
+Each rule must flag its bad fixture, pass its good one, and respect
+the ``# repro: allow[rule-id]`` suppression pragma.  Fixtures are
+linted through :func:`analysis.lint.lint_source` under a *claimed*
+repo path, so each snippet exercises exactly the rules that would
+apply to a real file at that location.
+"""
+
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from analysis.lint import Baseline, Finding, lint_source  # noqa: E402
+from analysis.rules import ALL_RULES, RULES_BY_ID  # noqa: E402
+
+
+def findings_for(source: str, path: str, rule_id: str):
+    return [finding for finding in lint_source(textwrap.dedent(source), path)
+            if finding.rule == rule_id]
+
+
+GRAPH = "src/repro/rdf/graph.py"
+ENDPOINT = "src/repro/sparql/endpoint.py"
+EVALUATOR = "src/repro/sparql/evaluator.py"
+COLUMNAR = "src/repro/rdf/columnar.py"
+TESTFILE = "tests/test_example.py"
+LIBRARY = "src/repro/olap/example.py"
+
+#: rule id -> (bad fixture, claimed path, good fixture)
+FIXTURES = {
+    "lock-discipline": (
+        """
+        class Graph:
+            def add(self, triple):
+                self._spo.add(triple)
+        """,
+        GRAPH,
+        """
+        class Graph:
+            def add(self, triple):
+                with self._lock:
+                    self._spo.add(triple)
+
+            def _compact(self):
+                \"\"\"Fold the overlay down.  Caller must hold the lock.\"\"\"
+                self._columns = None
+        """,
+    ),
+    "snapshot-discipline": (
+        """
+        class LocalEndpoint:
+            def select(self, query):
+                return evaluate(self.dataset, query)
+        """,
+        ENDPOINT,
+        """
+        class LocalEndpoint:
+            def select(self, query):
+                snapshot = self._pin()
+                return evaluate(snapshot, query)
+
+            def explain(self, query):
+                snapshot = self.dataset.snapshot()
+                return explain(snapshot, query)
+
+            def update(self, query):
+                return apply(self.dataset, query)
+        """,
+    ),
+    "governor-discipline": (
+        """
+        class Evaluator:
+            def count_matches(self, source, pattern):
+                total = 0
+                for ids in source.match_ids(pattern):
+                    total += 1
+                return total
+        """,
+        EVALUATOR,
+        """
+        class Evaluator:
+            def count_matches(self, source, pattern):
+                total = 0
+                for ids in source.match_ids(pattern):
+                    self._gov.tick_scan()
+                    total += 1
+                return total
+
+            def match_ids(self, pattern):
+                return self.graph.match_ids(pattern)
+        """,
+    ),
+    "error-taxonomy": (
+        """
+        def serve(query):
+            try:
+                return run(query)
+            except Exception:
+                raise RuntimeError("boom")
+        """,
+        ENDPOINT,
+        """
+        def serve(query):
+            try:
+                return run(query)
+            except ValueError as error:
+                raise UpdateError(str(error)) from error
+        """,
+    ),
+    "columnar-dtype-safety": (
+        """
+        def narrow(subjects, np):
+            return subjects.astype(np.int32)
+        """,
+        COLUMNAR,
+        """
+        def narrow(subjects, np):
+            return subjects.astype(_dtype_for(int(subjects.max())))
+
+        def empty(np):
+            return np.empty(0, dtype=np.int32)
+        """,
+    ),
+    "test-determinism": (
+        """
+        import random
+
+        def test_sample():
+            assert random.randint(0, 5) >= 0
+        """,
+        TESTFILE,
+        """
+        import random
+
+        def test_sample():
+            rng = random.Random(7)
+            assert rng.randint(0, 5) >= 0
+        """,
+    ),
+    "mutable-default": (
+        """
+        def collect(item, into=[]):
+            into.append(item)
+            return into
+        """,
+        LIBRARY,
+        """
+        def collect(item, into=None):
+            if into is None:
+                into = []
+            into.append(item)
+            return into
+        """,
+    ),
+    "assert-validation": (
+        """
+        def admit(count):
+            assert count > 0
+            return count
+        """,
+        LIBRARY,
+        """
+        def admit(count):
+            assert isinstance(count, int)
+            if count <= 0:
+                raise ValueError("count must be positive")
+            return count
+        """,
+    ),
+}
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert set(FIXTURES) == set(RULES_BY_ID)
+    assert len(ALL_RULES) >= 6
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_bad_fixture_is_flagged(rule_id):
+    bad, path, _good = FIXTURES[rule_id]
+    found = findings_for(bad, path, rule_id)
+    assert found, f"{rule_id} missed its bad fixture"
+    assert all(finding.rule == rule_id for finding in found)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_good_fixture_passes(rule_id):
+    _bad, path, good = FIXTURES[rule_id]
+    assert findings_for(good, path, rule_id) == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_pragma_suppresses(rule_id):
+    bad, path, _good = FIXTURES[rule_id]
+    flagged = findings_for(bad, path, rule_id)
+    lines = textwrap.dedent(bad).splitlines()
+    for finding in sorted(flagged, key=lambda f: f.line, reverse=True):
+        # own-line style: pragma on the line above the finding
+        # (inserted bottom-up so earlier insertions don't shift lines)
+        lines.insert(finding.line - 1,
+                     f"# repro: allow[{rule_id}]  # fixture")
+    suppressed = "\n".join(lines)
+    assert [finding for finding in lint_source(suppressed, path)
+            if finding.rule == rule_id] == []
+
+
+def test_pragma_only_suppresses_named_rule():
+    bad, path, _good = FIXTURES["mutable-default"]
+    lines = textwrap.dedent(bad).splitlines()
+    flagged = findings_for(bad, path, "mutable-default")
+    for finding in flagged:
+        lines.insert(finding.line - 1, "# repro: allow[assert-validation]")
+    still = "\n".join(lines)
+    assert [finding for finding in lint_source(still, path)
+            if finding.rule == "mutable-default"]
+
+
+# -- more-precise behaviour pinned per rule ---------------------------------
+
+
+def test_lock_discipline_ignores_unprotected_attributes():
+    source = """
+    class Graph:
+        def touch(self):
+            self.note = 1
+            summary.epoch = self.epoch
+    """
+    assert findings_for(source, GRAPH, "lock-discipline") == []
+
+
+def test_snapshot_discipline_allows_write_paths():
+    source = """
+    class LocalEndpoint:
+        def insert_triples(self, triples):
+            self.dataset.default.add_all(triples)
+    """
+    assert findings_for(source, ENDPOINT, "snapshot-discipline") == []
+
+
+def test_error_taxonomy_allows_typed_raises():
+    source = """
+    def serve(query):
+        raise QueryTimeout("deadline")
+    """
+    assert findings_for(source, ENDPOINT, "error-taxonomy") == []
+
+
+def test_determinism_flags_wall_clock_asserts():
+    source = """
+    import time
+
+    def test_latency(run):
+        start = time.monotonic()
+        run()
+        assert time.time() - start < 1.0
+    """
+    found = findings_for(source, TESTFILE, "test-determinism")
+    assert found and "wall clock" in found[0].message
+
+
+def test_rules_scoped_to_their_paths():
+    bad, _path, _good = FIXTURES["lock-discipline"]
+    # the same snippet under an unrelated path triggers nothing
+    assert findings_for(bad, "src/repro/olap/engine.py",
+                        "lock-discipline") == []
+
+
+# -- baseline mechanics ------------------------------------------------------
+
+
+def test_baseline_split_new_accepted_stale():
+    finding = Finding("mutable-default", LIBRARY, 3, "msg",
+                      "def collect(item, into=[]):")
+    other = Finding("mutable-default", LIBRARY, 9, "msg",
+                    "def gather(item, into={}):")
+    baseline = Baseline({finding.fingerprint: "accepted"})
+    new, accepted, stale = baseline.split([finding, other])
+    assert accepted == [finding]
+    assert new == [other]
+    assert stale == []
+    new, accepted, stale = baseline.split([other])
+    assert stale == [finding.fingerprint]
+
+
+def test_fingerprint_tracks_content_not_line():
+    a = Finding("assert-validation", LIBRARY, 3, "msg", "assert count > 0")
+    b = Finding("assert-validation", LIBRARY, 30, "msg", "assert count > 0")
+    c = Finding("assert-validation", LIBRARY, 3, "msg", "assert size > 0")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint

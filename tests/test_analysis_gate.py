@@ -1,0 +1,36 @@
+"""The static-analysis gate must pass (make lint).
+
+Runs the same three checkers as the Makefile target inside the tier-1
+suite, so ``pytest`` alone fails when a lint rule finds a new
+violation, a generated plan stops verifying, or a core module loses
+its strict typing.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+GATES = {
+    "lint": ROOT / "tools" / "analysis" / "run_lint.py",
+    "plan-verifier": ROOT / "tools" / "analysis" / "plan_verifier.py",
+    "strict-typing": ROOT / "tools" / "analysis" / "strict_typing.py",
+}
+
+
+@pytest.mark.parametrize("gate", sorted(GATES))
+def test_analysis_gate_passes(gate):
+    result = subprocess.run(
+        [sys.executable, str(GATES[gate])],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=str(ROOT))
+    assert result.returncode == 0, (
+        f"{gate} gate failed:\n{result.stdout}\n{result.stderr}")
+
+
+def test_baseline_is_checked_in():
+    assert (ROOT / "tools" / "analysis" / "baseline.json").exists()

@@ -24,5 +24,6 @@ def test_docs_examples_execute():
 
 def test_required_docs_exist():
     for name in ("README.md", "docs/architecture.md",
-                 "docs/statistics.md", "docs/performance.md"):
+                 "docs/statistics.md", "docs/performance.md",
+                 "docs/analysis.md"):
         assert (ROOT / name).exists(), f"{name} is missing"

@@ -1,0 +1,113 @@
+"""Offline plan-verifier harness: the generated query corpus in CI.
+
+Re-exports the IR checks from :mod:`repro.sparql.plan_verifier` (the
+importable core the optimizer's ``REPRO_VERIFY_PLANS`` runtime hook
+uses) and, as a CLI, drives them over the repository's generated plan
+corpus: every E1–E11-shaped query from the columnar differential
+suite plus the streaming differential corpus is executed against a
+populated endpoint with plan verification forced on, so each freshly
+planned :class:`PhysicalPlan` is checked before it enters the plan
+cache.  Exit status 0 when every plan verifies; 1 with the offending
+query and step otherwise.
+
+Usage::
+
+    python tools/analysis/plan_verifier.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+for entry in (REPO_ROOT / "src", REPO_ROOT):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from repro.sparql.plan_verifier import (  # noqa: E402,F401  (re-export)
+    PlanVerificationError,
+    collect_violations,
+    verify_plan,
+)
+
+
+def corpus() -> List[str]:
+    """The generated plan corpus: E1–E11 shapes + differential suite."""
+    from tests.sparql.test_columnar_equivalence import CORPUS
+    from tests.sparql.test_streaming_equivalence import DIFFERENTIAL_QUERIES
+    queries: List[str] = []
+    for query in list(CORPUS) + list(DIFFERENTIAL_QUERIES):
+        if query not in queries:
+            queries.append(query)
+    return queries
+
+
+def _query_form(query: str) -> str:
+    upper = query.upper()
+    for form in ("SELECT", "ASK", "CONSTRUCT", "DESCRIBE"):
+        position = upper.find(form)
+        if position != -1:
+            return form
+    return "SELECT"
+
+
+def run_corpus() -> Tuple[int, int, List[str]]:
+    """``(queries, plans_verified, failures)`` over the full corpus."""
+    import repro.sparql.optimizer as optimizer
+    import repro.sparql.plan_verifier as core
+    from repro.sparql import LocalEndpoint
+    from tests.sparql.test_columnar_equivalence import populate
+
+    endpoint = LocalEndpoint()
+    populate(endpoint)
+
+    verified = {"plans": 0}
+    real_verify = core.verify_plan
+
+    def counting_verify(plan, patterns=None,
+                        bound_names=frozenset()) -> None:
+        verified["plans"] += 1
+        real_verify(plan, patterns, bound_names)
+
+    failures: List[str] = []
+    queries = corpus()
+    saved_flag = optimizer.VERIFY_PLANS
+    optimizer.VERIFY_PLANS = True
+    core.verify_plan = counting_verify
+    try:
+        for query in queries:
+            form = _query_form(query)
+            try:
+                if form == "ASK":
+                    endpoint.ask(query)
+                elif form == "CONSTRUCT":
+                    endpoint.construct(query)
+                elif form == "DESCRIBE":
+                    endpoint.describe(query)
+                else:
+                    endpoint.select(query)
+            except PlanVerificationError as error:
+                failures.append(f"{error}\n  query: {' '.join(query.split())}")
+    finally:
+        optimizer.VERIFY_PLANS = saved_flag
+        core.verify_plan = real_verify
+    return len(queries), verified["plans"], failures
+
+
+def main() -> int:
+    queries, plans, failures = run_corpus()
+    for failure in failures:
+        print(f"plan-verifier FAILURE: {failure}")
+    print(f"plan-verifier: {queries} corpus queries, {plans} plan(s) "
+          f"verified, {len(failures)} failure(s)")
+    if plans == 0:
+        print("plan-verifier FAILURE: no plans were verified — the "
+              "runtime hook did not fire")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,668 @@
+"""The repo-aware lint rules.
+
+Each rule encodes one hand-enforced discipline of the engine as a
+mechanical check.  They are deliberately scoped to the files whose
+conventions they understand (see each rule's ``applies_to``) — this is
+a repo linter, not a general-purpose one.
+
+Rule catalog (ids are the ``# repro: allow[...]`` suppression keys):
+
+``lock-discipline``
+    Graph/Dataset index state may only be mutated under the write lock
+    (``with self._lock`` / a helper documented to hold it).
+``snapshot-discipline``
+    Endpoint read paths must evaluate against pinned snapshots, never
+    the live dataset.
+``governor-discipline``
+    Evaluator functions that consume scan/match batches must charge
+    the governor.
+``error-taxonomy``
+    No ``except Exception`` and no raw builtin raises on the
+    endpoint/evaluator/governor paths outside the sanctioned wrappers.
+``columnar-dtype-safety``
+    No silent int64->int32 narrowing; no numpy ops on overlay dict
+    tiers.
+``test-determinism``
+    No unseeded global randomness, no wall-clock-dependent assertions
+    in tests/benchmarks.
+``mutable-default``
+    No mutable default arguments anywhere in ``src/``.
+``assert-validation``
+    No ``assert``-as-validation in non-test code (isinstance
+    narrowing excepted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from analysis.lint import Finding, Rule
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def ancestors(node: ast.AST,
+              parents: Dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    while node in parents:
+        node = parents[node]
+        yield node
+
+
+def enclosing_function(node: ast.AST, parents: Dict[ast.AST, ast.AST]
+                       ) -> Optional[ast.FunctionDef]:
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_class(node: ast.AST, parents: Dict[ast.AST, ast.AST]
+                    ) -> Optional[ast.ClassDef]:
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def dotted_names(node: ast.AST) -> Set[str]:
+    """Every plain and dotted name referenced inside ``node``."""
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+            parts: List[str] = []
+            current: ast.AST = sub
+            while isinstance(current, ast.Attribute):
+                parts.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                parts.append(current.id)
+                names.add(".".join(reversed(parts)))
+    return names
+
+
+def called_names(node: ast.AST) -> Set[str]:
+    """The (last-attribute or plain) names of every call in ``node``."""
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else None.
+
+    Restricting to the literal ``self`` receiver keeps the protected-
+    attribute rules precise: ``summary.epoch = self.epoch`` mutates a
+    per-predicate summary, not graph index state, and must not fire.
+    """
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+class LockDisciplineRule(Rule):
+    """Index-state mutation only under the write lock.
+
+    The snapshot-epoch protocol (PR 5) requires every mutation of a
+    graph's id-keyed index state to happen with the per-dataset write
+    lock held: the lock is what makes a mutation call an atomic unit
+    w.r.t. snapshot publication.  This rule flags any assignment to, or
+    mutating call on, the protected attributes outside a ``with
+    self._lock`` / ``locked()`` block — unless the enclosing helper's
+    docstring documents the lock contract (``"must hold the lock"`` et
+    al.), which is how ``_compact`` / ``_unshare`` are sanctioned.
+    """
+
+    id = "lock-discipline"
+    title = "graph index state mutated only under the write lock"
+    rationale = ("unlocked index mutation tears pinned snapshots and "
+                 "breaks the atomic-batch guarantee of add_all/locked()")
+
+    #: attributes making up Graph/Dataset index state
+    PROTECTED = {"_spo", "_pos", "_osp", "_tombstones", "_columns",
+                 "_delta_size", "_size", "_shared", "_snapshot", "epoch",
+                 "_graphs"}
+    #: method calls that mutate their receiver
+    MUTATORS = {"add", "discard", "remove", "clear", "update", "pop",
+                "setdefault", "append", "extend", "add_all"}
+    #: free functions that mutate an index passed as their first arg
+    INDEX_HELPERS = {"_index_add", "_index_remove"}
+    #: docstring markers sanctioning a lock-holding helper
+    LOCK_DOC_MARKERS = ("must hold the lock", "under the write lock",
+                        "holding the lock", "lock is held",
+                        "caller holds the lock")
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("repro/rdf/graph.py")
+
+    def _holds_lock(self, node: ast.AST,
+                    parents: Dict[ast.AST, ast.AST]) -> bool:
+        for ancestor in ancestors(node, parents):
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    expr = item.context_expr
+                    names = dotted_names(expr)
+                    if ("self._lock" in names or "locked" in names
+                            or "_lock" in names):
+                        return True
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                if ancestor.name == "__init__":
+                    return True  # construction precedes publication
+                doc = ast.get_docstring(ancestor) or ""
+                lowered = doc.lower()
+                if any(marker in lowered
+                       for marker in self.LOCK_DOC_MARKERS):
+                    return True
+        return False
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        parents = parent_map(tree)
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            if not self._holds_lock(node, parents):
+                findings.append(self.finding(
+                    path, node,
+                    f"{what} outside the write lock (wrap in `with "
+                    f"self._lock:` or document the lock contract in "
+                    f"the helper's docstring)", lines))
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr in self.PROTECTED:
+                        flag(node, f"assignment to protected index "
+                                   f"state `{attr}`")
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in self.MUTATORS:
+                    attr = _self_attr(func.value)
+                    if attr in self.PROTECTED:
+                        flag(node, f"mutating call `.{func.attr}()` on "
+                                   f"protected index state `{attr}`")
+                elif isinstance(func, ast.Name) \
+                        and func.id in self.INDEX_HELPERS:
+                    for arg in node.args[:1]:
+                        attr = _self_attr(arg)
+                        if attr in self.PROTECTED:
+                            flag(node, f"index helper `{func.id}` on "
+                                       f"protected state `{attr}`")
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# snapshot-discipline
+# ---------------------------------------------------------------------------
+
+
+class SnapshotDisciplineRule(Rule):
+    """Endpoint read paths evaluate pinned snapshots, not live state.
+
+    Every read request must pin a :class:`DatasetSnapshot` (via
+    ``self._pin()`` or ``dataset.snapshot()``) and evaluate entirely
+    against it — handing the *live* dataset to an evaluation context
+    reintroduces torn reads under concurrent writers.  The rule flags
+    any use of ``self.dataset`` inside the read-path methods that is
+    not a ``.snapshot()`` receiver.
+    """
+
+    id = "snapshot-discipline"
+    title = "read paths must evaluate against pinned snapshots"
+    rationale = ("a live-index read races concurrent writers: results "
+                 "can tear mid-query, which snapshot isolation exists "
+                 "to prevent")
+
+    READ_METHODS = {"select", "ask", "construct", "describe", "query",
+                    "explain"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("repro/sparql/endpoint.py")
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        parents = parent_map(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Attribute)
+                    and node.attr == "dataset"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                continue
+            function = enclosing_function(node, parents)
+            if function is None or function.name not in self.READ_METHODS:
+                continue
+            # sanctioned shape: self.dataset.snapshot()
+            parent = parents.get(node)
+            grand = parents.get(parent) if parent is not None else None
+            if (isinstance(parent, ast.Attribute)
+                    and parent.attr == "snapshot"
+                    and isinstance(grand, ast.Call)
+                    and grand.func is parent):
+                continue
+            findings.append(self.finding(
+                path, node,
+                f"read method `{function.name}` touches the live "
+                f"`self.dataset` (pin a snapshot via `self._pin()` / "
+                f"`.snapshot()` instead)", lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# governor-discipline
+# ---------------------------------------------------------------------------
+
+
+class GovernorDisciplineRule(Rule):
+    """Batch-consuming evaluator code must charge the governor.
+
+    Deadlines/budgets are enforced *cooperatively* at batch boundaries
+    (PR 6): a new loop that pulls scan or match batches without
+    charging the governor is invisible to limits and can run away.
+    The rule flags any evaluator function that calls a *raw* batch
+    producer — the uncharged id-level reads ``match_ids`` /
+    ``match_arrays`` / ``triples_ids`` — without referencing the
+    governor (a charge call or ``self._gov``) anywhere in its body.
+    Internally-charged producers (``_scan_chunks``, ``_vector_matches``,
+    ``stream_tables``) pay at production time, so consuming *them*
+    needs no further charge; and functions that merely *delegate* a
+    producer (``match_arrays`` forwarding to a member graph) are
+    exempt.
+    """
+
+    id = "governor-discipline"
+    title = "batch consumers must charge the governor"
+    rationale = ("an uncharged batch loop escapes deadlines and "
+                 "budgets: one such query can hold a slot forever")
+
+    BATCH_PRODUCERS = {"match_arrays", "triples_ids", "match_ids"}
+    GOVERNOR_MARKS = {"charge_rows", "charge_scan", "tick_scan", "check",
+                      "metered", "_gov", "governor"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("repro/sparql/evaluator.py")
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name in self.BATCH_PRODUCERS:
+                continue  # delegation wrapper, charged by its consumer
+            produced = called_names(node) & self.BATCH_PRODUCERS
+            if not produced:
+                continue
+            names = dotted_names(node) | called_names(node)
+            if names & self.GOVERNOR_MARKS:
+                continue
+            findings.append(self.finding(
+                path, node,
+                f"`{node.name}` consumes scan/match batches "
+                f"({', '.join(sorted(produced))}) without charging the "
+                f"governor (charge_rows/charge_scan/tick_scan or "
+                f"metered())", lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# error-taxonomy
+# ---------------------------------------------------------------------------
+
+
+class ErrorTaxonomyRule(Rule):
+    """Typed errors only on the serving path.
+
+    Callers of the endpoint catch :class:`SPARQLError` subclasses with
+    machine-readable codes; a ``except Exception`` handler or a raw
+    builtin ``raise`` smuggles untyped failures past that contract.
+    The one sanctioned ``except Exception`` is the endpoint's
+    ``_mapped_errors`` wrapper — it carries an ``allow`` pragma and a
+    comment explaining that it *is* the taxonomy boundary.
+    """
+
+    id = "error-taxonomy"
+    title = "no bare except/raise on the serving path"
+    rationale = ("the endpoint contract is typed SPARQLError subclasses "
+                 "with stable codes; bare handlers and builtin raises "
+                 "leak engine internals to callers")
+
+    RAW_RAISES = {"Exception", "BaseException", "RuntimeError"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(("repro/sparql/endpoint.py",
+                              "repro/sparql/evaluator.py",
+                              "repro/sparql/governor.py"))
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                broad = node.type is None or (
+                    isinstance(node.type, ast.Name)
+                    and node.type.id in ("Exception", "BaseException"))
+                if broad:
+                    caught = (node.type.id
+                              if isinstance(node.type, ast.Name)
+                              else "everything")
+                    findings.append(self.finding(
+                        path, node,
+                        f"handler catches bare `{caught}` on the "
+                        f"serving path (catch typed SPARQLError "
+                        f"subclasses, or pragma the sanctioned "
+                        f"wrapper)", lines))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) \
+                        and isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                if name in self.RAW_RAISES:
+                    findings.append(self.finding(
+                        path, node,
+                        f"raw `raise {name}` on the serving path "
+                        f"(raise a typed EndpointError subclass with a "
+                        f"machine-readable code)", lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# columnar-dtype-safety
+# ---------------------------------------------------------------------------
+
+
+class ColumnarDtypeSafetyRule(Rule):
+    """No silent int64->int32 narrowing; no numpy over dict tiers.
+
+    The columnar tier stores int32 only after proving every id fits
+    (:func:`_dtype_for` via ``np.iinfo``); a hard-coded
+    ``astype(np.int32)`` elsewhere silently truncates large
+    dictionaries.  And the delta overlay is a dict-of-dict-of-set —
+    handing it to a numpy constructor builds an object array that
+    *looks* like it works and is quadratically slow / semantically
+    wrong.
+    """
+
+    id = "columnar-dtype-safety"
+    title = "no unguarded int32 narrowing, no numpy over overlay dicts"
+    rationale = ("a hard-coded int32 cast truncates ids beyond 2^31 "
+                 "silently; numpy applied to the dict overlay builds "
+                 "object arrays that scan wrong")
+
+    #: enclosing-function references that prove the cast is guarded
+    GUARDS = {"_dtype_for", "iinfo"}
+    #: numpy constructors/ops that must not receive a dict tier
+    NP_CONSUMERS = {"asarray", "array", "concatenate", "stack", "unique",
+                    "sort", "lexsort", "searchsorted"}
+    OVERLAY_TIERS = {"_spo", "_pos", "_osp", "overlay", "_tombstones"}
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/rdf/" in path or path.endswith(
+            "repro/sparql/evaluator.py")
+
+    @staticmethod
+    def _is_int32(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "int32":
+            return True
+        return isinstance(node, ast.Constant) and node.value == "int32"
+
+    @staticmethod
+    def _is_zero_length(call: ast.Call) -> bool:
+        return bool(call.args) and isinstance(call.args[0], ast.Constant) \
+            and call.args[0].value == 0
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        parents = parent_map(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # --- narrowing casts -------------------------------------------
+            narrow = False
+            if isinstance(func, ast.Attribute) and func.attr == "astype" \
+                    and node.args and self._is_int32(node.args[0]):
+                narrow = True
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" and self._is_int32(keyword.value):
+                    if not (isinstance(func, ast.Attribute)
+                            and func.attr in ("empty", "zeros", "ones")
+                            and self._is_zero_length(node)):
+                        narrow = True
+            if narrow:
+                function = enclosing_function(node, parents)
+                guard_scope = function if function is not None else tree
+                if not (called_names(guard_scope) & self.GUARDS):
+                    findings.append(self.finding(
+                        path, node,
+                        "hard-coded int32 narrowing without a fits "
+                        "guard (size the dtype via _dtype_for / "
+                        "np.iinfo, or prove the range)", lines))
+            # --- numpy over overlay dict tiers -----------------------------
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in ("np", "numpy") \
+                    and func.attr in self.NP_CONSUMERS:
+                for arg in node.args:
+                    attr = _self_attr(arg)
+                    if attr in self.OVERLAY_TIERS:
+                        findings.append(self.finding(
+                            path, node,
+                            f"numpy `{func.attr}` applied to overlay "
+                            f"dict tier `{attr}` (materialize ids "
+                            f"explicitly first — the overlay is a "
+                            f"dict-of-dict-of-set, not an array)",
+                            lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# test-determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismRule(Rule):
+    """Tests and benchmarks must be deterministic.
+
+    Global-RNG calls (``random.random()``, legacy ``np.random.*``)
+    derive from process-wide hidden state; a test that flakes under
+    them wastes every future CI run.  Wall-clock reads inside
+    assertions make results depend on the machine's load and the time
+    of day.  Seeded instances (``random.Random(seed)``,
+    ``np.random.default_rng(seed)``) are the sanctioned pattern.
+    """
+
+    id = "test-determinism"
+    title = "no unseeded randomness / wall-clock asserts in tests"
+    rationale = ("unseeded randomness makes failures unreproducible; "
+                 "wall-clock assertions flake under load")
+
+    RANDOM_FUNCS = {"random", "randint", "randrange", "choice", "choices",
+                    "shuffle", "sample", "uniform", "gauss", "betavariate",
+                    "expovariate", "normalvariate"}
+    NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence"}
+    WALL_CLOCK = {"time.time", "datetime.now", "datetime.utcnow",
+                  "date.today"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(("tests/", "benchmarks/"))
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and isinstance(func.value, ast.Name):
+                    owner, attr = func.value.id, func.attr
+                    if owner == "random" and attr in self.RANDOM_FUNCS:
+                        findings.append(self.finding(
+                            path, node,
+                            f"global-RNG call `random.{attr}()` (use a "
+                            f"seeded `random.Random(seed)` instance)",
+                            lines))
+                    elif owner == "random" and attr == "seed" \
+                            and not node.args:
+                        findings.append(self.finding(
+                            path, node,
+                            "`random.seed()` without a seed value",
+                            lines))
+                elif isinstance(func, ast.Attribute) \
+                        and isinstance(func.value, ast.Attribute) \
+                        and func.value.attr == "random" \
+                        and isinstance(func.value.value, ast.Name) \
+                        and func.value.value.id in ("np", "numpy") \
+                        and func.attr not in self.NP_RANDOM_OK:
+                    findings.append(self.finding(
+                        path, node,
+                        f"legacy global `np.random.{func.attr}` (use "
+                        f"`np.random.default_rng(seed)`)", lines))
+            elif isinstance(node, ast.Assert):
+                clocks = dotted_names(node.test) & self.WALL_CLOCK
+                if clocks:
+                    findings.append(self.finding(
+                        path, node,
+                        f"assertion depends on wall clock "
+                        f"({', '.join(sorted(clocks))}) — capture "
+                        f"times outside the assert or use injected "
+                        f"clocks", lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# mutable-default
+# ---------------------------------------------------------------------------
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default argument values in library code."""
+
+    id = "mutable-default"
+    title = "no mutable default arguments"
+    rationale = ("a mutable default is shared across every call; state "
+                 "leaks between requests on a long-lived endpoint")
+
+    MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict",
+                     "Counter", "deque", "bytearray"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def _mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self.MUTABLE_CALLS
+        return False
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) \
+                + [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._mutable(default):
+                    findings.append(self.finding(
+                        path, default,
+                        f"mutable default argument in `{node.name}` "
+                        f"(default to None and create inside the "
+                        f"body)", lines))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# assert-validation
+# ---------------------------------------------------------------------------
+
+
+class AssertValidationRule(Rule):
+    """``assert`` is not validation in library code.
+
+    ``python -O`` strips asserts, so an assert guarding input or state
+    silently stops guarding in optimized runs.  The narrow idiom
+    ``assert isinstance(x, T)`` is allowed: it encodes a type-narrowing
+    fact for readers and checkers, not a runtime contract.
+    """
+
+    id = "assert-validation"
+    title = "no assert-as-validation outside tests"
+    rationale = ("asserts vanish under python -O; real validation must "
+                 "raise typed errors")
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            test = node.test
+            if isinstance(test, ast.Call) \
+                    and isinstance(test.func, ast.Name) \
+                    and test.func.id == "isinstance":
+                continue  # type-narrowing idiom
+            findings.append(self.finding(
+                path, node,
+                "assert used as validation in library code (raise a "
+                "typed error instead; asserts vanish under -O)", lines))
+        return findings
+
+
+ALL_RULES: List[Rule] = [
+    LockDisciplineRule(),
+    SnapshotDisciplineRule(),
+    GovernorDisciplineRule(),
+    ErrorTaxonomyRule(),
+    ColumnarDtypeSafetyRule(),
+    TestDeterminismRule(),
+    MutableDefaultRule(),
+    AssertValidationRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

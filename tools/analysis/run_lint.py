@@ -1,0 +1,46 @@
+"""CLI entry point for the repo lint gate.
+
+Usage::
+
+    python tools/analysis/run_lint.py              # lint the repo
+    python tools/analysis/run_lint.py src/foo.py   # lint specific files
+    python tools/analysis/run_lint.py --update-baseline
+
+Exit status 0 when every finding is baselined and no baseline entry is
+stale; 1 otherwise.  ``make lint`` runs this plus the plan-verifier
+corpus check and the strict-typing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+from analysis.lint import REPO_ROOT, run  # noqa: E402
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files to lint (default: src, tests, "
+                             "benchmarks)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into "
+                             "tools/analysis/baseline.json")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="alternate baseline file")
+    args = parser.parse_args(argv)
+    return run(paths=args.paths or None,
+               baseline_path=args.baseline,
+               update_baseline=args.update_baseline,
+               root=REPO_ROOT)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
