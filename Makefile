@@ -4,7 +4,8 @@ export PYTHONPATH := src
 .PHONY: test lint lint-baseline docs-check bench bench-smoke \
 	bench-baseline bench-plan bench-plan-baseline bench-stream \
 	bench-stream-baseline bench-concurrency bench-resilience \
-	bench-resilience-baseline bench-join bench-join-baseline
+	bench-resilience-baseline bench-join bench-join-baseline \
+	bench-parallel
 
 ## Tier-1 verification: static analysis + docs doctests + the full
 ## unit/integration suite.
@@ -96,3 +97,10 @@ bench-join:
 ## Refresh the recorded join/compaction throughput history.
 bench-join-baseline:
 	$(PYTHON) benchmarks/check_join.py --update
+
+## Parallel-execution gate: the morsel-driven executor must run the
+## paper-scale grouped aggregation at least 2x faster than serial
+## (3x target) with 4 workers, with results identical to the serial
+## path and zero leaked shared-memory segments after close.
+bench-parallel:
+	REPRO_BENCH_OBS=100000 $(PYTHON) benchmarks/check_parallel.py

@@ -60,7 +60,11 @@ import numpy as np
 IdTriple = Tuple[int, int, int]
 IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
 
-__all__ = ["TripleColumns", "concat_arrays"]
+#: The per-order positional column sets — the whole sorted payload of
+#: one generation, keyed ``"spo"`` / ``"pos"`` / ``"osp"``.
+OrderArrays = Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+__all__ = ["OrderArrays", "TripleColumns", "concat_arrays"]
 
 #: positional column index of each order's sort-key sequence
 _ORDER_KEYS = {"spo": (0, 1, 2), "pos": (1, 2, 0), "osp": (2, 0, 1)}
@@ -136,6 +140,36 @@ class TripleColumns:
             return cls(empty, empty, empty)
         data = np.asarray(rows, dtype=np.int64)
         return cls(data[:, 0], data[:, 1], data[:, 2])
+
+    @classmethod
+    def from_sorted_orders(cls, orders: OrderArrays, size: int,
+                           ceiling: int,
+                           distinct: Tuple[int, int, int]
+                           ) -> "TripleColumns":
+        """Rebuild columns around *already sorted* order arrays.
+
+        This is the shared-memory attach path (:mod:`repro.rdf.shm`):
+        the arrays are zero-copy views over an exported generation, so
+        re-running the :meth:`__init__` lexsort would both waste the
+        work and force a private copy.  The caller asserts the arrays
+        came from :meth:`sorted_generation` — nothing is re-validated.
+        """
+        columns = cls.__new__(cls)
+        columns.size = int(size)
+        columns._orders = dict(orders)
+        columns._ceiling = int(ceiling)
+        columns.n_subjects, columns.n_predicates, columns.n_objects = (
+            int(distinct[0]), int(distinct[1]), int(distinct[2]))
+        return columns
+
+    def sorted_generation(self) -> Tuple[OrderArrays, int,
+                                         Tuple[int, int, int]]:
+        """The exportable state of this generation: the order arrays
+        plus the metadata :meth:`from_sorted_orders` restores them
+        with.  The arrays are the live ones (immutable by the module
+        contract), not copies."""
+        return (self._orders, self._ceiling,
+                (self.n_subjects, self.n_predicates, self.n_objects))
 
     def merged(self, delta_spo: Dict[int, Dict[int, Set[int]]],
                tombstones: Set[IdTriple]) -> "TripleColumns":

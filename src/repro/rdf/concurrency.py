@@ -36,10 +36,12 @@ telemetry lock because those events genuinely race.
 
 from __future__ import annotations
 
+import atexit
 import threading
-from typing import Dict
+from typing import Callable, Dict, List, Sequence, Tuple
 
-__all__ = ["CONCURRENCY", "ConcurrencyTelemetry", "CountedRLock"]
+__all__ = ["CONCURRENCY", "ConcurrencyTelemetry", "CountedRLock",
+           "SHM_SEGMENTS", "ShmRegistry"]
 
 
 class CountedRLock:
@@ -206,3 +208,135 @@ class ConcurrencyTelemetry:
 
 #: The process-wide concurrency counters (like ``STREAM_TELEMETRY``).
 CONCURRENCY = ConcurrencyTelemetry()
+
+
+class _ShmGroup:
+    """One exported segment group: its payload (the manifests queries
+    ship to workers), the owning segment handles, a pin count and a
+    retirement mark."""
+
+    __slots__ = ("payload", "segments", "pins", "retired")
+
+    def __init__(self, payload: object,
+                 segments: Sequence[object]) -> None:
+        self.payload = payload
+        self.segments = tuple(segments)
+        self.pins = 0
+        self.retired = False
+
+
+class ShmRegistry:
+    """Epoch-keyed registry of shared-memory segment groups with
+    refcounted cleanup.
+
+    The parallel executor exports each graph generation (and each
+    dictionary high-water mark) into shared memory **once per epoch**
+    and keys the resulting group here.  Queries *pin* the group for
+    their duration (:meth:`pin_or_export` / :meth:`unpin`); when a new
+    epoch supersedes an old one the exporter *retires* the stale key
+    (:meth:`retire`), and the group's segments are closed + unlinked
+    as soon as the last pinned query drains — never underneath one.
+
+    Segment handles are duck-typed (``name`` / ``close()`` /
+    ``unlink()``), so this module stays free of any
+    ``multiprocessing`` import; the actual export/attach mechanics
+    live in :mod:`repro.rdf.shm`.
+
+    The registry is a leaf lock like the telemetry above: the export
+    callback runs under it (exports are rare — once per epoch — and
+    must not double-create a named segment), but unlink callouts
+    happen after the bookkeeping is settled.
+    """
+
+    __slots__ = ("_lock", "_groups")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._groups: Dict[Tuple[object, ...], _ShmGroup] = {}
+
+    def pin_or_export(self, key: Tuple[object, ...],
+                      build: Callable[[], Tuple[object, Sequence[object]]]
+                      ) -> object:
+        """The payload under ``key``, exported via ``build()`` on first
+        sight, with this caller's pin taken.  ``build`` returns
+        ``(payload, segment_handles)``."""
+        with self._lock:
+            group = self._groups.get(key)
+            if group is None or group.retired:
+                payload, segments = build()
+                group = _ShmGroup(payload, segments)
+                self._groups[key] = group
+            group.pins += 1
+            return group.payload
+
+    def unpin(self, key: Tuple[object, ...]) -> None:
+        """Release one pin; destroys the group when it was retired and
+        this was the last pin."""
+        destroy: List[object] = []
+        with self._lock:
+            group = self._groups.get(key)
+            if group is None:
+                return
+            group.pins -= 1
+            if group.retired and group.pins <= 0:
+                del self._groups[key]
+                destroy.extend(group.segments)
+        self._destroy(destroy)
+
+    def retire(self, key: Tuple[object, ...]) -> None:
+        """Mark ``key`` stale; unlink now if nothing has it pinned."""
+        destroy: List[object] = []
+        with self._lock:
+            group = self._groups.get(key)
+            if group is None:
+                return
+            group.retired = True
+            if group.pins <= 0:
+                del self._groups[key]
+                destroy.extend(group.segments)
+        self._destroy(destroy)
+
+    def retire_all(self) -> None:
+        """Retire every key (shutdown path; also the atexit backstop)."""
+        with self._lock:
+            keys = list(self._groups)
+        for key in keys:
+            self.retire(key)
+
+    def segment_names(self) -> List[str]:
+        """Names of every live segment (test hygiene checks)."""
+        with self._lock:
+            return sorted(
+                str(getattr(segment, "name", segment))
+                for group in self._groups.values()
+                for segment in group.segments)
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._groups
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._groups)
+
+    def _destroy(self, segments: Sequence[object]) -> None:
+        for segment in segments:
+            try:
+                segment.close()  # type: ignore[attr-defined]
+                segment.unlink()  # type: ignore[attr-defined]
+            except OSError:
+                pass  # already unlinked (e.g. interpreter teardown)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            pinned = sum(group.pins for group in self._groups.values())
+            return (f"<ShmRegistry {len(self._groups)} groups, "
+                    f"{pinned} pins>")
+
+
+#: The process-wide exported-segment registry.  ``atexit`` retirement
+#: is a backstop for abnormal teardown; orderly code paths (endpoint
+#: ``close()``, test fixtures) drain it explicitly.
+SHM_SEGMENTS = ShmRegistry()
+atexit.register(SHM_SEGMENTS.retire_all)

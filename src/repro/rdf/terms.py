@@ -115,6 +115,12 @@ class IRI(Term):
     def __setattr__(self, name: str, value: Any) -> None:
         raise TermError("IRI objects are immutable")
 
+    def __reduce__(self) -> tuple:
+        # immutable __setattr__ defeats default slot-state pickling;
+        # reconstruct through the validating constructor instead (the
+        # parallel executor ships terms to worker processes)
+        return (IRI, (self.value,))
+
     @property
     def is_absolute(self) -> bool:
         """True when the IRI carries a scheme (``http:``, ``urn:``, ...)."""
@@ -178,6 +184,9 @@ class BNode(Term):
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise TermError("BNode objects are immutable")
+
+    def __reduce__(self) -> tuple:
+        return (BNode, (self.label,))
 
     def n3(self) -> str:
         return f"_:{self.label}"
@@ -288,6 +297,13 @@ class Literal(Term):
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise TermError("Literal objects are immutable")
+
+    def __reduce__(self) -> tuple:
+        # lexical forms pass through the constructor unchanged, so this
+        # round-trips term identity (hash and equality) exactly
+        if self.language is not None:
+            return (Literal, (self.lexical, None, self.language))
+        return (Literal, (self.lexical, self.datatype.value))
 
     # -- value space --------------------------------------------------------
 

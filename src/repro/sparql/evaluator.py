@@ -422,12 +422,15 @@ class DatasetContext:
                  default_as_union: bool = True,
                  from_graphs: Optional[List[IRI]] = None,
                  from_named: Optional[List[IRI]] = None,
-                 governor=None) -> None:
+                 governor=None, parallel=None) -> None:
         self.dataset = dataset
         self.default_as_union = default_as_union
         self.from_graphs = list(from_graphs) if from_graphs else []
         self.from_named = list(from_named) if from_named else []
         self.governor = governor
+        #: optional ParallelExecutor; when set, eligible SELECTs run
+        #: morsel-parallel (see repro.sparql.parallel)
+        self.parallel = parallel
 
     @property
     def has_dataset_clause(self) -> bool:
@@ -440,7 +443,8 @@ class DatasetContext:
             return self
         return DatasetContext(self.dataset, self.default_as_union,
                               from_graphs, from_named,
-                              governor=self.governor)
+                              governor=self.governor,
+                              parallel=self.parallel)
 
     def default_source(self, from_graphs: Optional[List[IRI]] = None
                        ) -> GraphSource:
@@ -816,6 +820,59 @@ class PatternEvaluator:
             else:
                 ext_memo[key] = [()] * (hi - lo)
 
+    def _prefer_hash(self, source: GraphSource, base: IdPattern,
+                     rows: int) -> bool:
+        """Join-strategy choice for one step: build the bucketed index
+        scan (hash join) when the matched range is small enough
+        relative to the binding table, probe per distinct key
+        otherwise.  Overridden by the morsel workers, whose tables are
+        small slices of a large scan and whose builds are cached."""
+        return rows >= 64 and source.estimate_ids(base) <= 4 * rows
+
+    # repro: allow[governor-discipline] -- match_ids arrives pre-metered
+    def _hash_memo(self, source: GraphSource, base: IdPattern, match_ids,
+                   v_positions: List[int], n_positions: List[int],
+                   d_checks: List[Tuple[int, int]], single: bool) -> Dict:
+        """The build side of the hash join: extension tuples bucketed
+        per distinct join key, off one index scan — vectorized when
+        the source serves the range as arrays (sorted-run grouping),
+        per-entry otherwise.  Read-only to the probe side, so workers
+        may reuse one build across morsels."""
+        ext_memo: Dict = {}
+        arrays = self._vector_matches(source, base)
+        if arrays is not None:
+            self._build_hash_memo(arrays, v_positions, n_positions,
+                                  d_checks, single, ext_memo)
+            return ext_memo
+        v_pos0 = v_positions[0]
+        n_count = len(n_positions)
+        np0 = n_positions[0] if n_count > 0 else -1
+        np1 = n_positions[1] if n_count > 1 else -1
+        # the callable arrives pre-metered from _step_triple (wrapped
+        # with self._gov.metered there), so every entry is charged
+        for match in match_ids(base):
+            if d_checks and any(match[a] != match[b]
+                                for a, b in d_checks):
+                continue
+            if single:
+                key = match[v_pos0]
+            else:
+                key = tuple(match[position] for position in v_positions)
+            if n_count == 1:
+                ext = (match[np0],)
+            elif n_count == 2:
+                ext = (match[np0], match[np1])
+            elif n_count == 0:
+                ext = ()
+            else:
+                ext = tuple(match[position] for position in n_positions)
+            got = ext_memo.get(key)
+            if got is None:
+                ext_memo[key] = [ext]
+            else:
+                got.append(ext)
+        return ext_memo
+
     def _step_triple(self, pattern: TriplePatternNode, source: GraphSource,
                      table: BindingTable) -> BindingTable:
         spec, new_names, probe_slots, dead = self._compile_positions(
@@ -912,42 +969,14 @@ class PatternEvaluator:
                     pattern_ids[position] = cell
             return (pattern_ids[0], pattern_ids[1], pattern_ids[2])
 
-        use_hash = (len(rows) >= 64
-                    and source.estimate_ids(base) <= 4 * len(rows))
+        use_hash = self._prefer_hash(source, base, len(rows))
         self._last_strategy = "hash" if use_hash else "probe"
-        ext_memo: Dict = {}
         if use_hash:
-            # bucket extension tuples directly off one index scan; a
-            # columnar source serves the whole range as arrays and the
-            # buckets come from sorted-run grouping (merge-join style)
-            arrays = self._vector_matches(source, base)
-            if arrays is not None:
-                self._build_hash_memo(arrays, v_positions, n_positions,
-                                      d_checks, single, ext_memo)
-            else:
-                for match in match_ids(base):
-                    if d_checks and any(match[a] != match[b]
-                                        for a, b in d_checks):
-                        continue
-                    if single:
-                        key = match[v_pos0]
-                    else:
-                        key = tuple(match[position]
-                                    for position in v_positions)
-                    if n_count == 1:
-                        ext = (match[np0],)
-                    elif n_count == 2:
-                        ext = (match[np0], match[np1])
-                    elif n_count == 0:
-                        ext = ()
-                    else:
-                        ext = tuple(match[position]
-                                    for position in n_positions)
-                    got = ext_memo.get(key)
-                    if got is None:
-                        ext_memo[key] = [ext]
-                    else:
-                        got.append(ext)
+            ext_memo = self._hash_memo(source, base, match_ids,
+                                       v_positions, n_positions,
+                                       d_checks, single)
+        else:
+            ext_memo = {}
 
         raw_memo: Dict = {}  # distinct key -> raw matches (capture rows)
         emit = self._emit
@@ -1955,6 +1984,15 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
         # rows exist, instead of materializing the full binding table
         STREAM_TELEMETRY.record_query()
         return _stream_select(query, evaluator, source, eval_context)
+    parallel = getattr(context, "parallel", None)
+    if parallel is not None and trace is None:
+        # morsel-driven parallel path: the executor runs eligible
+        # BGP-only plans across its worker pool and applies the same
+        # SELECT tail (via _finalize_select); None means "stay serial"
+        table = parallel.try_select(query, context, source, evaluator,
+                                    eval_context)
+        if table is not None:
+            return table
     solutions = evaluator.solutions(query.pattern, source)
 
     if query.is_aggregate_query:
@@ -1965,6 +2003,18 @@ def evaluate_select(query: SelectQuery, context: DatasetContext,
         for row in result_bindings:
             _apply_projection_expressions(query, row, eval_context)
 
+    return _finalize_select(query, result_bindings, eval_context)
+
+
+def _finalize_select(query: SelectQuery, result_bindings: List[Binding],
+                     eval_context: EvalContext) -> ResultTable:
+    """The materialized SELECT tail: ORDER BY, projection to named
+    rows, DISTINCT/REDUCED, OFFSET and LIMIT.
+
+    Shared by the serial path above and the parallel executor's merge
+    stage, so both produce byte-identical result tables from the same
+    solution multiset.
+    """
     if query.order_by:
         def sort_key(row: Binding):
             key = []

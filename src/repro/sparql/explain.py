@@ -324,7 +324,8 @@ def _collect_traces(query: Query, context: DatasetContext
 
 def explain_query(query: Query,
                   dataset: Optional[Union[Dataset, DatasetSnapshot]] = None,
-                  cache_stats: bool = False, analyze: bool = False) -> str:
+                  cache_stats: bool = False, analyze: bool = False,
+                  parallel=None) -> str:
     """Render a parsed query's physical plan.
 
     Estimates appear when a dataset (or a pinned
@@ -332,7 +333,10 @@ def explain_query(query: Query,
     ``analyze=True`` additionally *executes* the query's pattern and
     annotates each join step with its actual row count and strategy;
     ``cache_stats=True`` appends the shared plan cache's hit/miss
-    counters and the snapshot-concurrency counters.
+    counters and the snapshot-concurrency counters; ``parallel=`` (a
+    :class:`~repro.sparql.parallel.ParallelExecutor`) appends the
+    ``parallel:`` line — the planned worker/morsel fan-out, or why
+    the query would stay serial.
     """
     source: Optional[GraphSource] = None
     traces: Optional[_TraceIndex] = None
@@ -360,6 +364,8 @@ def explain_query(query: Query,
     else:
         raise TypeError(f"cannot explain {type(query).__name__}")
     lines = printer.lines
+    if parallel is not None:
+        lines = lines + [parallel.describe(query, dataset)]
     if cache_stats:
         lines = lines + _cache_stats_lines()
     return "\n".join(lines)
@@ -367,7 +373,9 @@ def explain_query(query: Query,
 
 def explain(query_text: str,
             dataset: Optional[Union[Dataset, DatasetSnapshot]] = None,
-            cache_stats: bool = False, analyze: bool = False) -> str:
+            cache_stats: bool = False, analyze: bool = False,
+            parallel=None) -> str:
     """Parse ``query_text`` and render its plan."""
     return explain_query(parse_query(query_text), dataset,
-                         cache_stats=cache_stats, analyze=analyze)
+                         cache_stats=cache_stats, analyze=analyze,
+                         parallel=parallel)

@@ -32,6 +32,7 @@ EVALUATOR = "src/repro/sparql/evaluator.py"
 COLUMNAR = "src/repro/rdf/columnar.py"
 TESTFILE = "tests/test_example.py"
 LIBRARY = "src/repro/olap/example.py"
+PARALLEL = "src/repro/sparql/parallel.py"
 
 #: rule id -> (bad fixture, claimed path, good fixture)
 FIXTURES = {
@@ -172,6 +173,27 @@ FIXTURES = {
             if count <= 0:
                 raise ValueError("count must be positive")
             return count
+        """,
+    ),
+    "parallel-safety": (
+        """
+        def _worker_run(task):
+            plan = get_plan(task["node"], frozenset(), None)
+            STREAM_TELEMETRY.record_query()
+            return plan
+        """,
+        PARALLEL,
+        """
+        def _worker_run(task, evaluator, table):
+            for index in task["order"]:
+                table = evaluator._step_triple(
+                    task["patterns"][index], task["source"], table)
+            return table
+
+        def dispatch(plan):
+            # parent-side code may touch the caches freely
+            PLAN_CACHE.statistics()
+            return plan
         """,
     ),
 }

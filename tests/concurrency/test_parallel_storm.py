@@ -1,0 +1,195 @@
+"""Parallel execution under write storms and injected worker chaos.
+
+The morsel executor's correctness argument rests on snapshot pinning:
+every worker reads immutable column generations exported from *one*
+published epoch, so a racing writer can never tear a parallel result.
+These storms drive that argument:
+
+* parallel and serial evaluation of the same query against the **same
+  pinned snapshot** agree multiset-for-multiset while a writer
+  bulk-loads, retracts and compacts the live dataset underneath —
+  across multiple published epochs;
+* a worker killed mid-morsel (the ``parallel.worker.kill`` failpoint
+  calls ``os._exit`` inside the pool) surfaces as a *typed*
+  :class:`QueryExecutionError`, the pool is rebuilt, and the very next
+  parallel query succeeds;
+* an exception raised inside a worker maps into the same typed error
+  without poisoning the pool;
+* after the storm and ``close()``, the shared-memory registry is empty
+  — no segment outlives its endpoint (the ``tests/conftest.py``
+  hygiene fixture additionally sweeps ``/dev/shm`` after this module).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.rdf.concurrency import SHM_SEGMENTS
+from repro.rdf.graph import Dataset
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.endpoint import LocalEndpoint
+from repro.sparql.errors import QueryExecutionError
+from repro.sparql.evaluator import DatasetContext, evaluate_select
+from repro.sparql.parser import parse_query
+from repro.testing import faults
+
+EX = "http://example.org/parstorm/"
+VALUE = IRI(EX + "value")
+GROUP = IRI(EX + "group")
+GROUPS = [IRI(EX + f"g{k}") for k in range(5)]
+
+BASE_OBSERVATIONS = 2500
+WRITER_BATCHES = 12
+BATCH = 120
+READERS = 2
+
+AGG_QUERY = f"""
+    SELECT ?g (COUNT(?o) AS ?n) WHERE {{
+        ?o <{VALUE.value}> ?v .
+        ?o <{GROUP.value}> ?g
+    }} GROUP BY ?g
+"""
+
+
+def load_base(graph, observations=BASE_OBSERVATIONS):
+    rows = []
+    for i in range(observations):
+        obs = IRI(EX + f"obs{i}")
+        rows.append((obs, VALUE, Literal(i % 89)))
+        rows.append((obs, GROUP, GROUPS[i % len(GROUPS)]))
+    graph.add_all(rows)
+    graph.compact()
+
+
+def multiset(table):
+    return sorted(repr(row) for row in table.rows)
+
+
+@pytest.fixture()
+def storm_endpoint():
+    dataset = Dataset()
+    load_base(dataset.default)
+    endpoint = LocalEndpoint(dataset, parallel=2, parallel_threshold=1)
+    endpoint.parallel_executor.morsel_rows = 600
+    yield endpoint
+    endpoint.close()
+    assert SHM_SEGMENTS.empty
+
+
+class TestParallelUnderWriteStorm:
+    def test_pinned_reads_agree_across_epochs(self, storm_endpoint):
+        endpoint = storm_endpoint
+        dataset = endpoint.dataset
+        executor = endpoint.parallel_executor
+        query = parse_query(AGG_QUERY)
+        rng = random.Random(4242)
+        epochs = set()
+        errors = []
+        writer_done = threading.Event()
+
+        def pinned_round():
+            """Serial and parallel evaluation of one pinned epoch."""
+            snapshot = dataset.snapshot()
+            parallel = evaluate_select(
+                query, DatasetContext(snapshot, parallel=executor))
+            serial = evaluate_select(query, DatasetContext(snapshot))
+            assert multiset(parallel) == multiset(serial), \
+                f"torn parallel read at epoch {snapshot.epoch}"
+            epochs.add(snapshot.epoch)
+
+        def reader():
+            try:
+                while not writer_done.is_set():
+                    pinned_round()
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def writer():
+            try:
+                graph = dataset.default
+                for step in range(WRITER_BATCHES):
+                    graph.add_all([
+                        (IRI(EX + f"late{step}_{i}"), VALUE,
+                         Literal(i % 31))
+                        for i in range(BATCH)] + [
+                        (IRI(EX + f"late{step}_{i}"), GROUP,
+                         GROUPS[(step + i) % len(GROUPS)])
+                        for i in range(BATCH)])
+                    for _ in range(3):
+                        victim = IRI(
+                            EX + f"obs{rng.randrange(BASE_OBSERVATIONS)}")
+                        graph.remove((victim, None, None))
+                    if step % 4 == 3:
+                        graph.compact()
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+            finally:
+                writer_done.set()
+
+        pinned_round()  # one round on the pre-storm epoch
+        threads = [threading.Thread(target=reader) for _ in range(READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pinned_round()  # and one on the final epoch
+        assert not errors, errors[0]
+        assert len(epochs) >= 2, "storm never spanned an epoch boundary"
+        assert executor.telemetry["queries"] >= 2
+
+    def test_stale_epoch_segments_are_retired(self, storm_endpoint):
+        endpoint = storm_endpoint
+        endpoint.select(AGG_QUERY)
+        groups_before = len(SHM_SEGMENTS)
+        assert groups_before >= 2  # columns + dictionary
+        graph = endpoint.dataset.default
+        graph.add_all([(IRI(EX + "fresh"), VALUE, Literal(1)),
+                       (IRI(EX + "fresh"), GROUP, GROUPS[0])])
+        graph.compact()
+        endpoint.select(AGG_QUERY)
+        # the superseded epoch's group was retired when the new epoch
+        # exported, so the registry does not grow with history
+        assert len(SHM_SEGMENTS) == groups_before
+
+
+class TestWorkerChaos:
+    def test_worker_killed_mid_morsel(self, storm_endpoint):
+        endpoint = storm_endpoint
+        executor = endpoint.parallel_executor
+        baseline = endpoint.select(AGG_QUERY)
+        deaths = executor.telemetry["worker_deaths"]
+        with faults.failpoint("parallel.worker.kill", max_hits=1):
+            with pytest.raises(QueryExecutionError) as caught:
+                endpoint.select(AGG_QUERY)
+        assert "worker died" in str(caught.value)
+        assert executor.telemetry["worker_deaths"] == deaths + 1
+        # the pool was rebuilt: the next parallel query succeeds
+        recovered = endpoint.select(AGG_QUERY)
+        assert recovered.rows == baseline.rows
+        assert executor.telemetry["worker_deaths"] == deaths + 1
+
+    def test_worker_exception_is_typed_and_pool_survives(
+            self, storm_endpoint):
+        endpoint = storm_endpoint
+        baseline = endpoint.select(AGG_QUERY)
+        with faults.failpoint("parallel.worker.raise", max_hits=1):
+            with pytest.raises(QueryExecutionError):
+                endpoint.select(AGG_QUERY)
+        assert endpoint.select(AGG_QUERY).rows == baseline.rows
+
+    def test_kill_during_write_storm_keeps_registry_clean(
+            self, storm_endpoint):
+        endpoint = storm_endpoint
+        graph = endpoint.dataset.default
+        with faults.failpoint("parallel.worker.kill", max_hits=1):
+            with pytest.raises(QueryExecutionError):
+                endpoint.select(AGG_QUERY)
+        graph.add_all([(IRI(EX + "after_kill"), VALUE, Literal(7)),
+                       (IRI(EX + "after_kill"), GROUP, GROUPS[1])])
+        graph.compact()
+        table = endpoint.select(AGG_QUERY)
+        assert len(table) == len(GROUPS)
+        # fixture teardown closes the endpoint and asserts the
+        # registry is empty — a worker death must not leak segments

@@ -3,14 +3,59 @@
 The enrichment pipeline is deterministic (seeded generators), so the
 session-scoped fixtures are safe to share; tests must not mutate the
 shared endpoint (tests that need mutation build their own).
+
+This file also enforces process hygiene for the parallel executor:
+after every test module, the shared-memory registry must be empty, no
+``/dev/shm`` segment created by this process may remain, and no worker
+process may outlive its pool.  A leak detected here names the module
+that caused it, instead of surfacing as a resource-tracker warning at
+interpreter exit.
 """
 
 from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import time
 
 import pytest
 
 from repro.data import small_demo
 from repro.demo import EnrichedDemo, enrich
+
+
+@pytest.fixture(autouse=True, scope="module")
+def parallel_hygiene(request):
+    """Assert zero leaked SHM segments and zero orphaned workers.
+
+    Module-scoped and autouse, so it tears down *after* any
+    module-scoped endpoint fixture has closed its executor — every
+    module gets the check for free.  Workers of a deliberately broken
+    pool (chaos tests kill them mid-morsel) may still be exiting when
+    the module ends, so lingering children get a short grace period
+    before they count as orphans.
+    """
+    yield
+    from repro.rdf.concurrency import SHM_SEGMENTS
+    from repro.rdf.shm import SEGMENT_PREFIX
+
+    module = request.module.__name__
+    leaked = SHM_SEGMENTS.segment_names()
+    assert leaked == [], \
+        f"{module} leaked shared-memory registrations: {leaked}"
+    if os.path.isdir("/dev/shm"):  # Linux: segments are visible as files
+        pattern = f"/dev/shm/{SEGMENT_PREFIX}{os.getpid()}_*"
+        on_disk = sorted(glob.glob(pattern))
+        assert on_disk == [], \
+            f"{module} leaked /dev/shm segments: {on_disk}"
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() \
+            and time.monotonic() < deadline:
+        time.sleep(0.05)
+    orphans = multiprocessing.active_children()
+    assert not orphans, \
+        f"{module} leaked worker processes: {orphans}"
 
 
 @pytest.fixture(scope="session")

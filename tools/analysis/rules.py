@@ -30,6 +30,11 @@ Rule catalog (ids are the ``# repro: allow[...]`` suppression keys):
 ``assert-validation``
     No ``assert``-as-validation in non-test code (isinstance
     narrowing excepted).
+``parallel-safety``
+    Worker-side parallel-executor code (``_worker*`` functions,
+    ``_Worker*`` classes, ``attach_*`` helpers) must stay
+    shared-nothing: no endpoint, live graph/dataset state, or parent
+    module caches.
 """
 
 from __future__ import annotations
@@ -654,6 +659,78 @@ class AssertValidationRule(Rule):
         return findings
 
 
+# ---------------------------------------------------------------------------
+# parallel-safety
+# ---------------------------------------------------------------------------
+
+
+class ParallelSafetyRule(Rule):
+    """Worker-side parallel code must stay shared-nothing.
+
+    A morsel worker is a *spawned* process: module globals it touches
+    are its own private copies, so reading the parent's caches
+    (``PLAN_CACHE``, ``STREAM_TELEMETRY``) silently yields stale or
+    empty state, and touching endpoint / live-graph classes implies a
+    heap that simply is not there.  Everything a worker may use
+    arrives through its task dict: SHM manifests, the shipped
+    dictionary and the pattern list.  This rule flags any reference to
+    parent-process state inside the worker-side scopes — functions
+    named ``_worker*`` or ``attach_*`` and methods of ``_Worker*``
+    classes — of the parallel executor and the SHM mapping module.
+    """
+
+    id = "parallel-safety"
+    title = "worker-side code must not touch parent-process state"
+    rationale = ("spawned workers see private module globals and no "
+                 "parent heap: touching endpoint state or module "
+                 "caches from a worker reads stale/empty copies and "
+                 "breaks the shared-nothing morsel contract")
+
+    #: parent-process state a worker must never reference: the serving
+    #: layer, live graph state, and the parent's module-level caches
+    FORBIDDEN = {"LocalEndpoint", "Graph", "Dataset", "DatasetSnapshot",
+                 "GraphSnapshot", "PLAN_CACHE", "STREAM_TELEMETRY",
+                 "GOVERNOR", "CONCURRENCY", "SHM_SEGMENTS", "FAILPOINTS",
+                 "get_plan"}
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(("repro/sparql/parallel.py",
+                              "repro/rdf/shm.py"))
+
+    @staticmethod
+    def _worker_scopes(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name.lstrip("_").startswith("Worker"):
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        yield member
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and (node.name.startswith("_worker")
+                         or node.name.startswith("attach_")):
+                yield node
+
+    def check(self, path: str, tree: ast.AST,
+              lines: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[ast.AST] = set()
+        for scope in self._worker_scopes(tree):
+            if scope in seen:
+                continue
+            seen.add(scope)
+            touched = (dotted_names(scope) | called_names(scope)) \
+                & self.FORBIDDEN
+            if touched:
+                findings.append(self.finding(
+                    path, scope,
+                    f"worker-side `{scope.name}` touches parent-process "
+                    f"state ({', '.join(sorted(touched))}) — workers are "
+                    f"shared-nothing: ship what they need through the "
+                    f"task dict / SHM manifests", lines))
+        return findings
+
+
 ALL_RULES: List[Rule] = [
     LockDisciplineRule(),
     SnapshotDisciplineRule(),
@@ -663,6 +740,7 @@ ALL_RULES: List[Rule] = [
     TestDeterminismRule(),
     MutableDefaultRule(),
     AssertValidationRule(),
+    ParallelSafetyRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
