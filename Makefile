@@ -5,7 +5,7 @@ export PYTHONPATH := src
 	bench-baseline bench-plan bench-plan-baseline bench-stream \
 	bench-stream-baseline bench-concurrency bench-resilience \
 	bench-resilience-baseline bench-join bench-join-baseline \
-	bench-parallel
+	bench-parallel bench-olap
 
 ## Tier-1 verification: static analysis + docs doctests + the full
 ## unit/integration suite.
@@ -104,3 +104,11 @@ bench-join-baseline:
 ## path and zero leaked shared-memory segments after close.
 bench-parallel:
 	REPRO_BENCH_OBS=100000 $(PYTHON) benchmarks/check_parallel.py
+
+## Columnar-OLAP gate: vectorized star ETL >= 5x the reference
+## extractor at 100k observations (byte-identical fact tables), the
+## SUM/AVG partial pushdown >= 2x serial on the star-shaped grouped
+## aggregate, shared-fact-snapshot cells identical to the serial
+## native engine, zero leaked shared-memory segments after close.
+bench-olap:
+	REPRO_BENCH_OBS=100000 $(PYTHON) benchmarks/check_olap.py

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Gate the columnar OLAP fact pipeline: ETL speedup, parallel
+aggregate speedup, cross-engine checksums, and shm hygiene.
+
+Builds a paper-scale QB4OLAP cube (``REPRO_BENCH_OBS`` observations,
+default 100k; two-level geography dimension, one SUM measure) and
+checks the three legs of the pipeline:
+
+* **vectorized ETL** — ``extract_star_schema`` must build the fact
+  table at least ``REPRO_BENCH_OLAP_ETL_FACTOR`` (default 5.0) times
+  faster than the member-at-a-time reference extractor, with
+  byte-identical coordinates and measures;
+* **parallel aggregation** — the morsel-parallel SPARQL executor's
+  SUM/AVG partial pushdown must answer the star-shaped grouped
+  aggregate at least ``REPRO_BENCH_OLAP_PARALLEL_FACTOR`` (default
+  2.0) times faster than the serial evaluator, checksum-equal, and
+  must actually engage the pushdown (no silent full-row fallback);
+* **shared fact snapshot** — ``ParallelStarAggregator`` (workers map
+  the pinned ``FactColumns`` export zero-copy) must produce cells
+  identical to the serial ``NativeOLAPEngine``, and after ``close()``
+  the registry must be empty with no ``/dev/shm`` residue.
+
+Usage::
+
+    REPRO_BENCH_OBS=100000 PYTHONPATH=src python benchmarks/check_olap.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import math
+import os
+import sys
+import time
+
+OBSERVATIONS = int(os.environ.get("REPRO_BENCH_OBS", "100000"))
+WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", "4"))
+ETL_FACTOR = float(os.environ.get("REPRO_BENCH_OLAP_ETL_FACTOR", "5.0"))
+PAR_FACTOR = float(os.environ.get("REPRO_BENCH_OLAP_PARALLEL_FACTOR", "2.0"))
+RUNS = int(os.environ.get("REPRO_BENCH_PARALLEL_RUNS", "3"))
+CITIES = 240
+REGIONS = 24
+
+EX = "http://example.org/bench/olap/"
+
+QUERY = f"""
+    SELECT ?c (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE {{
+        ?o <{EX}city> ?c .
+        ?o <{EX}amount> ?v
+    }} GROUP BY ?c
+"""
+
+
+def build_cube():
+    from repro.qb import vocabulary as qb
+    from repro.qb4olap import vocabulary as qb4o
+    from repro.qb4olap.model import (
+        CubeSchema, Dimension, Hierarchy, HierarchyStep, Measure)
+    from repro.rdf.namespace import SKOS
+    from repro.rdf.terms import IRI, Literal
+    from repro.sparql.endpoint import LocalEndpoint
+
+    ns = lambda name: IRI(EX + name)  # noqa: E731 - local shorthand
+    schema = CubeSchema(dsd=ns("dsd"), dataset=ns("ds"))
+    hierarchy = Hierarchy(ns("geoHier"), ns("geoDim"),
+                          levels=[ns("city"), ns("region")],
+                          steps=[HierarchyStep(ns("city"), ns("region"))])
+    schema.dimensions.append(Dimension(ns("geoDim"), [hierarchy]))
+    schema.dimension_levels[ns("geoDim")] = ns("city")
+    schema.measures.append(Measure(ns("amount"), qb4o.SUM))
+
+    endpoint = LocalEndpoint()
+    graph = endpoint.dataset.default
+    rows = []
+    cities = [ns(f"city{k}") for k in range(CITIES)]
+    regions = [ns(f"region{k}") for k in range(REGIONS)]
+    for k, city in enumerate(cities):
+        rows.append((city, qb4o.memberOf, ns("city")))
+        rows.append((city, SKOS.broader, regions[k % REGIONS]))
+    for region in regions:
+        rows.append((region, qb4o.memberOf, ns("region")))
+    for i in range(OBSERVATIONS):
+        obs = ns(f"obs{i}")
+        rows.append((obs, qb.dataSet, ns("ds")))
+        rows.append((obs, IRI(EX + "city"), cities[i % CITIES]))
+        rows.append((obs, IRI(EX + "amount"), Literal(i % 997)))
+    graph.add_all(rows)
+    graph.compact()
+    return endpoint, schema
+
+
+def checksum(table) -> list:
+    return sorted(repr(row) for row in table.rows)
+
+
+def best_of(endpoint, runs: int = RUNS) -> float:
+    elapsed = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        endpoint.select(QUERY)
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+    sys.path.insert(0, "src")
+
+    import numpy as np
+
+    from repro.rdf.concurrency import SHM_SEGMENTS
+    from repro.rdf.shm import SEGMENT_PREFIX
+    from repro.sparql.endpoint import LocalEndpoint
+    from repro.ql import QLBuilder, simplify
+    from repro.olap import NativeOLAPEngine, extract_star_schema
+    from repro.olap.parallel import ParallelStarAggregator
+
+    print(f"olap gate: obs={OBSERVATIONS} workers={WORKERS} "
+          f"etl-gate={ETL_FACTOR:.1f}x parallel-gate={PAR_FACTOR:.1f}x")
+    endpoint, schema = build_cube()
+
+    # -- leg 1: vectorized ETL -------------------------------------------------
+    star, fast_report = extract_star_schema(endpoint, schema)
+    _, refast = extract_star_schema(endpoint, schema)  # warm best-of-2
+    slow, slow_report = extract_star_schema(endpoint, schema,
+                                            vectorized=False)
+    fast_seconds = min(fast_report.seconds, refast.seconds)
+    for iri, codes in star.facts.coordinates.items():
+        if not np.array_equal(codes, slow.facts.coordinates[iri]):
+            print("FAIL: vectorized coordinates diverge", file=sys.stderr)
+            return 1
+    for iri, values in star.facts.measures.items():
+        if not np.array_equal(values, slow.facts.measures[iri],
+                              equal_nan=True):
+            print("FAIL: vectorized measures diverge", file=sys.stderr)
+            return 1
+    etl_speedup = slow_report.seconds / max(fast_seconds, 1e-9)
+    print(f"etl reference: {slow_report.seconds * 1000:8.1f} ms "
+          f"({slow_report.facts} facts)")
+    print(f"etl vectorized: {fast_seconds * 1000:7.1f} ms")
+    print(f"etl speedup: {etl_speedup:.2f}x (identical fact tables)")
+
+    # -- leg 2: parallel SPARQL aggregation -----------------------------------
+    serial = LocalEndpoint(endpoint.dataset)
+    parallel = LocalEndpoint(endpoint.dataset, parallel=WORKERS,
+                             parallel_threshold=1)
+    serial_table = serial.select(QUERY)       # warm-up + reference
+    parallel_table = parallel.select(QUERY)   # warm-up: export + attach
+    executor = parallel.parallel_executor
+    if executor.telemetry["queries"] == 0:
+        print(f"FAIL: query declined parallel execution "
+              f"({executor.last_decline})", file=sys.stderr)
+        return 1
+    if executor.telemetry["agg_pushdown"] == 0:
+        print("FAIL: aggregate pushdown did not engage", file=sys.stderr)
+        return 1
+    if checksum(parallel_table) != checksum(serial_table):
+        print("FAIL: parallel result diverged from serial", file=sys.stderr)
+        return 1
+    print(f"correctness: parallel == serial ({len(serial_table)} groups, "
+          f"SUM+AVG partials pushed down)")
+    serial_best = best_of(serial)
+    parallel_best = best_of(parallel)
+    speedup = serial_best / max(parallel_best, 1e-9)
+    print(f"serial   best: {serial_best * 1000:8.1f} ms")
+    print(f"parallel best: {parallel_best * 1000:8.1f} ms")
+    print(f"aggregate speedup: {speedup:.2f}x")
+
+    # -- leg 3: shared fact snapshot ------------------------------------------
+    from repro.rdf.terms import IRI
+
+    program = (QLBuilder(schema.dataset)
+               .rollup(IRI(EX + "geoDim"), IRI(EX + "region"))
+               .build())
+    simplified = simplify(program, schema)
+    native = NativeOLAPEngine(star).evaluate(simplified)
+    aggregator = ParallelStarAggregator(star, workers=WORKERS)
+    shared = aggregator.evaluate(simplified)
+    aggregator.close()
+    if set(native.cells) != set(shared.cells) or any(
+            set(native.cells[key]) != set(shared.cells[key])
+            or any(not math.isclose(value, shared.cells[key][measure],
+                                    rel_tol=1e-9, abs_tol=1e-9)
+                   for measure, value in native.cells[key].items())
+            for key in native.cells):
+        print("FAIL: shared-snapshot cells diverged from serial engine",
+              file=sys.stderr)
+        return 1
+    print(f"fact snapshot: {len(shared.cells)} cells identical via "
+          f"{star.fact_columns().nbytes} shared bytes")
+
+    parallel.close()
+    serial.close()
+    endpoint.close()
+    if not SHM_SEGMENTS.empty:
+        print(f"FAIL: leaked shared-memory registrations: "
+              f"{SHM_SEGMENTS.segment_names()}", file=sys.stderr)
+        return 1
+    if os.path.isdir("/dev/shm"):
+        leaked = sorted(glob.glob(
+            f"/dev/shm/{SEGMENT_PREFIX}{os.getpid()}_*"))
+        if leaked:
+            print(f"FAIL: leaked /dev/shm segments: {leaked}",
+                  file=sys.stderr)
+            return 1
+    print("hygiene: zero leaked segments after close")
+
+    if etl_speedup < ETL_FACTOR:
+        print(f"FAIL: expected ETL at least {ETL_FACTOR:.1f}x",
+              file=sys.stderr)
+        return 1
+    if speedup < PAR_FACTOR:
+        print(f"FAIL: expected parallel aggregate at least "
+              f"{PAR_FACTOR:.1f}x", file=sys.stderr)
+        return 1
+    print(f"ok: etl >= {ETL_FACTOR:.1f}x, parallel >= {PAR_FACTOR:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

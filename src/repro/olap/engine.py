@@ -28,6 +28,7 @@ from repro.ql.ast import (
     NotCondition,
 )
 from repro.ql.simplifier import SimplifiedProgram
+from repro.olap.errors import DiceTypeError, OLAPEngineError, UnknownAxisError
 from repro.olap.star import StarSchema
 
 
@@ -70,7 +71,7 @@ class NativeOLAPEngine:
     def evaluate(self, program: SimplifiedProgram) -> NativeResult:
         """Evaluate a simplified QL program over the star schema."""
         if program.state is None:
-            raise ValueError("program lacks a checked cube state")
+            raise OLAPEngineError("program lacks a checked cube state")
         started = time.perf_counter()
         state = program.state
         facts = self.star.facts
@@ -93,6 +94,12 @@ class NativeOLAPEngine:
             keep_mask &= codes >= 0  # SPARQL joins drop unmapped members
             coordinate_codes.append(codes)
 
+        # a fact missing any queried measure (NaN sentinel) is a row the
+        # SPARQL BGP's measure patterns would never join — drop it from
+        # every aggregate, exactly as the join does
+        for measure_iri in state.measures:
+            keep_mask &= ~np.isnan(facts.measures[measure_iri])
+
         # pre-aggregation dice: attribute-only conditions filter facts
         for condition in program.dices:
             if condition.measure_refs():
@@ -112,7 +119,7 @@ class NativeOLAPEngine:
             inverse = np.zeros(len(rows), dtype=np.int64)
         group_count = unique_keys.shape[0]
 
-        aggregated: Dict[IRI, np.ndarray] = {}
+        aggregated: Dict[IRI, Tuple[np.ndarray, np.ndarray]] = {}
         for measure_iri in state.measures:
             keyword = self.star.measure_aggregates.get(measure_iri, "SUM")
             values = facts.measures[measure_iri][rows]
@@ -136,9 +143,13 @@ class NativeOLAPEngine:
             key = tuple(
                 member_lists[axis][int(unique_keys[group, axis])]
                 for axis in range(len(kept_dimensions)))
+            # a measure whose aggregate has no defined value for this
+            # group (empty AVG/MIN/MAX) stays out of the cell — the
+            # SPARQL path leaves that projection unbound
             cells[key] = {
                 measure: float(values[group])
-                for measure, values in aggregated.items()}
+                for measure, (values, valid) in aggregated.items()
+                if valid[group]}
         elapsed = time.perf_counter() - started
         return NativeResult(axis_levels=axis_levels, cells=cells,
                             dimension_order=kept_dimensions, seconds=elapsed)
@@ -152,7 +163,7 @@ class NativeOLAPEngine:
         if isinstance(condition, Comparison):
             assert isinstance(condition.operand, AttributePath)
             path = condition.operand
-            axis = kept.index(path.dimension)
+            axis = _require_axis(kept, path.dimension)
             table = self.star.dimension(path.dimension)
             members = table.members_at(axis_levels[path.dimension])
             values = table.attribute_values(
@@ -179,20 +190,21 @@ class NativeOLAPEngine:
         if isinstance(condition, NotCondition):
             return ~self._attribute_mask(condition.operand, kept,
                                          axis_levels, coordinate_codes, n)
-        raise ValueError(f"unknown condition {condition!r}")
+        raise OLAPEngineError(f"unknown condition {condition!r}")
 
     def _cell_mask(self, condition: DiceCondition, kept: List[IRI],
                    axis_levels: Dict[IRI, IRI], unique_keys: np.ndarray,
-                   aggregated: Dict[IRI, np.ndarray],
+                   aggregated: Dict[IRI, Tuple[np.ndarray, np.ndarray]],
                    group_count: int) -> np.ndarray:
         if isinstance(condition, Comparison):
             if isinstance(condition.operand, MeasureRef):
-                values = aggregated[condition.operand.measure]
-                target = float(condition.value.value) \
-                    if isinstance(condition.value, Literal) else 0.0
-                return _numeric_compare(values, condition.op, target)
+                values, valid = aggregated[condition.operand.measure]
+                target = _dice_target(condition.value)
+                # a dice over an unbound aggregate is an errored FILTER
+                # on the SPARQL side: the group drops
+                return valid & _numeric_compare(values, condition.op, target)
             path = condition.operand
-            axis = kept.index(path.dimension)
+            axis = _require_axis(kept, path.dimension)
             table = self.star.dimension(path.dimension)
             members = table.members_at(axis_levels[path.dimension])
             attr_values = table.attribute_values(
@@ -214,35 +226,76 @@ class NativeOLAPEngine:
         if isinstance(condition, NotCondition):
             return ~self._cell_mask(condition.operand, kept, axis_levels,
                                     unique_keys, aggregated, group_count)
-        raise ValueError(f"unknown condition {condition!r}")
+        raise OLAPEngineError(f"unknown condition {condition!r}")
+
+
+def _require_axis(kept: List[IRI], dimension: IRI) -> int:
+    """Position of ``dimension`` among the kept axes, or a typed error."""
+    try:
+        return kept.index(dimension)
+    except ValueError:
+        raise UnknownAxisError(
+            f"dice references dimension {dimension.value}, which is not "
+            f"an axis of the cube at this point of the pipeline "
+            f"(sliced away or never part of the cube)") from None
+
+
+def _dice_target(value: Term) -> float:
+    """The numeric RHS of a measure dice, or a typed error.
+
+    Measure aggregates are numbers; comparing them against an IRI or a
+    non-numeric lexical form is a query bug the engine must report, not
+    silently coerce to ``0.0``.
+    """
+    if not isinstance(value, Literal):
+        raise DiceTypeError(
+            f"measure dice compares against non-literal {value!r}")
+    try:
+        return float(value.value)
+    except (TypeError, ValueError):
+        raise DiceTypeError(
+            f"measure dice compares against non-numeric literal "
+            f"{value.value!r}") from None
 
 
 def _aggregate(keyword: str, values: np.ndarray, inverse: np.ndarray,
-               groups: int) -> np.ndarray:
+               groups: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group aggregate plus a per-group *defined* mask.
+
+    Mirrors SPARQL aggregate semantics over a group with no usable
+    values: ``SUM`` and ``COUNT`` are still bound (0), while
+    ``AVG``/``MIN``/``MAX`` are unbound — reported here as
+    ``valid=False`` (never ``0.0`` or ±inf) so the caller drops the
+    cell value the way the SPARQL projection leaves it unbound.
+    """
+    present = ~np.isnan(values)
+    counts = np.zeros(groups)
+    np.add.at(counts, inverse[present], 1.0)
+    defined = counts > 0
+    always = np.ones(groups, dtype=bool)
     if keyword == "SUM":
         out = np.zeros(groups)
-        np.add.at(out, inverse, values)
-        return out
+        np.add.at(out, inverse[present], values[present])
+        return out, always
     if keyword == "COUNT":
-        out = np.zeros(groups)
-        np.add.at(out, inverse, 1.0)
-        return out
+        return counts, always
     if keyword == "AVG":
         sums = np.zeros(groups)
-        counts = np.zeros(groups)
-        np.add.at(sums, inverse, values)
-        np.add.at(counts, inverse, 1.0)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(counts > 0, sums / counts, 0.0)
+        np.add.at(sums, inverse[present], values[present])
+        out = np.full(groups, np.nan)
+        np.divide(sums, counts, out=out, where=defined)
+        return out, defined
     if keyword == "MIN":
         out = np.full(groups, np.inf)
-        np.minimum.at(out, inverse, values)
-        return out
+        np.minimum.at(out, inverse[present], values[present])
+        out[~defined] = np.nan
+        return out, defined
     if keyword == "MAX":
         out = np.full(groups, -np.inf)
-        np.maximum.at(out, inverse, values)
-        return out
-    raise ValueError(f"unknown aggregate {keyword!r}")
+        np.maximum.at(out, inverse[present], values[present])
+        out[~defined] = np.nan
+        return out, defined
+    raise OLAPEngineError(f"unknown aggregate {keyword!r}")
 
 
 def _numeric_compare(values: np.ndarray, op: str, target: float
@@ -259,7 +312,7 @@ def _numeric_compare(values: np.ndarray, op: str, target: float
         return values > target
     if op == ">=":
         return values >= target
-    raise ValueError(f"unknown operator {op!r}")
+    raise OLAPEngineError(f"unknown operator {op!r}")
 
 
 def _compare_terms(value: Optional[Term], op: str, target) -> bool:

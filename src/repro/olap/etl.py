@@ -5,13 +5,38 @@ from the Web, and loading them into traditional DWs for OLAP analysis"
 (ref. [2]).  The extraction walks the same QB4OLAP metadata QL uses —
 so the two engines answer from identical information — then
 dictionary-encodes facts into numpy arrays.
+
+Two fact extractors share one output contract:
+
+* the **vectorized** extractor (default) never touches observations
+  one at a time: each bottom property / measure is one
+  ``match_arrays`` gather of the columnar storage tier, joined to fact
+  rows and member codes with ``np.searchsorted`` over sorted id
+  arrays.  This is the ETL analogue of the evaluator's columnar scan
+  path, and what makes the E9 baseline's "pay ETL once" price honest
+  at scale;
+* the **per-observation** extractor (``vectorized=False``) walks
+  ``subject_predicates`` row by row — kept as the semantics reference
+  and the benchmark comparator (``benchmarks/check_olap.py`` gates the
+  vectorized path's speedup against it).
+
+Both are **deterministic**: when an observation carries several values
+for one dimension or measure property, the extractor keeps the
+*minimum term by sorted key* (:func:`deterministic_key`) instead of
+whatever a set yields first, and roll-up composition picks the
+smallest eligible ``skos:broader`` target the same way — so two ETL
+runs over the same data produce byte-identical fact tables.
+
+Missing values follow the SPARQL path's join semantics: a fact without
+a usable value carries ``-1`` (dimension code) or ``NaN`` (measure),
+and the engine drops such rows for any query touching that column.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,16 +62,32 @@ class ETLReport:
     #: this should stay near the number of distinct query *shapes*, not
     #: the number of members (see docs/performance.md).
     plan_cache_misses: int = 0
+    #: whether the columnar fact extractor ran (False = the
+    #: per-observation reference extractor was requested or forced)
+    vectorized: bool = True
 
 
-def extract_star_schema(endpoint: LocalEndpoint, schema: CubeSchema
+def deterministic_key(term: Term) -> Tuple[str, str]:
+    """Total order over terms used for multi-value tie-breaks.
+
+    Hash-order-free: two runs (or two insertion orders) always pick
+    the same winner.  The class name keeps IRIs, literals and blank
+    nodes in separate bands; within a band the lexical value decides.
+    """
+    return (term.__class__.__name__, str(getattr(term, "value", term)))
+
+
+def extract_star_schema(endpoint: LocalEndpoint, schema: CubeSchema,
+                        vectorized: bool = True
                         ) -> Tuple[StarSchema, ETLReport]:
     """Materialize the star schema for ``schema`` from ``endpoint``."""
     from repro.sparql.optimizer import PLAN_CACHE
     misses_before = PLAN_CACHE.misses
     started = time.perf_counter()
     graph = endpoint.dataset.union()
-    star = StarSchema(dataset=schema.dataset)
+    star = StarSchema(dataset=schema.dataset,
+                      epoch=max((g.epoch for g in endpoint.dataset.graphs()),
+                                default=0))
     dimension_rows = 0
 
     for dimension in schema.dimensions:
@@ -59,12 +100,16 @@ def extract_star_schema(endpoint: LocalEndpoint, schema: CubeSchema
     for measure in schema.measures:
         star.measure_aggregates[measure.iri] = measure.sparql_aggregate()
 
-    _extract_facts(graph, schema, star)
+    if vectorized:
+        _extract_facts_vectorized(graph, schema, star)
+    else:
+        _extract_facts(graph, schema, star)
     elapsed = time.perf_counter() - started
     return star, ETLReport(seconds=elapsed, facts=star.facts.size,
                            dimension_rows=dimension_rows,
                            plan_cache_misses=PLAN_CACHE.misses
-                           - misses_before)
+                           - misses_before,
+                           vectorized=vectorized)
 
 
 def _extract_dimension(graph: Graph, schema: CubeSchema,
@@ -107,11 +152,14 @@ def _compose_rollups(graph: Graph, table: DimensionTable,
                         in enumerate(parent_members)}
         hop = np.full(len(current_members), -1, dtype=np.int64)
         for code, member in enumerate(current_members):
-            for target in graph.objects(member, SKOS.broader):
-                parent_code = parent_index.get(target)
-                if parent_code is not None:
-                    hop[code] = parent_code
-                    break
+            # a member with several eligible broader targets rolls up
+            # to the smallest by deterministic_key — never hash order
+            targets = [target for target
+                       in graph.objects(member, SKOS.broader)
+                       if target in parent_index]
+            if targets:
+                hop[code] = parent_index[min(targets,
+                                             key=deterministic_key)]
         # compose: bottom → current → parent
         composed = np.full_like(current_map, -1)
         valid = current_map >= 0
@@ -131,10 +179,29 @@ def _attach_attributes(graph: Graph, schema: CubeSchema,
     for attribute in attributes:
         values: Dict[Term, Term] = {}
         for member in members:
-            value = graph.value(member, attribute, None)
-            if value is not None:
-                values[member] = value
+            candidates = list(graph.objects(member, attribute))
+            if candidates:
+                values[member] = min(candidates, key=deterministic_key)
         per_level[attribute] = values
+
+
+def _measure_value(term: Term) -> float:
+    """The float payload of a measure term; NaN when it has none."""
+    if isinstance(term, Literal):
+        value = term.value
+        if isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, str):
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return float("nan")
+    return float("nan")
+
+
+# ---------------------------------------------------------------------------
+# per-observation reference extractor (``vectorized=False``)
+# ---------------------------------------------------------------------------
 
 
 def _extract_facts(graph: Graph, schema: CubeSchema,
@@ -148,7 +215,7 @@ def _extract_facts(graph: Graph, schema: CubeSchema,
     coordinate_arrays = {
         iri: np.full(n, -1, dtype=np.int64) for iri in dimension_order}
     measure_arrays = {
-        measure.iri: np.zeros(n, dtype=np.float64)
+        measure.iri: np.full(n, np.nan, dtype=np.float64)
         for measure in schema.measures}
 
     for row, observation in enumerate(observations):
@@ -157,17 +224,170 @@ def _extract_facts(graph: Graph, schema: CubeSchema,
             bottom_prop = bottoms[iri]
             values = properties.get(bottom_prop)
             if values:
-                code = star.dimensions[iri].bottom_code(next(iter(values)))
+                code = star.dimensions[iri].bottom_code(
+                    min(values, key=deterministic_key))
                 if code is not None:
                     coordinate_arrays[iri][row] = code
         for measure in schema.measures:
             values = properties.get(measure.iri)
             if values:
-                term = next(iter(values))
-                if isinstance(term, Literal):
-                    value = term.value
-                    if not isinstance(value, str):
-                        measure_arrays[measure.iri][row] = float(value)
+                term = min(values, key=deterministic_key)
+                measure_arrays[measure.iri][row] = _measure_value(term)
+
+    star.facts = FactTable(coordinates=coordinate_arrays,
+                           measures=measure_arrays)
+
+
+# ---------------------------------------------------------------------------
+# vectorized columnar extractor (default)
+# ---------------------------------------------------------------------------
+
+
+def _gather_pairs(graph: Graph, predicate: Optional[int]
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``(subject, object)`` id pairs carrying ``predicate``.
+
+    Serves from the columnar tier (``match_arrays`` — zero-copy range
+    views) whenever a graph can; graphs mid-mutation (pending
+    tombstones, no generation yet) fall back to the id iterator.  The
+    union view composes per member graph.
+    """
+    if predicate is None:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pattern = (None, predicate, None)
+    graphs = graph._graphs() if hasattr(graph, "_graphs") else [graph]
+    subjects: List[np.ndarray] = []
+    objects: List[np.ndarray] = []
+    for member in graphs:
+        arrays = member.match_arrays(pattern) \
+            if hasattr(member, "match_arrays") else None
+        if arrays is not None:
+            subjects.append(arrays[0].astype(np.int64, copy=False))
+            objects.append(arrays[2].astype(np.int64, copy=False))
+            continue
+        pairs = [(s, o) for s, _p, o in member.triples_ids(pattern)]
+        gathered = np.asarray(pairs, dtype=np.int64) if pairs \
+            else np.empty((0, 2), dtype=np.int64)
+        subjects.append(gathered[:, 0] if pairs
+                        else np.empty(0, dtype=np.int64))
+        objects.append(gathered[:, 1] if pairs
+                       else np.empty(0, dtype=np.int64))
+    if not subjects:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(subjects), np.concatenate(objects)
+
+
+def _rows_for(subjects: np.ndarray, obs_sorted: np.ndarray,
+              obs_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Join subject ids to fact row numbers (searchsorted membership).
+
+    Returns ``(keep_mask, rows)``: which gathered pairs belong to this
+    dataset's observations, and the fact row of each kept pair.
+    """
+    positions = np.searchsorted(obs_sorted, subjects)
+    positions_clipped = np.minimum(positions, len(obs_sorted) - 1)
+    keep = obs_sorted[positions_clipped] == subjects
+    return keep, obs_rows[positions_clipped[keep]]
+
+
+def _first_per_row(rows: np.ndarray, rank: np.ndarray,
+                   n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pick, per fact row, the candidate with the smallest ``rank``.
+
+    The vectorized multi-value tie-break: sorting by ``(row, rank)``
+    and keeping each row's first entry selects exactly the minimum
+    deterministic-key term the reference extractor picks.
+    """
+    order = np.lexsort((rank, rows))
+    sorted_rows = rows[order]
+    firsts = np.ones(len(sorted_rows), dtype=bool)
+    firsts[1:] = sorted_rows[1:] != sorted_rows[:-1]
+    return sorted_rows[firsts], order[firsts]
+
+
+def _extract_facts_vectorized(graph: Graph, schema: CubeSchema,
+                              star: StarSchema) -> None:
+    dictionary = graph.dictionary
+    lookup = dictionary.lookup
+    decode = dictionary.decode
+    dimension_order = sorted(star.dimensions, key=lambda iri: iri.value)
+    bottoms = {iri: schema.bottom_level(iri) for iri in dimension_order}
+
+    # -- fact rows: observations of this dataset, sorted by term value
+    dataset_id = lookup(schema.dataset)
+    predicate_id = lookup(qb.dataSet)
+    if dataset_id is None or predicate_id is None:
+        obs_ids = np.empty(0, dtype=np.int64)
+    else:
+        pairs_s, pairs_o = _gather_pairs(graph, predicate_id)
+        obs_ids = np.unique(pairs_s[pairs_o == dataset_id])
+    observations = [decode(int(obs)) for obs in obs_ids]
+    row_order = sorted(range(len(observations)),
+                       key=lambda i: getattr(observations[i], "value",
+                                             str(observations[i])))
+    n = len(obs_ids)
+    # obs_sorted is sorted by *id* for searchsorted joins; obs_rows maps
+    # each sorted position back to the value-ordered fact row number
+    obs_sorted = obs_ids  # np.unique output is already id-sorted
+    rows_by_value = np.empty(n, dtype=np.int64)
+    for row, index in enumerate(row_order):
+        rows_by_value[index] = row
+    obs_rows = rows_by_value
+
+    coordinate_arrays: Dict[IRI, np.ndarray] = {}
+    for iri in dimension_order:
+        codes = np.full(n, -1, dtype=np.int64)
+        bottom_prop = lookup(bottoms[iri])
+        table = star.dimensions[iri]
+        if bottom_prop is not None and n and table.bottom_members:
+            subjects, objects = _gather_pairs(graph, bottom_prop)
+            keep, rows = _rows_for(subjects, obs_sorted, obs_rows)
+            objects = objects[keep]
+            # member id → bottom code: members are value-sorted, so the
+            # smallest code *is* the minimum deterministic-key member
+            member_ids = np.asarray(
+                [lookup(member) for member in table.bottom_members],
+                dtype=np.int64)
+            member_sort = np.argsort(member_ids, kind="stable")
+            members_sorted = member_ids[member_sort]
+            codes_sorted = np.arange(len(member_ids),
+                                     dtype=np.int64)[member_sort]
+            positions = np.searchsorted(members_sorted, objects)
+            positions = np.minimum(positions, len(members_sorted) - 1)
+            matched = members_sorted[positions] == objects
+            rows, objects = rows[matched], objects[matched]
+            member_codes = codes_sorted[positions[matched]]
+            if len(rows):
+                unique_rows, picks = _first_per_row(rows, member_codes, n)
+                codes[unique_rows] = member_codes[picks]
+        coordinate_arrays[iri] = codes
+
+    measure_arrays: Dict[IRI, np.ndarray] = {}
+    for measure in schema.measures:
+        values = np.full(n, np.nan, dtype=np.float64)
+        measure_prop = lookup(measure.iri)
+        if measure_prop is not None and n:
+            subjects, objects = _gather_pairs(graph, measure_prop)
+            keep, rows = _rows_for(subjects, obs_sorted, obs_rows)
+            objects = objects[keep]
+            if len(rows):
+                # decode each distinct literal once: its float payload
+                # and its deterministic-key rank for multi-value picks
+                unique_ids, inverse = np.unique(objects,
+                                                return_inverse=True)
+                terms = [decode(int(vid)) for vid in unique_ids]
+                floats = np.asarray([_measure_value(term)
+                                     for term in terms], dtype=np.float64)
+                key_order = sorted(range(len(terms)),
+                                   key=lambda i: deterministic_key(terms[i]))
+                ranks = np.empty(len(terms), dtype=np.int64)
+                for rank, index in enumerate(key_order):
+                    ranks[index] = rank
+                unique_rows, picks = _first_per_row(rows, ranks[inverse], n)
+                values[unique_rows] = floats[inverse[picks]]
+        measure_arrays[measure.iri] = values
 
     star.facts = FactTable(coordinates=coordinate_arrays,
                            measures=measure_arrays)

@@ -214,7 +214,11 @@ class Translator:
                 for operand in condition.operands)
             return f"({rendered})"
         if isinstance(condition, NotCondition):
-            return f"(!{self._render_condition(condition.operand, aggregated)})"
+            # the operand must be parenthesized: a bare comparison would
+            # otherwise bind as (!operand) = value, since unary ! binds
+            # tighter than comparison operators in SPARQL
+            inner = self._render_condition(condition.operand, aggregated)
+            return f"(!({inner}))"
         raise QLSemanticError(f"unknown dice condition {condition!r}")
 
     # -- query text -------------------------------------------------------------
@@ -296,8 +300,20 @@ class Translator:
         for condition in self._attr_filters:
             lines.append(f"  FILTER({condition})")
         lines.append("}")
-        if group_vars:
-            lines.append(f"GROUP BY {' '.join(group_vars)}")
+        # attribute vars referenced by measure-bearing (mixed) dices are
+        # ungrouped — HAVING could not see them (unbound → every group
+        # dropped); group by them too, which leaves the groups unchanged
+        # because the attribute is a function of the group member
+        mixed_attr_vars: List[str] = []
+        for condition in self.program.dices:
+            if condition.measure_refs():
+                for path in condition.attribute_paths():
+                    var = self._attribute_var(path)
+                    if var not in mixed_attr_vars:
+                        mixed_attr_vars.append(var)
+        full_group = group_vars + [f"?{v}" for v in mixed_attr_vars]
+        if full_group:
+            lines.append(f"GROUP BY {' '.join(full_group)}")
         if self._having_filters:
             rendered = " ".join(f"({c})" for c in self._having_filters)
             lines.append(f"HAVING {rendered}")

@@ -21,6 +21,12 @@ Three kinds of payload travel this way:
   — the term intern table up to the snapshot's high-water mark,
   pickled once per epoch.  Ids are positional, so rebuilding the table
   from the same term sequence reproduces the same encoding.
+* **generic array bundles** (:func:`export_arrays` /
+  :func:`attach_arrays`) — any named set of numpy arrays laid
+  back-to-back into one segment.  The OLAP layer ships compressed
+  :class:`~repro.olap.star.FactColumns` snapshots this way (the fact
+  pipeline lives *above* the RDF tier, so the rdf layer exposes the
+  mechanism without knowing the star layout).
 * **control flags** (:class:`ControlFlag` / :func:`control_is_set`) —
   a single shared byte per query; the parent sets it on a governor
   verdict and workers poll it at morsel boundaries (cooperative
@@ -51,9 +57,9 @@ from repro.rdf.columnar import OrderArrays, TripleColumns
 from repro.rdf.terms import Term
 
 __all__ = [
-    "ArraySpec", "ColumnsManifest", "ControlFlag", "TermsManifest",
-    "attach_columns", "attach_terms", "control_is_set",
-    "export_columns", "export_terms",
+    "ArraySpec", "ArraysManifest", "ColumnsManifest", "ControlFlag",
+    "TermsManifest", "attach_arrays", "attach_columns", "attach_terms",
+    "control_is_set", "export_arrays", "export_columns", "export_terms",
 ]
 
 #: Every exported segment name carries this prefix, so test hygiene
@@ -175,6 +181,62 @@ def attach_columns(manifest: ColumnsManifest
     columns = TripleColumns.from_sorted_orders(
         orders, manifest.size, manifest.ceiling, manifest.distinct)
     return segment, columns
+
+
+@dataclass(frozen=True)
+class ArraysManifest:
+    """Layout of a generic named-array bundle inside one segment.
+
+    ``arrays`` reuses :class:`ArraySpec`, with ``key`` carrying the
+    caller's array name instead of an ``"<order>.<position>"`` slot.
+    ``epoch`` stamps which snapshot generation the bundle belongs to —
+    attachers can refuse stale manifests without mapping the payload.
+    """
+
+    segment: str
+    arrays: Tuple[ArraySpec, ...]
+    nbytes: int
+    epoch: int = 0
+
+
+def export_arrays(arrays: Dict[str, np.ndarray], name: str,
+                  epoch: int = 0
+                  ) -> Tuple[shared_memory.SharedMemory, ArraysManifest]:
+    """Lay a named set of numpy arrays back-to-back into one new shared
+    segment called ``name``.  Keys are preserved in the manifest in
+    insertion order; the caller owns the segment (close + unlink, or
+    hand it to the :data:`~repro.rdf.concurrency.SHM_SEGMENTS`
+    registry)."""
+    specs: List[ArraySpec] = []
+    offset = 0
+    for key, array in arrays.items():
+        contiguous = np.ascontiguousarray(array)
+        specs.append(ArraySpec(key, contiguous.dtype.name, offset,
+                               len(contiguous)))
+        offset += contiguous.nbytes
+    nbytes = max(1, offset)  # zero-byte segments are not allowed
+    segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    for spec, array in zip(specs, arrays.values()):
+        view = np.ndarray((spec.count,), dtype=spec.dtype,
+                          buffer=segment.buf, offset=spec.offset)
+        view[:] = array
+    return segment, ArraysManifest(name, tuple(specs), nbytes, epoch)
+
+
+def attach_arrays(manifest: ArraysManifest
+                  ) -> Tuple[shared_memory.SharedMemory,
+                             Dict[str, np.ndarray]]:
+    """Map an exported bundle back into read-only views over the shared
+    buffer (zero copy).  The returned segment handle must stay
+    referenced as long as any view is in use."""
+    segment = _attach(manifest.segment)
+    views: Dict[str, np.ndarray] = {}
+    for spec in manifest.arrays:
+        view = np.ndarray((spec.count,), dtype=spec.dtype,
+                          buffer=segment.buf, offset=spec.offset)
+        view.flags.writeable = False
+        views[spec.key] = view
+    return segment, views
 
 
 def export_terms(terms: Sequence[Term], name: str

@@ -2078,7 +2078,18 @@ class _Reversed:
 
 def _aggregate_rows(query: SelectQuery, solutions: List[Binding],
                     eval_context: EvalContext) -> List[Binding]:
-    """GROUP BY + aggregate projection + HAVING."""
+    """GROUP BY + aggregate projection + HAVING.
+
+    Contract relied on by the parallel executor's in-worker aggregate
+    path (:meth:`~repro.sparql.parallel.ParallelExecutor.
+    _merge_aggregate` replicates it partial-by-partial): groups appear
+    in first-occurrence order of their key over the solution sequence,
+    and each projection follows :meth:`~repro.sparql.expressions.
+    Aggregate.apply` — including the empty-group cases (COUNT binds 0,
+    SUM binds 0, AVG/MIN/MAX stay unbound via :class:`ExpressionError`)
+    and the whole-aggregate unbinding when any value is non-numeric.
+    Changes to these semantics must be mirrored there.
+    """
     groups: Dict[Tuple, List[Binding]] = {}
     key_bindings: Dict[Tuple, Binding] = {}
     if query.group_by:

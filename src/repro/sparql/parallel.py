@@ -20,7 +20,8 @@ already provide:
   refcounted registry in :mod:`repro.rdf.concurrency`), and the term
   dictionary prefix ships once per epoch the same way;
 * workers return **id-level** results (solution rows or per-group
-  COUNT partials) plus the per-step ``(rows, width)`` charge log;
+  COUNT/SUM/AVG/MIN/MAX partials) plus the per-step ``(rows, width)``
+  charge log;
   the parent replays the charges against the query's single governor
   budget (global across workers), merges in morsel submission order,
   decodes ids back into terms, and applies the ordinary SELECT tail —
@@ -69,7 +70,14 @@ from repro.sparql.evaluator import (
     UnionGraphSource,
     would_stream,
 )
-from repro.sparql.expressions import Aggregate, VariableExpression
+from repro.sparql.expressions import (
+    Aggregate,
+    ExpressionError,
+    VariableExpression,
+    _numeric_literal,
+    numeric_value,
+    order_key,
+)
 from repro.sparql.optimizer import get_plan
 from repro.testing import faults as _faults
 
@@ -281,6 +289,93 @@ _ABORTED: Dict[str, Any] = {"aborted": True, "names": (), "rows": [],
                             "partials": [], "charges": []}
 
 
+def _worker_partials(spec: Dict[str, Any], table: BindingTable,
+                     dictionary: TermDictionary) -> List[Tuple]:
+    """Per-group aggregate partials over one morsel's id-level rows.
+
+    Per aggregate item the partial state is chosen so the parent can
+    merge *exactly* (see :meth:`ParallelExecutor._merge_aggregate`):
+
+    * ``COUNT`` — the count of rows whose argument is bound;
+    * ``SUM`` / ``AVG`` — ``(total, n, err)``: the Python-semantics
+      running total (int stays int, Decimal stays Decimal — addition
+      is associative for both, so partial sums merge losslessly), the
+      contributing-value count, and a sticky error flag for values
+      :func:`numeric_value` rejects (the serial path leaves the whole
+      aggregate unbound in that case);
+    * ``MIN`` / ``MAX`` — the id of the morsel's best term under
+      :func:`order_key` (first-encountered among ties, like the serial
+      stable sort); the parent re-compares one candidate per morsel.
+
+    Only group keys and the handful of per-group extrema/total terms
+    are ever decoded — the bulk of the morsel stays id-level.
+    """
+    if not table.rows:
+        return []
+    decode = dictionary.decode
+    group_slots = [table.slots[name] for name in spec["group"]]
+    items = spec["items"]
+    item_slots = [table.slots[arg] if arg is not None else None
+                  for _kind, arg in items]
+    #: id → (numeric value | ExpressionError sentinel) and id → order
+    #: key caches: each distinct term is decoded at most once per morsel
+    numeric_cache: Dict[int, Any] = {}
+    key_cache: Dict[int, Tuple] = {}
+    groups: Dict[Tuple[Optional[int], ...], List[Any]] = {}
+    for row in table.rows:
+        key = tuple(row[slot] for slot in group_slots)
+        states = groups.get(key)
+        if states is None:
+            states = []
+            for kind, _arg in items:
+                if kind == "COUNT":
+                    states.append(0)
+                elif kind in ("SUM", "AVG"):
+                    states.append([0, 0, False])
+                else:  # MIN / MAX
+                    states.append(None)
+            groups[key] = states
+        for index, (kind, _arg) in enumerate(items):
+            slot = item_slots[index]
+            if kind == "COUNT":
+                if slot is None or row[slot] is not None:
+                    states[index] += 1
+                continue
+            value_id = row[slot]
+            if value_id is None:
+                continue  # unbound argument: the serial path skips it
+            if kind in ("SUM", "AVG"):
+                state = states[index]
+                number = numeric_cache.get(value_id)
+                if number is None:
+                    try:
+                        number = numeric_value(decode(value_id))
+                    except ExpressionError:
+                        number = ExpressionError
+                    numeric_cache[value_id] = number
+                if number is ExpressionError:
+                    state[2] = True
+                else:
+                    state[0] = state[0] + number
+                    state[1] += 1
+            else:  # MIN / MAX
+                best = states[index]
+                if best is None:
+                    states[index] = value_id
+                    continue
+                if best == value_id:
+                    continue
+                for vid in (best, value_id):
+                    if vid not in key_cache:
+                        key_cache[vid] = order_key(decode(vid))
+                if kind == "MIN":
+                    if key_cache[value_id] < key_cache[best]:
+                        states[index] = value_id
+                elif key_cache[value_id] > key_cache[best]:
+                    states[index] = value_id
+    return list(groups.items())
+
+
 def _worker_run(task: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one morsel: the shipped join pipeline over the mapped
     columns, id-level in and id-level out (decode stays parent-side)."""
@@ -316,14 +411,9 @@ def _worker_run(task: Dict[str, Any]) -> Dict[str, Any]:
         if not table.rows:
             break
     if task["agg"] is not None:
-        partials: Dict[Tuple[Optional[int], ...], int] = {}
-        if table.rows:
-            slots = [table.slots[name] for name in task["agg"]]
-            for row in table.rows:
-                key = tuple(row[slot] for slot in slots)
-                partials[key] = partials.get(key, 0) + 1
+        partials = _worker_partials(task["agg"], table, dictionary)
         return {"aborted": False, "names": tuple(table.names), "rows": None,
-                "partials": list(partials.items()), "charges": charges}
+                "partials": partials, "charges": charges}
     return {"aborted": False, "names": tuple(table.names),
             "rows": table.rows, "partials": None, "charges": charges}
 
@@ -338,7 +428,7 @@ class _Probe:
     serial, or everything the export/dispatch stage needs."""
 
     __slots__ = ("reason", "graphs", "plan", "base", "counts",
-                 "est", "agg_names")
+                 "est", "agg_spec")
 
     def __init__(self, reason: Optional[str] = None) -> None:
         self.reason = reason
@@ -347,16 +437,19 @@ class _Probe:
         self.base: IdPattern = (None, None, None)
         self.counts: List[int] = []
         self.est = 0
-        #: ``None`` for the general path; for the fast COUNT path a
-        #: list of ``(pattern var, output name)`` group-key pairs.
-        self.agg_names: Optional[List[Tuple[str, str]]] = None
+        #: ``None`` for the general path; for the in-worker aggregate
+        #: path the ``(group keys, aggregate items)`` spec from
+        #: :func:`_fast_aggregate_spec`.
+        self.agg_spec: Optional[Tuple[List[Tuple[str, str]],
+                                      List[Tuple[str, str, Optional[str]]]]] \
+            = None
 
 
 class _Job:
     """One exported, morselized parallel query (segments pinned)."""
 
     __slots__ = ("manifests", "terms", "patterns", "order", "tasks",
-                 "agg_vars", "agg_names", "pinned", "skew")
+                 "agg_task", "agg_keys", "agg_items", "pinned", "skew")
 
     def __init__(self) -> None:
         self.manifests: List[shm.ColumnsManifest] = []
@@ -364,19 +457,33 @@ class _Job:
         self.patterns: List[TriplePatternNode] = []
         self.order: List[int] = []
         self.tasks: List[Tuple[int, str, int, int]] = []
-        self.agg_vars: Optional[List[str]] = None
-        self.agg_names: Optional[List[Tuple[str, str]]] = None
+        #: worker-shippable form of the aggregate spec (or ``None``)
+        self.agg_task: Optional[Dict[str, Any]] = None
+        self.agg_keys: Optional[List[Tuple[str, str]]] = None
+        self.agg_items: Optional[List[Tuple[str, str, Optional[str]]]] = None
         self.pinned: List[Tuple[object, ...]] = []
         self.skew = 1.0
 
 
-def _fast_count_spec(query: SelectQuery, available: frozenset
-                     ) -> Optional[List[Tuple[str, str]]]:
-    """Group-key spec when the whole aggregate can run as in-worker
-    partial COUNTs: no HAVING, variable-only GROUP BY keys (all bound
-    by the BGP), and every projected expression a plain non-DISTINCT
-    COUNT.  Anything else returns ``None`` and takes the general path
-    (parallel BGP, serial aggregation over the merged solutions)."""
+#: Aggregates the workers can compute as mergeable per-group partials.
+_PARTIAL_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def _fast_aggregate_spec(query: SelectQuery, available: frozenset
+                         ) -> Optional[Tuple[
+                             List[Tuple[str, str]],
+                             List[Tuple[str, str, Optional[str]]]]]:
+    """``(group keys, aggregate items)`` when the whole aggregation can
+    run as in-worker per-group partials: no HAVING, variable-only GROUP
+    BY keys (all bound by the BGP), and every projected expression a
+    plain non-DISTINCT COUNT/SUM/AVG/MIN/MAX over a BGP variable (or
+    ``COUNT(*)``).  Anything else returns ``None`` and takes the
+    general path (parallel BGP, serial aggregation over the merged
+    solutions).
+
+    Group keys are ``(pattern var, output name)`` pairs; items are
+    ``(output name, aggregate kind, argument var or None)``.
+    """
     if query.having or query.projection is None:
         return None
     keys: List[Tuple[str, str]] = []
@@ -386,19 +493,25 @@ def _fast_count_spec(query: SelectQuery, available: frozenset
             return None
         alias = query.group_aliases.get(position)
         keys.append((expression.name, alias or expression.name))
+    items: List[Tuple[str, str, Optional[str]]] = []
     for item in query.projection:
         if item.expression is None:
             continue
         aggregate = item.expression
-        if not isinstance(aggregate, Aggregate) \
-                or aggregate.name != "COUNT" or aggregate.distinct:
+        if not isinstance(aggregate, Aggregate) or aggregate.distinct \
+                or aggregate.name not in _PARTIAL_AGGREGATES:
             return None
         argument = aggregate.expression
-        if argument is not None:
-            if not isinstance(argument, VariableExpression) \
-                    or argument.name not in available:
+        if argument is None:
+            if aggregate.name != "COUNT":
                 return None
-    return keys
+            items.append((item.name, "COUNT", None))
+            continue
+        if not isinstance(argument, VariableExpression) \
+                or argument.name not in available:
+            return None
+        items.append((item.name, aggregate.name, argument.name))
+    return keys, items
 
 
 class ParallelExecutor:
@@ -425,7 +538,7 @@ class ParallelExecutor:
         self._current: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
         self.telemetry: Dict[str, int] = {
             "queries": 0, "declined": 0, "morsels": 0,
-            "worker_deaths": 0, "aborts": 0}
+            "worker_deaths": 0, "aborts": 0, "agg_pushdown": 0}
         self.last_decline: Optional[str] = None
 
     # -- pool lifecycle ------------------------------------------------------
@@ -509,7 +622,7 @@ class ParallelExecutor:
         if query.is_aggregate_query:
             available = frozenset().union(
                 *[pattern.variables() for pattern in node.patterns])
-            probe.agg_names = _fast_count_spec(query, available)
+            probe.agg_spec = _fast_aggregate_spec(query, available)
         return probe
 
     # -- export / morselization ----------------------------------------------
@@ -576,9 +689,13 @@ class ParallelExecutor:
                 start = stop
         if sizes:
             job.skew = max(sizes) / (sum(sizes) / len(sizes))
-        if probe.agg_names is not None:
-            job.agg_names = probe.agg_names
-            job.agg_vars = [variable for variable, _name in probe.agg_names]
+        if probe.agg_spec is not None:
+            job.agg_keys, job.agg_items = probe.agg_spec
+            job.agg_task = {
+                "group": [variable for variable, _name in job.agg_keys],
+                "items": [(kind, argument)
+                          for _name, kind, argument in job.agg_items],
+            }
         return job
 
     # -- dispatch ------------------------------------------------------------
@@ -608,7 +725,7 @@ class ParallelExecutor:
                     "patterns": job.patterns,
                     "order": job.order,
                     "morsel": morsel,
-                    "agg": job.agg_vars,
+                    "agg": job.agg_task,
                     "fault": self._fault_directive(),
                 }
                 futures.append(pool.submit(_worker_run, task))
@@ -668,29 +785,82 @@ class ParallelExecutor:
                          payloads: List[Dict[str, Any]],
                          evaluator: PatternEvaluator
                          ) -> List[Dict[str, Term]]:
-        """Fold the workers' per-group COUNT partials.
+        """Fold the workers' per-group aggregate partials exactly.
 
         Insertion order over submission-ordered payloads reproduces
         the serial grouping stage's first-occurrence group order; only
-        the group keys are ever decoded — the whole point of keeping
-        aggregation id-level in the workers."""
-        merged: Dict[Tuple[Optional[int], ...], int] = {}
+        group keys and per-morsel extremum candidates are ever decoded
+        — the whole point of keeping aggregation id-level in the
+        workers.  Each merge step replicates
+        :meth:`~repro.sparql.expressions.Aggregate.apply`: COUNT adds
+        counts, SUM/AVG add Python-semantics totals (exact for
+        int/Decimal) with the empty-group and non-numeric cases
+        producing the same bound/unbound outcomes, MIN/MAX re-compare
+        one candidate id per morsel under :func:`order_key`.
+        """
+        from decimal import Decimal
+        items = job.agg_items or []
+        merged: Dict[Tuple[Optional[int], ...], List[Any]] = {}
         for payload in payloads:
-            for key, count in payload["partials"]:
-                merged[key] = merged.get(key, 0) + count
-        aggregate_items = [item for item in (query.projection or [])
-                           if item.expression is not None]
-        if not query.group_by:
-            total = sum(merged.values())
-            return [{item.name: Literal(total) for item in aggregate_items}]
+            for key, states in payload["partials"]:
+                into = merged.get(key)
+                if into is None:
+                    merged[key] = list(states)
+                    continue
+                for index, (_name, kind, _arg) in enumerate(items):
+                    state = states[index]
+                    if kind == "COUNT":
+                        into[index] += state
+                    elif kind in ("SUM", "AVG"):
+                        into[index] = [into[index][0] + state[0],
+                                       into[index][1] + state[1],
+                                       into[index][2] or state[2]]
+                    elif state is not None:
+                        best = into[index]
+                        if best is None:
+                            into[index] = state
+                        elif best != state:
+                            decode = evaluator._dict.decode
+                            left = order_key(decode(best))
+                            right = order_key(decode(state))
+                            if (kind == "MIN" and right < left) \
+                                    or (kind == "MAX" and right > left):
+                                into[index] = state
+        if not query.group_by and not merged:
+            # the implicit single group still yields one result row:
+            # COUNT binds 0, SUM binds 0, AVG/MIN/MAX stay unbound
+            merged[()] = [0 if kind == "COUNT"
+                          else [0, 0, False] if kind in ("SUM", "AVG")
+                          else None
+                          for _name, kind, _arg in items]
         decode = evaluator._dict.decode
         results: List[Dict[str, Term]] = []
-        for key, count in merged.items():
+        for key, states in merged.items():
             binding: Dict[str, Term] = {}
-            for cell, (_variable, out_name) in zip(key, job.agg_names):
-                binding[out_name] = decode(cell)
-            for item in aggregate_items:
-                binding[item.name] = Literal(count)
+            for cell, (_variable, out_name) in zip(key, job.agg_keys or []):
+                if cell is not None:
+                    binding[out_name] = decode(cell)
+            for index, (name, kind, _arg) in enumerate(items):
+                state = states[index]
+                if kind == "COUNT":
+                    binding[name] = Literal(state)
+                    continue
+                if kind in ("SUM", "AVG"):
+                    total, count, err = state
+                    if err:
+                        continue  # serial path: projection stays unbound
+                    if kind == "SUM":
+                        binding[name] = Literal(0) if count == 0 \
+                            else _numeric_literal(total)
+                    elif count:
+                        if isinstance(total, int):
+                            binding[name] = _numeric_literal(
+                                Decimal(total) / Decimal(count))
+                        else:
+                            binding[name] = _numeric_literal(total / count)
+                    continue
+                if state is not None:
+                    binding[name] = decode(state)
             results.append(binding)
         return results
 
@@ -712,7 +882,8 @@ class ParallelExecutor:
         job = self._export_job(query, context, probe)
         try:
             payloads = self._run(job, gov)
-            if job.agg_vars is not None:
+            if job.agg_task is not None:
+                self.telemetry["agg_pushdown"] += 1
                 result_bindings = self._merge_aggregate(
                     query, job, payloads, evaluator)
             else:
@@ -756,8 +927,17 @@ class ParallelExecutor:
                 sizes.append(min(remaining, self.morsel_rows))
                 remaining -= self.morsel_rows
         skew = max(sizes) / (sum(sizes) / len(sizes)) if sizes else 1.0
-        return (f"parallel: workers={self.workers} morsels={len(sizes)} "
+        line = (f"parallel: workers={self.workers} morsels={len(sizes)} "
                 f"est_rows={probe.est} skew={skew:.2f}")
+        if probe.agg_spec is not None:
+            keys, items = probe.agg_spec
+            spec = ",".join(
+                f"{kind}({argument if argument is not None else '*'})"
+                for _name, kind, argument in items)
+            if keys:
+                spec += " by " + ",".join(var for var, _name in keys)
+            line += f" agg={spec}"
+        return line
 
     def __repr__(self) -> str:
         return (f"<ParallelExecutor workers={self.workers} "

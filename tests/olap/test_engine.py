@@ -5,7 +5,8 @@ import pytest
 from repro.data.namespaces import PROPERTY, REF_PROP, SCHEMA
 from repro.demo import CONTINENT_LEVEL, MARY_QL, QUARTER_LEVEL, YEAR_LEVEL
 from repro.rdf.namespace import SDMX_MEASURE
-from repro.ql import QLBuilder, attr, measure, parse_ql, simplify
+from repro.ql import QLBuilder, all_of, any_of, attr, measure, negate, \
+    parse_ql, simplify
 from repro.olap import compare_results
 
 
@@ -85,6 +86,78 @@ class TestOracleEquivalence:
         assert len(native) == 1
         outcome = compare_results(result.cube, native)
         assert outcome.equal, outcome.explain()
+
+
+class TestDiceEdgeCases:
+    """Differential dice coverage: every shape runs through both paths
+    and the oracle arbitrates.  The interesting cases are the ones
+    where a naive native translation diverges from SPARQL semantics —
+    NOT over members the roll-up never maps, boolean nesting, and
+    mixing post-aggregation measure dices with pre-aggregation
+    attribute dices."""
+
+    def continent_name(self):
+        return attr(SCHEMA.citizenshipDim, CONTINENT_LEVEL,
+                    REF_PROP.continentName)
+
+    def diced(self, schema, condition):
+        return (QLBuilder(schema.dataset)
+                .slice(SCHEMA.asylappDim)
+                .slice(SCHEMA.ageDim)
+                .slice(SCHEMA.sexDim)
+                .slice(SCHEMA.destinationDim)
+                .rollup(SCHEMA.citizenshipDim, CONTINENT_LEVEL)
+                .rollup(SCHEMA.timeDim, YEAR_LEVEL)
+                .dice(condition)
+                .build())
+
+    def assert_oracle(self, enriched, star, program):
+        result, native = run_both(enriched, star, program)
+        outcome = compare_results(result.cube, native)
+        assert outcome.equal, outcome.explain()
+        return native
+
+    def test_not_excludes_unmapped_members(self, enriched, star, schema):
+        """NOT(x = "Asia") must NOT resurrect facts whose member never
+        rolls up to the dice level — SPARQL's join already dropped
+        them before the FILTER ran."""
+        program = self.diced(schema, negate(self.continent_name() == "Asia"))
+        native = self.assert_oracle(enriched, star, program)
+        assert len(native) > 0
+        continents = {key[0] for key in native.cells}
+        assert all("Asia" not in getattr(c, "value", "") for c in continents)
+
+    def test_double_negation(self, enriched, star, schema):
+        program = self.diced(
+            schema, negate(negate(self.continent_name() == "Asia")))
+        self.assert_oracle(enriched, star, program)
+
+    def test_and_or_nesting(self, enriched, star, schema):
+        name = self.continent_name()
+        program = self.diced(
+            schema, any_of(name == "Asia",
+                           all_of(name != "Africa", name != "Europe")))
+        self.assert_oracle(enriched, star, program)
+
+    def test_or_of_contradiction_is_empty_on_both_paths(
+            self, enriched, star, schema):
+        name = self.continent_name()
+        program = self.diced(
+            schema, all_of(name == "Asia", name == "Africa"))
+        native = self.assert_oracle(enriched, star, program)
+        assert len(native) == 0
+
+    def test_mixed_measure_and_attribute_dice(self, enriched, star, schema):
+        name = self.continent_name()
+        program = self.diced(
+            schema, all_of(name != "Asia",
+                           measure(SDMX_MEASURE.obsValue) > 50))
+        self.assert_oracle(enriched, star, program)
+
+    def test_not_over_measure_dice(self, enriched, star, schema):
+        program = self.diced(
+            schema, negate(measure(SDMX_MEASURE.obsValue) > 50))
+        self.assert_oracle(enriched, star, program)
 
 
 class TestNativeResult:

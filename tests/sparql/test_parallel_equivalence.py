@@ -58,6 +58,22 @@ ELIGIBLE = [
     f"GROUP BY ?m ORDER BY DESC(?n) ?m LIMIT 5",
 ]
 
+#: grouped/scalar aggregate shapes exercising the partial-aggregate
+#: pushdown (SUM/AVG/MIN/MAX partials merged exactly in the parent)
+AGGREGATE_PUSHDOWN = [
+    f"SELECT ?m (SUM(?v) AS ?total) WHERE {{ ?o {CITIZEN} ?m . "
+    f"?o {VALUE} ?v }} GROUP BY ?m",
+    f"SELECT ?m (AVG(?v) AS ?mean) WHERE {{ ?o {CITIZEN} ?m . "
+    f"?o {VALUE} ?v }} GROUP BY ?m",
+    f"SELECT ?m (MIN(?v) AS ?low) (MAX(?v) AS ?high) WHERE {{ "
+    f"?o {CITIZEN} ?m . ?o {VALUE} ?v }} GROUP BY ?m",
+    f"SELECT ?l (COUNT(?o) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean) "
+    f"(MIN(?v) AS ?low) (MAX(?v) AS ?high) WHERE {{ ?o {CITIZEN} ?m . "
+    f"?o {VALUE} ?v . ?m {LEVEL} ?l }} GROUP BY ?l",
+    f"SELECT (SUM(?v) AS ?total) (MAX(?v) AS ?high) WHERE {{ "
+    f"?o {CITIZEN} ?m . ?o {VALUE} ?v }}",
+]
+
 
 @pytest.fixture(scope="module")
 def endpoints():
@@ -163,12 +179,71 @@ class TestEligibleQueriesGoParallel:
         assert len(right) == 1
 
 
+class TestAggregatePushdown:
+    """SUM/AVG/MIN/MAX partials are computed id-level in the workers
+    and merged exactly in the parent — results must be byte-identical
+    to the serial evaluator, and the pushdown path must actually run."""
+
+    @pytest.mark.parametrize("query", AGGREGATE_PUSHDOWN)
+    def test_rows_identical_and_pushed_down(self, endpoints, query):
+        serial, parallel = endpoints
+        executor = parallel.parallel_executor
+        before = executor.telemetry["agg_pushdown"]
+        left, right = serial.select(query), parallel.select(query)
+        assert left.vars == right.vars
+        assert left.rows == right.rows
+        assert executor.telemetry["agg_pushdown"] == before + 1, \
+            "aggregate shape fell back to full-row merge"
+
+    def test_pushdown_survives_tiny_morsels(self, endpoints):
+        # every group straddles many morsel boundaries; the merged
+        # partials must still be exact (Decimal/int arithmetic, not a
+        # float re-sum per morsel)
+        serial, parallel = endpoints
+        executor = parallel.parallel_executor
+        saved = executor.morsel_rows
+        try:
+            executor.morsel_rows = 3
+            for query in AGGREGATE_PUSHDOWN:
+                assert parallel.select(query).rows \
+                    == serial.select(query).rows
+        finally:
+            executor.morsel_rows = saved
+
+    def test_explain_names_aggregate_spec(self, endpoints):
+        _serial, parallel = endpoints
+        text = parallel.explain(AGGREGATE_PUSHDOWN[2])
+        line = [l for l in text.splitlines() if l.startswith("parallel:")]
+        assert len(line) == 1
+        assert "agg=MIN(v),MAX(v) by m" in line[0]
+
+    def test_explain_scalar_aggregate_spec_has_no_by(self, endpoints):
+        _serial, parallel = endpoints
+        text = parallel.explain(AGGREGATE_PUSHDOWN[4])
+        line = [l for l in text.splitlines()
+                if l.startswith("parallel:")][0]
+        assert "agg=SUM(v),MAX(v)" in line
+        assert " by " not in line
+
+    def test_distinct_aggregate_uses_row_merge(self, endpoints):
+        # COUNT(DISTINCT ?m) cannot be merged from per-morsel partials;
+        # it must fall back to the full-row merge and still agree
+        serial, parallel = endpoints
+        executor = parallel.parallel_executor
+        before = executor.telemetry["agg_pushdown"]
+        query = (f"SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE {{ "
+                 f"?o {CITIZEN} ?m }}")
+        assert serial.select(query).rows == parallel.select(query).rows
+        assert executor.telemetry["agg_pushdown"] == before
+
+
 class TestMorselSizeFuzz:
     def test_morsel_boundaries_never_change_results(self, endpoints):
         serial, parallel = endpoints
         executor = parallel.parallel_executor
         rng = random.Random(20260808)
-        queries = [ELIGIBLE[1], ELIGIBLE[3], ELIGIBLE[5]]
+        queries = [ELIGIBLE[1], ELIGIBLE[3], ELIGIBLE[5],
+                   AGGREGATE_PUSHDOWN[1], AGGREGATE_PUSHDOWN[3]]
         expected = [serial.select(query).rows for query in queries]
         saved = executor.morsel_rows
         try:

@@ -371,7 +371,8 @@ class ErrorTaxonomyRule(Rule):
     def applies_to(self, path: str) -> bool:
         return path.endswith(("repro/sparql/endpoint.py",
                               "repro/sparql/evaluator.py",
-                              "repro/sparql/governor.py"))
+                              "repro/sparql/governor.py",
+                              "repro/olap/engine.py"))
 
     def check(self, path: str, tree: ast.AST,
               lines: Sequence[str]) -> List[Finding]:
@@ -695,6 +696,7 @@ class ParallelSafetyRule(Rule):
 
     def applies_to(self, path: str) -> bool:
         return path.endswith(("repro/sparql/parallel.py",
+                              "repro/olap/parallel.py",
                               "repro/rdf/shm.py"))
 
     @staticmethod

@@ -27,13 +27,14 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: the documentation files whose examples must execute
 FILES = ["README.md", "docs/architecture.md", "docs/statistics.md",
          "docs/performance.md", "docs/storage.md", "docs/analysis.md",
-         "docs/parallel.md"]
+         "docs/parallel.md", "docs/olap.md"]
 
 #: files that must contain at least one runnable example — a doc suite
 #: whose examples silently vanished should fail, not pass vacuously
 MUST_HAVE_EXAMPLES = ["README.md", "docs/architecture.md",
                       "docs/statistics.md", "docs/storage.md",
-                      "docs/analysis.md", "docs/parallel.md"]
+                      "docs/analysis.md", "docs/parallel.md",
+                      "docs/olap.md"]
 
 OPTIONS = (doctest.ELLIPSIS
            | doctest.NORMALIZE_WHITESPACE
